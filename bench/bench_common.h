@@ -1,0 +1,50 @@
+// Shared plumbing for the reproduction harnesses in bench/: one binary
+// per paper table/figure. Each binary builds a Study (scale overridable
+// via the CBWT_SCALE / CBWT_SEED environment variables), regenerates its
+// table, and prints the paper's reported numbers next to the measured
+// ones. Absolute counts are scaled by design; the *shape* is the claim.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/study.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace cbwt::bench {
+
+inline double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atof(value);
+}
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::strtoull(value, nullptr, 10);
+}
+
+/// Standard bench config: 8% of the paper's request volume by default.
+inline core::StudyConfig bench_config() {
+  core::StudyConfig config;
+  config.world.seed = env_u64("CBWT_SEED", 20180901);
+  config.world.scale = env_double("CBWT_SCALE", 0.08);
+  return config;
+}
+
+inline void print_header(const char* experiment, const core::StudyConfig& config) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("seed=%llu  scale=%.3f (of the paper's dataset volume)\n",
+              static_cast<unsigned long long>(config.world.seed), config.world.scale);
+  std::printf("==================================================================\n");
+}
+
+inline void print_paper_note(const char* note) {
+  std::printf("\n-- paper reference --\n%s\n", note);
+}
+
+}  // namespace cbwt::bench

@@ -1,0 +1,48 @@
+// Fig. 11: per-country leakage of sensitive tracking flows for EU28
+// users — how many sensitive flows leave the user's own country.
+#include "bench_common.h"
+
+int main() {
+  using namespace cbwt;
+  const auto config = bench::bench_config();
+  bench::print_header(
+      "Fig. 11: sensitive tracking flows leaving the user's country (EU28)", config);
+  core::Study study(config);
+  auto analyzer = study.analyzer();
+
+  const auto sensitive = sensitive::sensitive_flows(
+      study.world(), study.sensitive_catalog(), study.dataset(), study.outcomes());
+  const auto eu = analysis::flows_from_region(sensitive, geo::Region::EU28);
+  const auto by_origin = analyzer.per_origin_confinement(eu);
+
+  std::vector<util::Bar> bars;
+  for (const auto& [origin, confinement] : by_origin) {
+    const double leaving = 100.0 - confinement.in_country;
+    bars.push_back({origin, leaving,
+                    util::fmt_count(confinement.total) + " sensitive flows"});
+  }
+  std::sort(bars.begin(), bars.end(),
+            [](const util::Bar& a, const util::Bar& b) { return a.value > b.value; });
+  std::printf("%% of sensitive flows leaving the country:\n%s",
+              util::render_bars(bars, 40).c_str());
+
+  // Compare against the same countries' general-traffic leakage.
+  const auto general = analyzer.per_origin_confinement(
+      analysis::flows_from_region(study.flows(), geo::Region::EU28));
+  std::printf("\nleakage delta vs general traffic (sensitive - general, pp):\n");
+  for (const auto& [origin, confinement] : by_origin) {
+    const auto it = general.find(origin);
+    if (it == general.end()) continue;
+    std::printf("  %-3s %+6.1f\n", origin.c_str(),
+                it->second.in_country - confinement.in_country);
+  }
+
+  bench::print_paper_note(
+      "Fig. 11: the per-country trend matches the aggregate — countries with\n"
+      "small populations and thin IT infrastructure (Cyprus, Greece, Denmark,\n"
+      "Romania) see nearly all sensitive flows leave the country, while\n"
+      "DE/GB/ES keep substantially more at home; sensitive confinement is\n"
+      "similar to general-traffic confinement. Reproduced shape: same ordering\n"
+      "and near-zero deltas.");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 2: CDF of third-party requests per website — "clean only",
+// "ad + tracking only", and "all 3rd party".
+#include <map>
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace cbwt;
+  const auto config = bench::bench_config();
+  bench::print_header("Fig. 2: third-party requests per website (CDFs)", config);
+  core::Study study(config);
+
+  const auto& dataset = study.dataset();
+  const auto& outcomes = study.outcomes();
+  std::map<world::PublisherId, std::uint64_t> clean;
+  std::map<world::PublisherId, std::uint64_t> tracking;
+  std::map<world::PublisherId, std::uint64_t> all;
+  for (std::size_t i = 0; i < dataset.requests.size(); ++i) {
+    const auto publisher = dataset.requests[i].publisher;
+    ++all[publisher];
+    if (classify::is_tracking(outcomes[i].method)) ++tracking[publisher];
+    else ++clean[publisher];
+  }
+
+  const auto to_cdf = [&](const std::map<world::PublisherId, std::uint64_t>& counts) {
+    std::vector<double> values;
+    values.reserve(counts.size());
+    for (const auto& [publisher, count] : counts) {
+      values.push_back(static_cast<double>(count));
+    }
+    return util::EmpiricalCdf(std::move(values));
+  };
+  const auto clean_cdf = to_cdf(clean);
+  const auto tracking_cdf = to_cdf(tracking);
+  const auto all_cdf = to_cdf(all);
+
+  util::TextTable table({"quantile", "clean only", "ad+tracking only", "all 3rd party"});
+  for (const double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.99}) {
+    table.add_row({util::fmt_fixed(q, 2), util::fmt_fixed(clean_cdf.quantile(q), 1),
+                   util::fmt_fixed(tracking_cdf.quantile(q), 1),
+                   util::fmt_fixed(all_cdf.quantile(q), 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nmedian ad+tracking / median all = %.2f\n",
+              all_cdf.quantile(0.5) == 0.0
+                  ? 0.0
+                  : tracking_cdf.quantile(0.5) / all_cdf.quantile(0.5));
+
+  bench::print_paper_note(
+      "Fig. 2 takeaway: on average most of the third-party requests a website\n"
+      "triggers are ad/tracking flows — the 'ad+tracking' CDF hugs the 'all'\n"
+      "CDF while 'clean only' sits well below. The ratio above should be\n"
+      "clearly above 0.5 to reproduce the claim.");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 3: the top-20 registrable domains ("TLDs") of tracking flows, with
+// the split between ABP-detected and SEMI-detected requests per domain.
+#include <map>
+
+#include "bench_common.h"
+#include "net/domain.h"
+
+int main() {
+  using namespace cbwt;
+  const auto config = bench::bench_config();
+  bench::print_header("Fig. 3: top 20 tracking TLDs, ABP vs SEMI detection", config);
+  core::Study study(config);
+
+  const auto& dataset = study.dataset();
+  const auto& outcomes = study.outcomes();
+  struct Split {
+    std::uint64_t abp = 0;
+    std::uint64_t semi = 0;
+  };
+  std::map<std::string, Split> by_registrable;
+  for (std::size_t i = 0; i < dataset.requests.size(); ++i) {
+    if (!classify::is_tracking(outcomes[i].method)) continue;
+    const auto& domain = study.world().domain(dataset.requests[i].domain);
+    auto& split = by_registrable[domain.registrable];
+    if (outcomes[i].method == classify::Method::AbpList) ++split.abp;
+    else ++split.semi;
+  }
+
+  std::vector<std::pair<std::string, Split>> ranked(by_registrable.begin(),
+                                                    by_registrable.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second.abp + a.second.semi > b.second.abp + b.second.semi;
+  });
+  if (ranked.size() > 20) ranked.resize(20);
+
+  util::TextTable table({"rank", "tracking TLD", "ABP", "SEMI", "total"});
+  std::size_t semi_heavy = 0;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const auto& [registrable, split] = ranked[i];
+    table.add_row({std::to_string(i + 1), registrable, util::fmt_count(split.abp),
+                   util::fmt_count(split.semi), util::fmt_count(split.abp + split.semi)});
+    if (split.semi > split.abp) ++semi_heavy;
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\n%zu of the top %zu TLDs are detected mostly by the SEMI stage\n",
+              semi_heavy, ranked.size());
+
+  bench::print_paper_note(
+      "Fig. 3: the top-20 list mixes ABP-covered ad networks with domains whose\n"
+      "flows are mostly SEMI-detected (chained ad-network traffic an ad blocker\n"
+      "would have suppressed). Reproduced shape: both detection modes appear\n"
+      "prominently in the top 20, with several SEMI-dominated entries.");
+  return 0;
+}

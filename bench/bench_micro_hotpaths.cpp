@@ -1,0 +1,133 @@
+// google-benchmark microbenchmarks of the pipeline's hot paths: filter
+// matching, longest-prefix lookup, DNS server selection, and the
+// NetFlow tracker-IP join.
+#include <benchmark/benchmark.h>
+
+#include "core/study.h"
+#include "filterlist/generate.h"
+#include "net/prefix_trie.h"
+#include "netflow/collector.h"
+#include "netflow/generator.h"
+#include "netflow/profile.h"
+
+namespace {
+
+using namespace cbwt;
+
+const world::World& micro_world() {
+  static const world::World world = [] {
+    world::WorldConfig config;
+    config.seed = 77;
+    config.scale = 0.01;
+    return world::build_world(config);
+  }();
+  return world;
+}
+
+void BM_FilterEngineMatch(benchmark::State& state) {
+  const auto& world = micro_world();
+  util::Rng rng(1);
+  const auto lists = filterlist::generate_lists(world, rng);
+  filterlist::Engine engine;
+  engine.add_list(filterlist::FilterList("easylist", lists.easylist));
+  engine.add_list(filterlist::FilterList("easyprivacy", lists.easyprivacy));
+
+  // A mixed probe set: listed trackers, chained endpoints, clean hosts.
+  std::vector<std::string> urls;
+  for (const auto& domain : world.domains()) {
+    urls.push_back("https://" + domain.fqdn + "/ads/display/1?pub=x.com&ad_slot=2");
+    if (urls.size() >= 512) break;
+  }
+  std::size_t i = 0;
+  std::size_t matched = 0;
+  for (auto _ : state) {
+    const auto& url = urls[i++ % urls.size()];
+    filterlist::RequestContext context;
+    context.url = url;
+    context.host = std::string_view(url).substr(8, url.find('/', 8) - 8);
+    context.page_host = "news.example.com";
+    matched += engine.match(context).matched ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(matched);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FilterEngineMatch);
+
+void BM_PrefixTrieLookup(benchmark::State& state) {
+  net::PrefixTrie<int> trie;
+  util::Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const auto base = net::IpAddress::v4(static_cast<std::uint32_t>(rng()));
+    trie.insert(net::IpPrefix(base, static_cast<unsigned>(rng.next_in(8, 28))), i);
+  }
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    const auto probe = net::IpAddress::v4(static_cast<std::uint32_t>(rng()));
+    hits += trie.lookup(probe) != nullptr ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PrefixTrieLookup);
+
+void BM_DnsResolve(benchmark::State& state) {
+  const auto& world = micro_world();
+  const dns::Resolver resolver(world);
+  util::Rng rng(3);
+  const auto tracking = world.tracking_domain_ids();
+  const auto origin = resolver.origin_for("DE", false);
+  std::size_t i = 0;
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    const auto answer = resolver.resolve(tracking[i++ % tracking.size()], origin, rng);
+    sum += answer.server;
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DnsResolve);
+
+void BM_NetflowJoin(benchmark::State& state) {
+  const auto& world = micro_world();
+  const dns::Resolver resolver(world);
+  util::Rng rng(4);
+  netflow::GeneratorConfig config;
+  config.scale = 1e-6;
+  const auto exported =
+      netflow::generate_snapshot(world, resolver, netflow::default_isps()[0],
+                                 netflow::default_snapshots()[0], config, rng);
+  netflow::TrackerIpIndex index;
+  for (const auto id : world.tracking_domain_ids()) {
+    for (const auto sid : world.domain(id).servers) index.add(world.server(sid).ip);
+  }
+  for (auto _ : state) {
+    const auto result = netflow::collect(exported.records, index,
+                                         netflow::default_isps()[0]);
+    benchmark::DoNotOptimize(result.matched_records);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(exported.records.size()));
+}
+BENCHMARK(BM_NetflowJoin);
+
+void BM_ActiveGeolocate(benchmark::State& state) {
+  const auto& world = micro_world();
+  util::Rng mesh_rng(5);
+  const geoloc::ProbeMesh mesh({}, mesh_rng);
+  const geoloc::ActiveGeolocator locator(world, mesh);
+  util::Rng rng(6);
+  std::size_t i = 0;
+  std::size_t non_empty = 0;
+  for (auto _ : state) {
+    const auto& server = world.servers()[i++ % world.servers().size()];
+    non_empty += locator.locate(server.ip, rng).country.empty() ? 0 : 1;
+  }
+  benchmark::DoNotOptimize(non_empty);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ActiveGeolocate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Table 1: the real-users dataset statistics — users, first-party
+// domains/requests, third-party domains/requests.
+#include <set>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cbwt;
+  const auto config = bench::bench_config();
+  bench::print_header("Table 1: the real users dataset statistics", config);
+  core::Study study(config);
+
+  const auto& dataset = study.dataset();
+  std::set<std::string_view> third_party_fqdns;
+  std::set<world::PublisherId> first_party;
+  for (const auto& request : dataset.requests) {
+    third_party_fqdns.insert(study.world().domain(request.domain).fqdn);
+    first_party.insert(request.publisher);
+  }
+
+  util::TextTable table({"# Users", "# 1st party Domains", "# 1st party Requests",
+                         "# 3rd party Domains", "# 3rd party Requests"});
+  table.add_row({util::fmt_count(study.world().users().size()),
+                 util::fmt_count(first_party.size()),
+                 util::fmt_count(dataset.first_party_visits),
+                 util::fmt_count(third_party_fqdns.size()),
+                 util::fmt_count(dataset.requests.size())});
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\nper-visit average: %.1f third-party requests\n",
+              dataset.first_party_visits == 0
+                  ? 0.0
+                  : static_cast<double>(dataset.requests.size()) /
+                        static_cast<double>(dataset.first_party_visits));
+
+  bench::print_paper_note(
+      "Table 1: 350 users, 5,693 1st-party domains, 76,507 1st-party requests,\n"
+      "19,298 3rd-party domains, 7,172,752 3rd-party requests (~94 req/visit).\n"
+      "Counts here scale with `scale`; the ~90+ requests/visit density and the\n"
+      "3rd-party-domains >> 1st-party-domains ordering are the reproduced shape.");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table 5: potential localization improvements for EU28 tracking flows —
+// DNS redirection (FQDN / TLD), cloud PoP mirroring, and the combination.
+#include "bench_common.h"
+
+int main() {
+  using namespace cbwt;
+  const auto config = bench::bench_config();
+  bench::print_header("Table 5: localization what-if scenarios (EU28 flows)", config);
+  core::Study study(config);
+
+  const auto& localization = study.localization();
+  using whatif::Scenario;
+  const Scenario scenarios[] = {Scenario::Default, Scenario::RedirectFqdn,
+                                Scenario::RedirectTld, Scenario::PopMirroring,
+                                Scenario::RedirectTldPlusMirroring};
+
+  const auto base = localization.evaluate(Scenario::Default);
+  util::TextTable table({"scenario", "in-country", "in-continent", "improvement (ctry)",
+                         "improvement (cont)"});
+  for (const Scenario scenario : scenarios) {
+    const auto result = localization.evaluate(scenario);
+    table.add_row({std::string(whatif::to_string(scenario)),
+                   util::fmt_pct(result.in_country_pct),
+                   util::fmt_pct(result.in_continent_pct),
+                   scenario == Scenario::Default
+                       ? "-"
+                       : util::fmt_pct(result.in_country_pct - base.in_country_pct),
+                   scenario == Scenario::Default
+                       ? "-"
+                       : util::fmt_pct(result.in_continent_pct - base.in_continent_pct)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\n(%zu EU28 tracking flows evaluated)\n", localization.flow_count());
+
+  bench::print_paper_note(
+      "Table 5 (1,824,873 EU28 flows): Default 27.60% country / 88.00% continent;\n"
+      "FQDN redirection 52.15%/93.53% (+24.55/+5.53); TLD redirection\n"
+      "66.13%/98.33% (+38.53/+10.33); PoP mirroring 30.79%/92.09% (+3.19/+4.09);\n"
+      "TLD + mirroring 68.12%/99.20% (+40.52/+11.20). Reproduced shape: TLD\n"
+      "redirection is the big national-level lever; mirroring mainly helps at\n"
+      "continent level; the combination is best.");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Example: continuous ISP-side GDPR-confinement monitoring — the system
+// the paper's conclusion proposes to build. Joins each day's NetFlow
+// against the extension-derived tracker-IP list and reports confinement
+// over time, flagging regressions.
+#include <cstdio>
+
+#include "core/study.h"
+#include "netflow/profile.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cbwt;
+  core::StudyConfig config;
+  config.world.scale = 0.05;
+  config.netflow.scale = 2e-4;
+  core::Study study(config);
+
+  const std::string isp_name = argc > 1 ? argv[1] : "DE-Broadband";
+  const netflow::IspProfile* isp = nullptr;
+  for (const auto& profile : netflow::default_isps()) {
+    if (profile.name == isp_name) isp = &profile;
+  }
+  if (isp == nullptr) {
+    std::fprintf(stderr, "unknown ISP '%s' (try DE-Broadband, DE-Mobile, PL, HU)\n",
+                 isp_name.c_str());
+    return 1;
+  }
+
+  std::printf("GDPR-confinement monitor for %s (%s users, %s access)\n\n",
+              std::string(isp->name).c_str(),
+              util::fmt_fixed(isp->subscribers_m, 0).c_str(),
+              std::string(netflow::to_string(isp->access)).c_str());
+
+  auto analyzer = study.analyzer();
+  util::TextTable table({"day", "label", "sampled flows", "EU28", "in-country", "alert"});
+  double previous_eu28 = -1.0;
+  // Monitor weekly between the paper's first and last snapshot.
+  for (std::int32_t day = 68; day <= 292; day += 28) {
+    netflow::Snapshot snapshot{day, "day", 1.0};
+    const auto run = study.run_isp_snapshot(*isp, snapshot);
+    const auto regions = analyzer.destination_regions(run.flows);
+    const auto eu_it = regions.share.find(geo::Region::EU28);
+    const double eu28 = eu_it == regions.share.end() ? 0.0 : 100.0 * eu_it->second;
+    const auto confinement = analyzer.confinement(run.flows);
+    const bool regression = previous_eu28 >= 0.0 && eu28 < previous_eu28 - 5.0;
+    table.add_row({std::to_string(day), day < 267 ? "pre-GDPR" : "post-GDPR",
+                   util::fmt_count(run.collection.matched_records),
+                   util::fmt_pct(eu28, 1), util::fmt_pct(confinement.in_country, 1),
+                   regression ? "CONFINEMENT DROP" : ""});
+    previous_eu28 = eu28;
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("(GDPR implementation date falls on day 266; the paper found "
+              "confinement high and stable across it)\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: run the whole cross-border tracking study end to end on a
+// small world and print the headline numbers. This is the 60-second tour
+// of the public API; the bench/ binaries reproduce the paper's tables
+// and figures one by one.
+#include <cstdio>
+#include <string>
+
+#include "core/study.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace cbwt;
+
+  core::StudyConfig config;
+  config.world.seed = 20180901;
+  config.world.scale = 0.05;  // ~5% of the paper's request volume
+
+  core::Study study(config);
+
+  std::printf("cbwt quickstart (seed %llu, scale %.2f)\n",
+              static_cast<unsigned long long>(config.world.seed), config.world.scale);
+
+  // --- dataset ---------------------------------------------------------
+  const auto& dataset = study.dataset();
+  std::printf("\n[extension] %s users, %s visits, %s third-party requests\n",
+              util::fmt_count(study.world().users().size()).c_str(),
+              util::fmt_count(dataset.first_party_visits).c_str(),
+              util::fmt_count(dataset.requests.size()).c_str());
+
+  // --- classification ---------------------------------------------------
+  const auto summary = classify::summarize(dataset, study.outcomes());
+  std::printf("[classify] ABP lists: %s requests | semi-automatic: +%s | NTF: %s\n",
+              util::fmt_count(summary.abp.total_requests).c_str(),
+              util::fmt_count(summary.semi.total_requests).c_str(),
+              util::fmt_count(summary.untracked_requests).c_str());
+
+  // --- tracker IPs & pDNS completion -------------------------------------
+  const auto observed = study.observed_tracker_ips().size();
+  const auto completed = study.completed_tracker_ips().size();
+  std::printf("[pdns] tracker IPs observed: %zu, after completion: %zu (+%.2f%%)\n",
+              observed, completed,
+              observed == 0 ? 0.0 : 100.0 * static_cast<double>(completed - observed) /
+                                        static_cast<double>(observed));
+
+  // --- where do EU28 tracking flows terminate? ---------------------------
+  const auto eu_flows = analysis::flows_from_region(study.flows(), geo::Region::EU28);
+  for (const auto tool : {geoloc::Tool::MaxMindLike, geoloc::Tool::ActiveIpmap}) {
+    const auto breakdown = study.analyzer(tool).destination_regions(eu_flows);
+    std::printf("[geo:%s] EU28-origin flows by destination region:\n",
+                std::string(geoloc::to_string(tool)).c_str());
+    for (const auto& [region, share] : breakdown.share) {
+      std::printf("    %-15s %6.2f%%\n", std::string(geo::to_string(region)).c_str(),
+                  100.0 * share);
+    }
+  }
+
+  // --- confinement headline ----------------------------------------------
+  const auto confinement = study.analyzer().confinement(eu_flows);
+  std::printf("\n[confinement] EU28 users: %.1f%% in-country, %.1f%% in EU28, "
+              "%.1f%% in-continent (%s flows)\n",
+              confinement.in_country, confinement.in_eu28, confinement.in_continent,
+              util::fmt_count(confinement.total).c_str());
+  return 0;
+}

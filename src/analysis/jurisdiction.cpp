@@ -1,0 +1,57 @@
+#include "analysis/jurisdiction.h"
+
+#include "geo/country.h"
+
+namespace cbwt::analysis {
+
+Jurisdiction gdpr_jurisdiction() {
+  Jurisdiction jurisdiction;
+  jurisdiction.name = "GDPR (EU28)";
+  for (const auto& country : geo::all_countries()) {
+    if (country.eu28) jurisdiction.members.insert(std::string(country.code));
+  }
+  return jurisdiction;
+}
+
+Jurisdiction national_jurisdiction(std::string_view country) {
+  Jurisdiction jurisdiction;
+  jurisdiction.name = "national (" + std::string(country) + ")";
+  jurisdiction.members.insert(std::string(country));
+  return jurisdiction;
+}
+
+Jurisdiction us_jurisdiction() {
+  Jurisdiction jurisdiction;
+  jurisdiction.name = "USA";
+  jurisdiction.members.insert("US");
+  return jurisdiction;
+}
+
+Jurisdiction eea_plus_jurisdiction() {
+  Jurisdiction jurisdiction = gdpr_jurisdiction();
+  jurisdiction.name = "EU28 + NO/CH";
+  jurisdiction.members.insert("NO");
+  jurisdiction.members.insert("CH");
+  return jurisdiction;
+}
+
+JurisdictionReport jurisdiction_confinement(const geoloc::GeoService& service,
+                                            geoloc::Tool tool,
+                                            const Jurisdiction& jurisdiction,
+                                            std::span<const Flow> flows) {
+  JurisdictionReport report;
+  report.jurisdiction = jurisdiction.name;
+  for (const auto& flow : flows) {
+    report.total += flow.weight;
+    const bool origin_inside = jurisdiction.contains(flow.origin_country);
+    if (origin_inside) report.from_inside += flow.weight;
+    const auto destination = service.locate(flow.destination, tool);
+    if (destination.empty()) continue;
+    const bool destination_inside = jurisdiction.contains(destination);
+    if (destination_inside) report.inside += flow.weight;
+    if (origin_inside && destination_inside) report.covered += flow.weight;
+  }
+  return report;
+}
+
+}  // namespace cbwt::analysis

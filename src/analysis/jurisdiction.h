@@ -1,0 +1,64 @@
+// Jurisdiction-scoped confinement — the generalization the paper's
+// conclusion announces: "include the monitoring of other regulations in
+// the future at different regional scope (e.g., USA)". A jurisdiction is
+// any named set of countries; confinement of a flow set against it asks
+// how much terminates inside the set, regardless of the user's own
+// country.
+#pragma once
+
+#include <set>
+#include <span>
+#include <string>
+
+#include "analysis/flows.h"
+
+namespace cbwt::analysis {
+
+/// A named data-protection scope.
+struct Jurisdiction {
+  std::string name;
+  std::set<std::string> members;  ///< ISO country codes
+
+  [[nodiscard]] bool contains(std::string_view country) const {
+    return members.contains(std::string(country));
+  }
+};
+
+/// The 2018 EU28 / GDPR scope (built from the country registry).
+[[nodiscard]] Jurisdiction gdpr_jurisdiction();
+
+/// Single-country scopes for national laws (e.g. telecom/minor-protection
+/// rules the paper mentions have national scope only).
+[[nodiscard]] Jurisdiction national_jurisdiction(std::string_view country);
+
+/// A US scope (CCPA/COPPA-style monitoring).
+[[nodiscard]] Jurisdiction us_jurisdiction();
+
+/// EEA-ish scope: EU28 plus Norway/Switzerland, for what-if comparisons.
+[[nodiscard]] Jurisdiction eea_plus_jurisdiction();
+
+/// Confinement of a flow set against an arbitrary jurisdiction.
+struct JurisdictionReport {
+  std::string jurisdiction;
+  std::uint64_t total = 0;
+  std::uint64_t inside = 0;       ///< flows terminating inside the scope
+  std::uint64_t from_inside = 0;  ///< flows originating inside the scope
+  /// Flows that both originate and terminate inside (fully covered).
+  std::uint64_t covered = 0;
+
+  [[nodiscard]] double inside_pct() const noexcept {
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(inside) / static_cast<double>(total);
+  }
+  [[nodiscard]] double covered_pct() const noexcept {
+    return from_inside == 0 ? 0.0
+                            : 100.0 * static_cast<double>(covered) /
+                                  static_cast<double>(from_inside);
+  }
+};
+
+[[nodiscard]] JurisdictionReport jurisdiction_confinement(
+    const geoloc::GeoService& service, geoloc::Tool tool,
+    const Jurisdiction& jurisdiction, std::span<const Flow> flows);
+
+}  // namespace cbwt::analysis

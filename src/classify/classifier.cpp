@@ -1,0 +1,202 @@
+#include "classify/classifier.h"
+
+#include <unordered_set>
+
+#include "net/domain.h"
+#include "net/url.h"
+#include "util/prng.h"
+
+namespace cbwt::classify {
+
+namespace {
+
+/// Cheap stable hash for URL-identity sets (collision odds are
+/// negligible against dataset sizes here).
+std::uint64_t hash_text(std::string_view text) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return util::mix64(h);
+}
+
+std::string_view host_of(std::string_view url) noexcept {
+  const std::size_t scheme = url.find("://");
+  if (scheme == std::string_view::npos) return {};
+  const std::size_t start = scheme + 3;
+  std::size_t end = url.find('/', start);
+  if (end == std::string_view::npos) end = url.size();
+  return url.substr(start, end - start);
+}
+
+bool url_has_arguments(std::string_view url) noexcept {
+  const std::size_t q = url.find('?');
+  return q != std::string_view::npos && q + 1 < url.size();
+}
+
+}  // namespace
+
+std::string_view to_string(Method method) noexcept {
+  switch (method) {
+    case Method::None: return "none";
+    case Method::AbpList: return "abp-list";
+    case Method::Referrer: return "semi-referrer";
+    case Method::Keyword: return "semi-keyword";
+  }
+  return "?";
+}
+
+Classifier::Classifier(filterlist::Engine engine, ClassifierConfig config)
+    : engine_(std::move(engine)), config_(std::move(config)) {}
+
+std::vector<Outcome> Classifier::run(const browser::ExtensionDataset& dataset) const {
+  const auto& requests = dataset.requests;
+  std::vector<Outcome> outcomes(requests.size());
+
+  // LTF identity: hashes of classified tracking URLs. Referrers of chained
+  // requests carry the full parent URL, so exact identity suffices.
+  std::unordered_set<std::uint64_t> ltf_urls;
+  ltf_urls.reserve(requests.size() / 2);
+
+  // ---- Stage 1: filter lists --------------------------------------
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto& request = requests[i];
+    const std::string_view host = host_of(request.url);
+    const std::string_view page_host = host_of(request.referrer).empty()
+                                           ? host  // defensive; referrer always set
+                                           : host_of(request.referrer);
+    filterlist::RequestContext context;
+    context.url = request.url;
+    context.host = host;
+    context.page_host = page_host;
+    context.third_party = true;
+    const auto hit = engine_.match(context);
+    if (hit.matched) {
+      outcomes[i] = {Method::AbpList, hit.list};
+      ltf_urls.insert(hash_text(request.url));
+    }
+  }
+
+  // ---- Stage 2: referrer chaining to fixpoint ----------------------
+  if (config_.enable_referrer_stage) {
+    bool changed = true;
+    for (std::size_t pass = 0; changed && pass < config_.max_iterations; ++pass) {
+      changed = false;
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (outcomes[i].method != Method::None) continue;
+        const auto& request = requests[i];
+        if (!url_has_arguments(request.url)) continue;
+        if (request.referrer.empty()) continue;
+        if (ltf_urls.contains(hash_text(request.referrer))) {
+          outcomes[i] = {Method::Referrer, {}};
+          ltf_urls.insert(hash_text(request.url));
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // ---- Stage 3: argument keywords ----------------------------------
+  if (config_.enable_keyword_stage) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (outcomes[i].method != Method::None) continue;
+      const auto& request = requests[i];
+      if (!url_has_arguments(request.url)) continue;
+      const auto url = net::Url::parse(request.url);
+      if (!url) continue;
+      for (const auto& [key, value] : url->arguments()) {
+        bool hit = false;
+        for (const auto& keyword : config_.keywords) {
+          if (key == keyword) {
+            hit = true;
+            break;
+          }
+        }
+        if (hit) {
+          outcomes[i] = {Method::Keyword, {}};
+          ltf_urls.insert(hash_text(request.url));
+          break;
+        }
+      }
+    }
+  }
+
+  return outcomes;
+}
+
+ClassificationSummary summarize(const browser::ExtensionDataset& dataset,
+                                const std::vector<Outcome>& outcomes) {
+  ClassificationSummary summary;
+  struct Sets {
+    std::unordered_set<std::string_view> fqdns;
+    std::unordered_set<std::string_view> registrables;
+    std::unordered_set<std::uint64_t> urls;
+  };
+  Sets abp_sets;
+  Sets semi_sets;
+  Sets total_sets;
+
+  for (std::size_t i = 0; i < dataset.requests.size(); ++i) {
+    const auto& request = dataset.requests[i];
+    const Method method = outcomes[i].method;
+    if (!is_tracking(method)) {
+      ++summary.untracked_requests;
+      continue;
+    }
+    const std::string_view host = host_of(request.url);
+    const std::string_view registrable = net::registrable_domain(host);
+    const std::uint64_t url_hash = hash_text(request.url);
+
+    Sets& sets = method == Method::AbpList ? abp_sets : semi_sets;
+    StageStats& stats = method == Method::AbpList ? summary.abp : summary.semi;
+    ++stats.total_requests;
+    sets.fqdns.insert(host);
+    sets.registrables.insert(registrable);
+    sets.urls.insert(url_hash);
+
+    ++summary.total.total_requests;
+    total_sets.fqdns.insert(host);
+    total_sets.registrables.insert(registrable);
+    total_sets.urls.insert(url_hash);
+  }
+
+  const auto fill = [](StageStats& stats, const Sets& sets) {
+    stats.fqdns = sets.fqdns.size();
+    stats.registrables = sets.registrables.size();
+    stats.unique_urls = sets.urls.size();
+  };
+  fill(summary.abp, abp_sets);
+  fill(summary.semi, semi_sets);
+  fill(summary.total, total_sets);
+  return summary;
+}
+
+double Score::precision() const noexcept {
+  const auto denom = true_positives + false_positives;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positives) / static_cast<double>(denom);
+}
+
+double Score::recall() const noexcept {
+  const auto denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positives) / static_cast<double>(denom);
+}
+
+Score score_against_truth(const world::World& world,
+                          const browser::ExtensionDataset& dataset,
+                          const std::vector<Outcome>& outcomes) {
+  Score score;
+  for (std::size_t i = 0; i < dataset.requests.size(); ++i) {
+    const auto& request = dataset.requests[i];
+    const bool truly_tracking =
+        world.org(world.domain(request.domain).org).role != world::OrgRole::CleanService;
+    const bool flagged = is_tracking(outcomes[i].method);
+    if (truly_tracking && flagged) ++score.true_positives;
+    else if (truly_tracking) ++score.false_negatives;
+    else if (flagged) ++score.false_positives;
+    else ++score.true_negatives;
+  }
+  return score;
+}
+
+}  // namespace cbwt::classify

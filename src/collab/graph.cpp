@@ -1,0 +1,164 @@
+#include "collab/graph.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "geo/country.h"
+
+namespace cbwt::collab {
+
+namespace {
+
+std::string_view host_of(std::string_view url) noexcept {
+  const std::size_t scheme = url.find("://");
+  if (scheme == std::string_view::npos) return {};
+  const std::size_t start = scheme + 3;
+  std::size_t end = url.find('/', start);
+  if (end == std::string_view::npos) end = url.size();
+  return url.substr(start, end - start);
+}
+
+}  // namespace
+
+CollabGraph CollabGraph::from_dataset(const world::World& world,
+                                      const browser::ExtensionDataset& dataset,
+                                      const std::vector<classify::Outcome>& outcomes) {
+  struct EdgeAccumulator {
+    std::uint64_t weight = 0;
+    std::set<world::UserId> users;
+  };
+  std::map<std::pair<world::OrgId, world::OrgId>, EdgeAccumulator> accumulators;
+
+  for (std::size_t i = 0; i < dataset.requests.size(); ++i) {
+    if (!classify::is_tracking(outcomes[i].method)) continue;
+    const auto& request = dataset.requests[i];
+    if (request.chain_depth == 0) continue;  // entry tags have first-party parents
+    const auto parent_host = host_of(request.referrer);
+    if (parent_host.empty()) continue;
+    const auto* parent_domain = world.find_domain(std::string(parent_host));
+    if (parent_domain == nullptr) continue;
+    const auto child_org = world.domain(request.domain).org;
+    const auto parent_org = parent_domain->org;
+    if (child_org == parent_org) continue;  // internal chains are not collaboration
+    const auto key = parent_org < child_org ? std::pair{parent_org, child_org}
+                                            : std::pair{child_org, parent_org};
+    auto& accumulator = accumulators[key];
+    ++accumulator.weight;
+    accumulator.users.insert(request.user);
+  }
+
+  CollabGraph graph;
+  graph.edges_.reserve(accumulators.size());
+  for (const auto& [key, accumulator] : accumulators) {
+    Edge edge;
+    edge.a = key.first;
+    edge.b = key.second;
+    edge.weight = accumulator.weight;
+    edge.users = accumulator.users.size();
+    const std::size_t index = graph.edges_.size();
+    graph.edges_.push_back(edge);
+    graph.by_org_[edge.a].push_back(index);
+    graph.by_org_[edge.b].push_back(index);
+    ++graph.degree_[edge.a];
+    ++graph.degree_[edge.b];
+  }
+  return graph;
+}
+
+std::size_t CollabGraph::degree(world::OrgId org) const {
+  const auto it = degree_.find(org);
+  return it == degree_.end() ? 0 : it->second;
+}
+
+std::vector<Edge> CollabGraph::partners_of(world::OrgId org) const {
+  std::vector<Edge> out;
+  if (const auto it = by_org_.find(org); it != by_org_.end()) {
+    for (const auto index : it->second) out.push_back(edges_[index]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Edge& a, const Edge& b) { return a.weight > b.weight; });
+  return out;
+}
+
+std::vector<Edge> CollabGraph::top_edges(std::size_t n) const {
+  std::vector<Edge> out = edges_;
+  std::sort(out.begin(), out.end(),
+            [](const Edge& a, const Edge& b) { return a.weight > b.weight; });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+std::map<world::OrgId, std::uint32_t> CollabGraph::communities(std::size_t iterations,
+                                                               util::Rng& rng) const {
+  // Asynchronous label propagation with weighted votes.
+  std::map<world::OrgId, std::uint32_t> label;
+  std::vector<world::OrgId> nodes;
+  for (const auto& [org, indices] : by_org_) {
+    label[org] = static_cast<std::uint32_t>(org);
+    nodes.push_back(org);
+  }
+  for (std::size_t pass = 0; pass < iterations; ++pass) {
+    rng.shuffle(std::span<world::OrgId>(nodes));
+    bool changed = false;
+    for (const auto node : nodes) {
+      std::unordered_map<std::uint32_t, std::uint64_t> votes;
+      for (const auto index : by_org_.at(node)) {
+        const Edge& edge = edges_[index];
+        const auto neighbour = edge.a == node ? edge.b : edge.a;
+        votes[label[neighbour]] += edge.weight;
+      }
+      if (votes.empty()) continue;
+      std::uint32_t best_label = label[node];
+      std::uint64_t best_weight = 0;
+      for (const auto& [candidate, weight] : votes) {
+        if (weight > best_weight ||
+            (weight == best_weight && candidate < best_label)) {
+          best_weight = weight;
+          best_label = candidate;
+        }
+      }
+      if (best_label != label[node]) {
+        label[node] = best_label;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return label;
+}
+
+double CollabGraph::cross_border_weight_share(const geoloc::GeoService& service,
+                                              geoloc::Tool tool,
+                                              const world::World& world) const {
+  // An org is "EU-hosted" when the majority of its serving infrastructure
+  // geolocates inside EU28.
+  const auto org_in_eu = [&](world::OrgId org_id) {
+    std::size_t eu = 0;
+    std::size_t total = 0;
+    for (const auto sid : world.org(org_id).servers) {
+      const auto country = service.locate(world.server(sid).ip, tool);
+      const geo::Country* info = geo::find_country(country);
+      if (info == nullptr) continue;
+      ++total;
+      if (info->eu28) ++eu;
+    }
+    return total > 0 && eu * 2 > total;
+  };
+
+  std::map<world::OrgId, bool> eu_cache;
+  std::uint64_t total_weight = 0;
+  std::uint64_t crossing_weight = 0;
+  for (const auto& edge : edges_) {
+    for (const auto org : {edge.a, edge.b}) {
+      if (!eu_cache.contains(org)) eu_cache[org] = org_in_eu(org);
+    }
+    total_weight += edge.weight;
+    if (eu_cache[edge.a] != eu_cache[edge.b]) crossing_weight += edge.weight;
+  }
+  return total_weight == 0
+             ? 0.0
+             : static_cast<double>(crossing_weight) / static_cast<double>(total_weight);
+}
+
+}  // namespace cbwt::collab

@@ -1,0 +1,75 @@
+// Inter-tracker collaboration analysis — the extension the paper's
+// conclusion announces as future work: "capture inter-tracker
+// collaboration and data exchange". The graph is reconstructed from the
+// extension dataset alone: an edge between two organizations means the
+// browser was observed carrying data from one to the other (a chained
+// request — cookie-sync or bid chain — whose referrer belongs to the
+// other org). Edge weights count observations; jurisdictions of the two
+// endpoints' serving infrastructure tell us when the *collaboration
+// itself* crosses the GDPR border.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "browser/extension.h"
+#include "classify/classifier.h"
+#include "geoloc/service.h"
+#include "util/prng.h"
+#include "world/world.h"
+
+namespace cbwt::collab {
+
+/// One collaboration edge between two organizations (a < b by id).
+struct Edge {
+  world::OrgId a = 0;
+  world::OrgId b = 0;
+  std::uint64_t weight = 0;     ///< observed data-carrying requests
+  std::uint64_t users = 0;      ///< distinct users whose browsers carried it
+};
+
+/// The undirected, weighted collaboration graph.
+class CollabGraph {
+ public:
+  /// Builds the graph from classified tracking flows: every chained
+  /// tracking request whose referrer resolves to a different org's
+  /// domain adds weight to the (parent org, child org) edge.
+  [[nodiscard]] static CollabGraph from_dataset(
+      const world::World& world, const browser::ExtensionDataset& dataset,
+      const std::vector<classify::Outcome>& outcomes);
+
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return degree_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  /// Number of distinct partners of an org (0 if absent).
+  [[nodiscard]] std::size_t degree(world::OrgId org) const;
+
+  /// Partners of `org`, heaviest edge first.
+  [[nodiscard]] std::vector<Edge> partners_of(world::OrgId org) const;
+
+  /// Edges sorted by weight, heaviest first.
+  [[nodiscard]] std::vector<Edge> top_edges(std::size_t n) const;
+
+  /// Label-propagation community detection (deterministic given rng).
+  /// Returns the community id per org (only orgs present in the graph).
+  [[nodiscard]] std::map<world::OrgId, std::uint32_t> communities(
+      std::size_t iterations, util::Rng& rng) const;
+
+  /// Share of edge weight whose two endpoints are served from different
+  /// jurisdictions (EU28 vs outside), under the given geolocation tool:
+  /// data exchanged over those edges crosses the GDPR border even when
+  /// each individual flow looked confined.
+  [[nodiscard]] double cross_border_weight_share(const geoloc::GeoService& service,
+                                                 geoloc::Tool tool,
+                                                 const world::World& world) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::map<world::OrgId, std::vector<std::size_t>> by_org_;  // org -> edge indices
+  std::map<world::OrgId, std::size_t> degree_;
+};
+
+}  // namespace cbwt::collab

@@ -1,0 +1,177 @@
+#include "core/study.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace cbwt::core {
+
+Study::Study(StudyConfig config) : config_(std::move(config)) {}
+
+util::Rng Study::stage_rng(std::uint64_t label) const {
+  // Stateless derivation: stage RNGs depend only on (seed, label), never
+  // on the order in which lazy stages are first requested.
+  return util::Rng(util::mix64(config_.world.seed ^ util::mix64(label)));
+}
+
+Study::~Study() = default;
+
+const world::World& Study::world() {
+  if (!world_) world_ = world::build_world(config_.world);
+  return *world_;
+}
+
+const dns::Resolver& Study::resolver() {
+  if (!resolver_) resolver_.emplace(world(), config_.resolver);
+  return *resolver_;
+}
+
+const browser::ExtensionDataset& Study::dataset() {
+  if (!dataset_) {
+    if (!pdns_) pdns_.emplace();
+    auto rng = stage_rng(0xDA7A);
+    dataset_ = browser::collect_extension_dataset(world(), resolver(), config_.collector,
+                                                  rng, &*pdns_);
+  }
+  return *dataset_;
+}
+
+const pdns::Store& Study::pdns_store() {
+  (void)dataset();  // ensures the store exists and is fed by the users
+  if (!pdns_replicated_) {
+    auto rng = stage_rng(0x9D45);
+    pdns::replicate_background(*pdns_, resolver(), config_.replication, rng);
+    pdns_replicated_ = true;
+  }
+  return *pdns_;
+}
+
+const classify::Classifier& Study::classifier() {
+  if (!classifier_) {
+    auto rng = stage_rng(0xF117);
+    const auto lists = filterlist::generate_lists(world(), rng);
+    filterlist::Engine engine;
+    engine.add_list(filterlist::FilterList("easylist", lists.easylist));
+    engine.add_list(filterlist::FilterList("easyprivacy", lists.easyprivacy));
+    classifier_.emplace(std::move(engine), config_.classifier);
+  }
+  return *classifier_;
+}
+
+const std::vector<classify::Outcome>& Study::outcomes() {
+  if (!outcomes_) outcomes_ = classifier().run(dataset());
+  return *outcomes_;
+}
+
+const std::vector<net::IpAddress>& Study::observed_tracker_ips() {
+  if (!observed_ips_) {
+    std::unordered_set<net::IpAddress> seen;
+    const auto& data = dataset();
+    const auto& results = outcomes();
+    for (std::size_t i = 0; i < data.requests.size(); ++i) {
+      if (classify::is_tracking(results[i].method)) {
+        seen.insert(data.requests[i].server_ip);
+      }
+    }
+    observed_ips_.emplace(seen.begin(), seen.end());
+    std::sort(observed_ips_->begin(), observed_ips_->end());
+  }
+  return *observed_ips_;
+}
+
+const std::vector<net::IpAddress>& Study::completed_tracker_ips() {
+  if (!completed_ips_) {
+    // Start from the users' observations, then ask pDNS for every other
+    // IP that served the same tracking registrable domains (forward
+    // completion, §3.3).
+    std::unordered_set<net::IpAddress> ips(observed_tracker_ips().begin(),
+                                           observed_tracker_ips().end());
+    const auto& store = pdns_store();
+    std::unordered_set<std::string> tracking_registrables;
+    const auto& data = dataset();
+    const auto& results = outcomes();
+    for (std::size_t i = 0; i < data.requests.size(); ++i) {
+      if (!classify::is_tracking(results[i].method)) continue;
+      tracking_registrables.insert(
+          world().domain(data.requests[i].domain).registrable);
+    }
+    for (const auto& registrable : tracking_registrables) {
+      for (const auto& ip : store.ips_of_registrable(registrable)) ips.insert(ip);
+    }
+    completed_ips_.emplace(ips.begin(), ips.end());
+    std::sort(completed_ips_->begin(), completed_ips_->end());
+  }
+  return *completed_ips_;
+}
+
+const geoloc::GeoService& Study::geo() {
+  if (!geo_) {
+    auto mesh_rng = stage_rng(0x3E0);
+    mesh_.emplace(config_.mesh, mesh_rng);
+    auto db_rng = stage_rng(0x3E1);
+    auto maxmind = geoloc::build_maxmind_like(world(), config_.commercial, db_rng);
+    auto ipapi = geoloc::build_ipapi_like(world(), maxmind, 0.93, db_rng);
+    geo_.emplace(world(), std::move(maxmind), std::move(ipapi), *mesh_,
+                 config_.active, config_.world.seed ^ 0xAC7173ULL);
+  }
+  return *geo_;
+}
+
+const std::vector<analysis::Flow>& Study::flows() {
+  if (!flows_) flows_ = analysis::tracking_flows(world(), dataset(), outcomes());
+  return *flows_;
+}
+
+analysis::FlowAnalyzer Study::analyzer(geoloc::Tool tool) {
+  return analysis::FlowAnalyzer(geo(), tool);
+}
+
+const whatif::LocalizationStudy& Study::localization() {
+  if (!localization_) {
+    localization_.emplace(world(), geo(), geoloc::Tool::ActiveIpmap);
+    localization_->load(dataset(), outcomes());
+  }
+  return *localization_;
+}
+
+const sensitive::Catalog& Study::sensitive_catalog() {
+  if (!sensitive_) {
+    auto rng = stage_rng(0x5E45);
+    sensitive_ = sensitive::detect_sensitive_publishers(world(), config_.sensitive, rng);
+  }
+  return *sensitive_;
+}
+
+Study::IspRun Study::run_isp_snapshot(const netflow::IspProfile& isp,
+                                      const netflow::Snapshot& snapshot) {
+  // The join list is the pipeline's completed tracker IP set, windowed to
+  // the snapshot day by the pDNS validity of each (tracking domain, IP)
+  // pair — never the whole store, which also holds clean-service records.
+  (void)completed_tracker_ips();
+  const auto& store = pdns_store();
+  netflow::TrackerIpIndex index;
+  std::unordered_set<std::string> tracking_registrables;
+  const auto& data = dataset();
+  const auto& results = outcomes();
+  for (std::size_t i = 0; i < data.requests.size(); ++i) {
+    if (!classify::is_tracking(results[i].method)) continue;
+    tracking_registrables.insert(world().domain(data.requests[i].domain).registrable);
+  }
+  for (const auto& registrable : tracking_registrables) {
+    for (const auto& ip : store.ips_of_registrable_at(registrable, snapshot.day)) {
+      index.add(ip);
+    }
+  }
+
+  std::uint64_t label = 0x15B0 ^ util::mix64(static_cast<std::uint64_t>(snapshot.day));
+  for (const char c : isp.name) label = util::mix64(label ^ static_cast<std::uint64_t>(c));
+  auto rng = stage_rng(label);
+  const auto exported = netflow::generate_snapshot(world(), resolver(), isp, snapshot,
+                                                   config_.netflow, rng);
+  IspRun run;
+  run.exported_records = exported.records.size();
+  run.collection = netflow::collect(exported.records, index, isp);
+  run.flows = run.collection.flows(std::string(isp.country));
+  return run;
+}
+
+}  // namespace cbwt::core

@@ -1,0 +1,123 @@
+// The Study facade: one object that wires the whole measurement pipeline
+// the way the paper ran it —
+//
+//   build world -> recruit users & collect extension dataset (feeding
+//   pDNS) -> background pDNS replication -> classify tracking flows ->
+//   complete tracker IP set -> geolocate (3 tools) -> analyze border
+//   crossing -> what-if localization -> sensitive categories -> ISP
+//   NetFlow scale-up.
+//
+// Every stage is lazy and memoized; benches and examples ask for exactly
+// the stages they need. A Study is deterministic in its config.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analysis/flows.h"
+#include "browser/extension.h"
+#include "classify/classifier.h"
+#include "dns/resolver.h"
+#include "filterlist/generate.h"
+#include "geoloc/service.h"
+#include "netflow/collector.h"
+#include "netflow/generator.h"
+#include "pdns/replication.h"
+#include "sensitive/detection.h"
+#include "whatif/localization.h"
+#include "world/world.h"
+
+namespace cbwt::core {
+
+struct StudyConfig {
+  world::WorldConfig world;
+  browser::CollectorConfig collector;
+  pdns::ReplicationConfig replication;
+  classify::ClassifierConfig classifier;
+  geoloc::MeshConfig mesh;
+  geoloc::ActiveGeolocatorOptions active;
+  geoloc::CommercialDbOptions commercial;
+  dns::ResolverOptions resolver;
+  netflow::GeneratorConfig netflow;
+  sensitive::DetectionConfig sensitive;
+};
+
+class Study {
+ public:
+  explicit Study(StudyConfig config = {});
+  ~Study();
+  Study(const Study&) = delete;
+  Study& operator=(const Study&) = delete;
+
+  [[nodiscard]] const StudyConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const world::World& world();
+  [[nodiscard]] const dns::Resolver& resolver();
+
+  /// The recruited users' collected dataset (collection feeds pDNS).
+  [[nodiscard]] const browser::ExtensionDataset& dataset();
+
+  /// pDNS store after extension feeding + background replication.
+  [[nodiscard]] const pdns::Store& pdns_store();
+
+  /// Per-request classification outcomes (parallel to dataset()).
+  [[nodiscard]] const std::vector<classify::Outcome>& outcomes();
+  [[nodiscard]] const classify::Classifier& classifier();
+
+  /// Distinct tracker IPs observed by the users' browsers on classified
+  /// tracking flows.
+  [[nodiscard]] const std::vector<net::IpAddress>& observed_tracker_ips();
+
+  /// Tracker IPs after pDNS completion (§3.3): observed plus the
+  /// additional addresses the store knows for the same tracking domains.
+  [[nodiscard]] const std::vector<net::IpAddress>& completed_tracker_ips();
+
+  /// The three-tool geolocation service.
+  [[nodiscard]] const geoloc::GeoService& geo();
+
+  /// Classified tracking flows of the extension dataset.
+  [[nodiscard]] const std::vector<analysis::Flow>& flows();
+
+  /// Flow analyzer bound to a tool (defaults to the active/IPmap tool,
+  /// which the paper establishes as the reliable one).
+  [[nodiscard]] analysis::FlowAnalyzer analyzer(
+      geoloc::Tool tool = geoloc::Tool::ActiveIpmap);
+
+  /// Localization what-if study loaded with the EU28 tracking flows.
+  [[nodiscard]] const whatif::LocalizationStudy& localization();
+
+  /// Sensitive-category catalog over the visited publishers.
+  [[nodiscard]] const sensitive::Catalog& sensitive_catalog();
+
+  /// One ISP-day NetFlow run: generate, collect, and match against the
+  /// completed tracker IP list valid on that day.
+  struct IspRun {
+    netflow::CollectionResult collection;
+    std::vector<analysis::Flow> flows;
+    std::uint64_t exported_records = 0;
+  };
+  [[nodiscard]] IspRun run_isp_snapshot(const netflow::IspProfile& isp,
+                                        const netflow::Snapshot& snapshot);
+
+ private:
+  [[nodiscard]] util::Rng stage_rng(std::uint64_t label) const;
+
+  StudyConfig config_;
+
+  std::optional<world::World> world_;
+  std::optional<dns::Resolver> resolver_;
+  std::optional<browser::ExtensionDataset> dataset_;
+  std::optional<pdns::Store> pdns_;
+  bool pdns_replicated_ = false;
+  std::optional<classify::Classifier> classifier_;
+  std::optional<std::vector<classify::Outcome>> outcomes_;
+  std::optional<std::vector<net::IpAddress>> observed_ips_;
+  std::optional<std::vector<net::IpAddress>> completed_ips_;
+  std::optional<geoloc::ProbeMesh> mesh_;
+  std::optional<geoloc::GeoService> geo_;
+  std::optional<std::vector<analysis::Flow>> flows_;
+  std::optional<whatif::LocalizationStudy> localization_;
+  std::optional<sensitive::Catalog> sensitive_;
+};
+
+}  // namespace cbwt::core

@@ -1,0 +1,163 @@
+#include "dns/resolver.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "geo/country.h"
+
+namespace cbwt::dns {
+
+namespace {
+
+/// Public-resolver anycast sites (Google-DNS/Quad9-style): queries from
+/// third-party-resolver clients effectively originate here.
+struct AnycastSite {
+  std::string_view country;
+  geo::LatLon location;
+};
+constexpr std::array<AnycastSite, 4> kAnycastSites = {{
+    {"NL", {52.4, 4.9}},    // Amsterdam
+    {"US", {39.0, -77.5}},  // Ashburn
+    {"SG", {1.3, 103.8}},   // Singapore
+    {"BR", {-23.5, -46.6}}, // Sao Paulo
+}};
+
+}  // namespace
+
+Resolver::Resolver(const world::World& world, ResolverOptions options)
+    : world_(&world), options_(options) {}
+
+QueryOrigin Resolver::origin_for(std::string_view country,
+                                 bool third_party_resolver) const {
+  const geo::Country* home = geo::find_country(country);
+  if (home == nullptr) throw std::invalid_argument("unknown country code");
+  QueryOrigin origin;
+  origin.client_country = std::string(country);
+  origin.via_third_party = third_party_resolver;
+  if (!third_party_resolver) {
+    origin.effective_location = home->centroid;
+    return origin;
+  }
+  if (options_.ecs_adoption >= 1.0) {
+    // Full EDNS-Client-Subnet deployment: the authoritative DNS sees the
+    // client's own network even through the public resolver.
+    origin.effective_location = home->centroid;
+    return origin;
+  }
+  // Anycast routes the client to the nearest public-resolver site; the
+  // authoritative side then only sees that site (no ECS).
+  double best = 1e18;
+  for (const auto& site : kAnycastSites) {
+    const double d = geo::distance_km(home->centroid, site.location);
+    if (d < best) {
+      best = d;
+      origin.effective_location = site.location;
+    }
+  }
+  return origin;
+}
+
+Resolution Resolver::resolve(world::DomainId domain, const QueryOrigin& origin,
+                             util::Rng& rng) const {
+  const auto& dom = world_->domain(domain);
+  if (dom.servers.empty()) throw std::logic_error("domain without deployments");
+  const auto& org = world_->org(dom.org);
+
+  // Partial ECS adoption: some queries through a public resolver still
+  // reach the authoritative side with the client's subnet attached.
+  QueryOrigin effective = origin;
+  if (origin.via_third_party && options_.ecs_adoption > 0.0 &&
+      options_.ecs_adoption < 1.0 && rng.chance(options_.ecs_adoption)) {
+    if (const geo::Country* home = geo::find_country(origin.client_country)) {
+      effective.effective_location = home->centroid;
+    }
+  }
+
+  std::size_t chosen = 0;
+  switch (org.dns_policy) {
+    case world::DnsPolicy::RandomPop: {
+      chosen = static_cast<std::size_t>(rng.next_below(dom.servers.size()));
+      break;
+    }
+    case world::DnsPolicy::HqOnly: {
+      // Prefer servers at the HQ; fall back to anything.
+      std::vector<double> weights(dom.servers.size(), 0.0);
+      bool any = false;
+      for (std::size_t i = 0; i < dom.servers.size(); ++i) {
+        const auto& server = world_->server(dom.servers[i]);
+        if (world_->datacenter(server.datacenter).country == org.hq_country) {
+          weights[i] = 1.0;
+          any = true;
+        }
+      }
+      if (!any) {
+        for (auto& w : weights) w = 1.0;
+      }
+      chosen = util::sample_discrete(rng, weights);
+      break;
+    }
+    case world::DnsPolicy::NearestPop: {
+      // Two-level selection, the way geo-DNS load balancers work: pick a
+      // *site* among the `serving_radius` nearest distinct datacenters
+      // (latency-weighted, soft), then a server within the site.
+      struct Site {
+        world::DatacenterId dc;
+        double delay = 0.0;
+        bool exchange_only = true;
+        std::vector<std::size_t> member_indices;
+      };
+      std::vector<Site> sites;
+      for (std::size_t i = 0; i < dom.servers.size(); ++i) {
+        const auto& server = world_->server(dom.servers[i]);
+        auto it = std::find_if(sites.begin(), sites.end(), [&](const Site& site) {
+          return site.dc == server.datacenter;
+        });
+        if (it == sites.end()) {
+          Site site;
+          site.dc = server.datacenter;
+          site.delay = geo::propagation_delay_ms(
+              effective.effective_location, world_->datacenter(server.datacenter).location);
+          sites.push_back(std::move(site));
+          it = sites.end() - 1;
+        }
+        it->member_indices.push_back(i);
+        if (!server.shared_exchange) it->exchange_only = false;
+      }
+      std::sort(sites.begin(), sites.end(),
+                [](const Site& a, const Site& b) { return a.delay < b.delay; });
+      const std::size_t radius = std::min(options_.serving_radius, sites.size());
+      std::vector<double> site_weights(radius, 0.0);
+      for (std::size_t i = 0; i < radius; ++i) {
+        site_weights[i] =
+            1.0 / std::pow(sites[i].delay + options_.delay_floor_ms, options_.gamma);
+        if (sites[i].exchange_only) site_weights[i] *= options_.exchange_damping;
+      }
+      const Site& picked = sites[util::sample_discrete(rng, site_weights)];
+      chosen = picked.member_indices[static_cast<std::size_t>(
+          rng.next_below(picked.member_indices.size()))];
+      break;
+    }
+  }
+
+  Resolution result;
+  result.server = dom.servers[chosen];
+  result.ip = world_->server(result.server).ip;
+  result.ttl_s = ttl_for(org);
+  return result;
+}
+
+Resolution Resolver::resolve_from(world::DomainId domain, std::string_view country,
+                                  bool third_party_resolver, util::Rng& rng) const {
+  return resolve(domain, origin_for(country, third_party_resolver), rng);
+}
+
+std::uint32_t ttl_for(const world::Organization& org) noexcept {
+  if (org.popularity > 0.02) return 300;
+  if (org.popularity > 0.005) return 3600;
+  return 7200;
+}
+
+}  // namespace cbwt::dns

@@ -1,0 +1,102 @@
+#include "filterlist/engine.h"
+
+#include "net/domain.h"
+
+namespace cbwt::filterlist {
+
+FilterList::FilterList(std::string name, const std::vector<std::string>& lines)
+    : name_(std::move(name)) {
+  rules_.reserve(lines.size());
+  for (const auto& line : lines) {
+    if (auto rule = parse_rule(line)) {
+      rules_.push_back(std::move(*rule));
+    } else {
+      ++skipped_;
+    }
+  }
+}
+
+std::string Engine::anchor_key(const Rule& rule) {
+  if (rule.anchor != AnchorKind::DomainName || rule.parts.empty()) return {};
+  const std::string& head = rule.parts.front();
+  // The key is the host portion of the first literal: letters, digits,
+  // dots and dashes up to the first separator-ish char.
+  std::string key;
+  for (const char c : head) {
+    const bool host_char = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '.' ||
+                           c == '-';
+    if (!host_char) break;
+    key += c;
+  }
+  // Only index when the whole host was a clean literal and forms at least
+  // a registrable-domain-looking key.
+  if (key.size() < 3 || key.find('.') == std::string::npos) return {};
+  return key;
+}
+
+void Engine::index_rule(const Rule& rule, std::string_view list_name) {
+  if (rule.exception) {
+    exceptions_.push_back({&rule, list_name});
+    return;
+  }
+  const std::string key = anchor_key(rule);
+  if (key.empty()) {
+    scan_rules_.push_back({&rule, list_name});
+  } else {
+    by_anchor_[key].push_back({&rule, list_name});
+  }
+}
+
+void Engine::add_list(FilterList list) {
+  lists_.push_back(std::move(list));
+  // Rebuild the whole index: rule storage is stable from here on, so all
+  // pointers taken now stay valid.
+  by_anchor_.clear();
+  scan_rules_.clear();
+  exceptions_.clear();
+  for (const auto& stored : lists_) {
+    for (const auto& rule : stored.rules()) index_rule(rule, stored.name());
+  }
+}
+
+bool Engine::exception_matches(const RequestContext& request) const {
+  for (const auto& entry : exceptions_) {
+    if (rule_matches(*entry.rule, request)) return true;
+  }
+  return false;
+}
+
+MatchResult Engine::match(const RequestContext& request) const {
+  const auto try_rules = [&](const std::vector<IndexedRule>& rules) -> MatchResult {
+    for (const auto& entry : rules) {
+      if (rule_matches(*entry.rule, request)) {
+        return {true, entry.rule, entry.list};
+      }
+    }
+    return {};
+  };
+
+  MatchResult hit;
+  // Walk host suffixes: "a.b.c.com" probes a.b.c.com, b.c.com, c.com, com.
+  std::string_view host = request.host;
+  while (!hit.matched && !host.empty()) {
+    if (const auto it = by_anchor_.find(std::string(host)); it != by_anchor_.end()) {
+      hit = try_rules(it->second);
+    }
+    const std::size_t dot = host.find('.');
+    if (dot == std::string_view::npos) break;
+    host = host.substr(dot + 1);
+  }
+  if (!hit.matched) hit = try_rules(scan_rules_);
+  if (!hit.matched) return {};
+  if (exception_matches(request)) return {};
+  return hit;
+}
+
+std::size_t Engine::total_rules() const noexcept {
+  std::size_t total = 0;
+  for (const auto& list : lists_) total += list.rule_count();
+  return total;
+}
+
+}  // namespace cbwt::filterlist

@@ -1,0 +1,72 @@
+// Filter-list engine: parses whole lists (easylist / easyprivacy) and
+// matches requests against all of them with exception-rule semantics and
+// a domain-anchor index for speed.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "filterlist/rule.h"
+
+namespace cbwt::filterlist {
+
+/// A named, parsed list.
+class FilterList {
+ public:
+  FilterList(std::string name, const std::vector<std::string>& lines);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Rule>& rules() const noexcept { return rules_; }
+  [[nodiscard]] std::size_t rule_count() const noexcept { return rules_.size(); }
+  [[nodiscard]] std::size_t skipped_lines() const noexcept { return skipped_; }
+
+ private:
+  std::string name_;
+  std::vector<Rule> rules_;
+  std::size_t skipped_ = 0;
+};
+
+/// Result of matching one request against the engine.
+struct MatchResult {
+  bool matched = false;         ///< blocked by some rule, no exception won
+  const Rule* rule = nullptr;   ///< the blocking rule (when matched)
+  std::string_view list;        ///< name of the list the rule came from
+};
+
+/// Multi-list matcher. Blocking rules win unless an exception rule from
+/// any list also matches (ABP semantics).
+class Engine {
+ public:
+  /// Adds a list; the engine keeps its own copy and indexes it.
+  void add_list(FilterList list);
+
+  /// Matches a request; `url` must be lower-case (tracker URLs in this
+  /// model always are).
+  [[nodiscard]] MatchResult match(const RequestContext& request) const;
+
+  [[nodiscard]] std::size_t total_rules() const noexcept;
+
+ private:
+  struct IndexedRule {
+    const Rule* rule;
+    std::string_view list;
+  };
+
+  /// Extracts the pure-hostname head of a domain-anchored rule (the index
+  /// key); empty when the rule cannot be indexed.
+  [[nodiscard]] static std::string anchor_key(const Rule& rule);
+
+  void index_rule(const Rule& rule, std::string_view list_name);
+  [[nodiscard]] bool exception_matches(const RequestContext& request) const;
+
+  std::vector<FilterList> lists_;
+  /// Domain-anchored blocking rules keyed by anchor host.
+  std::unordered_map<std::string, std::vector<IndexedRule>> by_anchor_;
+  /// Blocking rules that need a linear scan.
+  std::vector<IndexedRule> scan_rules_;
+  std::vector<IndexedRule> exceptions_;
+};
+
+}  // namespace cbwt::filterlist

@@ -1,0 +1,56 @@
+#include "filterlist/generate.h"
+
+namespace cbwt::filterlist {
+
+GeneratedLists generate_lists(const world::World& world, util::Rng& rng) {
+  GeneratedLists lists;
+  lists.easylist.push_back("! Title: synthetic easylist (cbwt)");
+  lists.easyprivacy.push_back("! Title: synthetic easyprivacy (cbwt)");
+
+  for (const auto& domain : world.domains()) {
+    const auto& org = world.org(domain.org);
+    if (domain.in_easylist) {
+      // Ad/tracking blocking rules: mostly exact-FQDN anchors, some at
+      // the registrable domain, some path-flavoured.
+      const double roll = rng.next_double();
+      if (roll < 0.55) {
+        lists.easylist.push_back("||" + domain.fqdn + "^$third-party");
+      } else if (roll < 0.80) {
+        lists.easylist.push_back("||" + domain.registrable + "^$third-party");
+      } else {
+        lists.easylist.push_back("||" + domain.fqdn + "^*ad");
+      }
+    }
+    if (domain.in_easyprivacy && org.role == world::OrgRole::Analytics) {
+      if (rng.chance(0.7)) {
+        lists.easyprivacy.push_back("||" + domain.fqdn + "^$third-party");
+      } else {
+        lists.easyprivacy.push_back("||" + domain.registrable + "^");
+      }
+    }
+  }
+
+  // Generic path rules, mirroring easylist's substring section. The
+  // browser's URL shapes make entry ad requests hit these even when the
+  // host rule above was not generated.
+  lists.easylist.push_back("/adserve/");
+  lists.easylist.push_back("/adframe/");
+  lists.easylist.push_back("/banner/*/img^");
+  lists.easylist.push_back("&ad_slot=");
+  lists.easylist.push_back("-ad-unit/");
+  lists.easylist.push_back("|https://ads.$third-party");
+
+  lists.easyprivacy.push_back("/beacon?");
+  lists.easyprivacy.push_back("/collect?");
+  lists.easyprivacy.push_back("/telemetry/");
+  lists.easyprivacy.push_back("/pageview?");
+
+  // A couple of exception rules (acceptable-ads style): they keep the
+  // exception code path honest.
+  lists.easylist.push_back("@@||adserve.example-allowed.com/acceptable/$third-party");
+  lists.easyprivacy.push_back("@@/collect?consent=optout");
+
+  return lists;
+}
+
+}  // namespace cbwt::filterlist

@@ -1,0 +1,25 @@
+// Synthetic easylist / easyprivacy generation from the world model. The
+// lists cover the well-known entry trackers (ad networks in easylist,
+// analytics in easyprivacy) plus generic path rules, while chained
+// DSP/sync endpoints are mostly absent — the deliberate coverage gap the
+// paper's stage-2 classifier exists to close.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/prng.h"
+#include "world/world.h"
+
+namespace cbwt::filterlist {
+
+struct GeneratedLists {
+  std::vector<std::string> easylist;
+  std::vector<std::string> easyprivacy;
+};
+
+/// Emits both lists as raw text lines (comments included) so the parser
+/// path is exercised end to end.
+[[nodiscard]] GeneratedLists generate_lists(const world::World& world, util::Rng& rng);
+
+}  // namespace cbwt::filterlist

@@ -1,0 +1,196 @@
+#include "filterlist/rule.h"
+
+#include "util/strings.h"
+
+namespace cbwt::filterlist {
+
+namespace {
+
+/// Attempts to match one literal (which may contain '^' class chars) at
+/// position `pos`; returns the end position on success. A single '^' at
+/// the end of the literal may also match the end of the URL.
+std::optional<std::size_t> match_literal_at(std::string_view url, std::size_t pos,
+                                            std::string_view literal) {
+  std::size_t cursor = pos;
+  for (std::size_t i = 0; i < literal.size(); ++i) {
+    const char pattern_char = literal[i];
+    if (cursor < url.size()) {
+      const char url_char = url[cursor];
+      const bool ok =
+          pattern_char == '^' ? is_separator_char(url_char) : url_char == pattern_char;
+      if (!ok) return std::nullopt;
+      ++cursor;
+    } else {
+      // URL exhausted: only a trailing '^' may match "end of address".
+      if (pattern_char == '^' && i + 1 == literal.size()) return cursor;
+      return std::nullopt;
+    }
+  }
+  return cursor;
+}
+
+/// Matches all parts in order starting at `pos`. When `first_exact`, the
+/// first part must match exactly at `pos`; otherwise it may float.
+std::optional<std::size_t> match_parts_from(std::string_view url, std::size_t pos,
+                                            const std::vector<std::string>& parts,
+                                            bool first_exact) {
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i == 0 && first_exact) {
+      const auto end = match_literal_at(url, pos, parts[0]);
+      if (!end) return std::nullopt;
+      pos = *end;
+      continue;
+    }
+    bool found = false;
+    for (std::size_t p = pos; p <= url.size(); ++p) {
+      if (const auto end = match_literal_at(url, p, parts[i])) {
+        pos = *end;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;
+  }
+  return pos;
+}
+
+/// True when `host` is `domain` or a subdomain of it.
+bool host_under(std::string_view host, std::string_view domain) {
+  if (host == domain) return true;
+  return host.size() > domain.size() && host.ends_with(domain) &&
+         host[host.size() - domain.size() - 1] == '.';
+}
+
+bool options_allow(const RuleOptions& options, const RequestContext& request) {
+  if (options.third_party && *options.third_party != request.third_party) return false;
+  for (const auto& excluded : options.exclude_domains) {
+    if (host_under(request.page_host, excluded)) return false;
+  }
+  if (!options.include_domains.empty()) {
+    for (const auto& included : options.include_domains) {
+      if (host_under(request.page_host, included)) return true;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Rule> parse_rule(std::string_view line) {
+  std::string_view text = util::trim(line);
+  if (text.empty() || text.front() == '!') return std::nullopt;
+  if (text.find("##") != std::string_view::npos ||
+      text.find("#@#") != std::string_view::npos) {
+    return std::nullopt;  // element hiding: not a network rule
+  }
+
+  Rule rule;
+  rule.text = std::string(text);
+  if (text.starts_with("@@")) {
+    rule.exception = true;
+    text.remove_prefix(2);
+  }
+
+  // Split off the option suffix if present (heuristic: last '$' with no
+  // '/' after it; URLs in patterns keep their '$' otherwise).
+  const std::size_t dollar = text.rfind('$');
+  std::string_view option_text;
+  if (dollar != std::string_view::npos &&
+      text.substr(dollar + 1).find('/') == std::string_view::npos && dollar > 0) {
+    option_text = text.substr(dollar + 1);
+    text = text.substr(0, dollar);
+  }
+  for (const auto raw_option : util::split(option_text, ',')) {
+    const auto option = util::trim(raw_option);
+    if (option.empty()) continue;
+    if (option == "third-party") {
+      rule.options.third_party = true;
+    } else if (option == "~third-party") {
+      rule.options.third_party = false;
+    } else if (option.starts_with("domain=")) {
+      for (const auto entry : util::split(option.substr(7), '|')) {
+        if (entry.empty()) continue;
+        if (entry.front() == '~') {
+          rule.options.exclude_domains.emplace_back(util::to_lower(entry.substr(1)));
+        } else {
+          rule.options.include_domains.emplace_back(util::to_lower(entry));
+        }
+      }
+    }
+    // Resource-type options (script, image, ...) are accepted and ignored:
+    // the model classifies requests, not resource loads.
+  }
+
+  if (text.starts_with("||")) {
+    rule.anchor = AnchorKind::DomainName;
+    text.remove_prefix(2);
+  } else if (text.starts_with("|")) {
+    rule.anchor = AnchorKind::Start;
+    text.remove_prefix(1);
+  }
+  if (text.ends_with("|")) {
+    rule.end_anchor = true;
+    text.remove_suffix(1);
+  }
+  if (text.empty() && rule.anchor == AnchorKind::None && !rule.end_anchor) {
+    return std::nullopt;  // nothing to match on
+  }
+
+  const std::string lowered = util::to_lower(text);
+  for (const auto part : util::split(lowered, '*')) {
+    if (!part.empty()) rule.parts.emplace_back(part);
+  }
+  return rule;
+}
+
+bool rule_matches(const Rule& rule, const RequestContext& request) {
+  if (!options_allow(rule.options, request)) return false;
+  const std::string_view url = request.url;
+
+  const auto finish = [&](std::optional<std::size_t> end) {
+    if (!end) return false;
+    return !rule.end_anchor || *end == url.size();
+  };
+
+  if (rule.parts.empty()) {
+    // Pure-anchor rules ("||", "*"): match anything (subject to options).
+    return !rule.end_anchor || true;
+  }
+
+  switch (rule.anchor) {
+    case AnchorKind::Start:
+      return finish(match_parts_from(url, 0, rule.parts, /*first_exact=*/true));
+    case AnchorKind::DomainName: {
+      // Candidate positions: start of the host, and after each '.' label
+      // boundary inside the host.
+      const std::size_t scheme_end = url.find("://");
+      if (scheme_end == std::string_view::npos) return false;
+      const std::size_t host_start = scheme_end + 3;
+      std::size_t host_end = url.find('/', host_start);
+      if (host_end == std::string_view::npos) host_end = url.size();
+      for (std::size_t pos = host_start; pos < host_end;) {
+        if (finish(match_parts_from(url, pos, rule.parts, /*first_exact=*/true))) {
+          return true;
+        }
+        const std::size_t dot = url.find('.', pos);
+        if (dot == std::string_view::npos || dot >= host_end) break;
+        pos = dot + 1;
+      }
+      return false;
+    }
+    case AnchorKind::None: {
+      for (std::size_t pos = 0; pos <= url.size(); ++pos) {
+        if (match_literal_at(url, pos, rule.parts[0])) {
+          if (finish(match_parts_from(url, pos, rule.parts, /*first_exact=*/true))) {
+            return true;
+          }
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace cbwt::filterlist

@@ -1,0 +1,70 @@
+// AdBlockPlus filter-rule model: the subset of the ABP syntax that
+// easylist / easyprivacy rely on for request blocking — domain-anchored
+// patterns (||host^), start/end anchors, '*' wildcards, the '^'
+// separator class, $third-party and $domain= options, and @@ exception
+// rules. Element-hiding rules (##) are out of scope: they never classify
+// network requests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbwt::filterlist {
+
+enum class AnchorKind : std::uint8_t {
+  None,        ///< plain substring rule
+  Start,       ///< |http://... (match at URL start)
+  DomainName,  ///< ||host... (match at a domain-label boundary)
+};
+
+/// Options parsed from the $-suffix of a rule.
+struct RuleOptions {
+  /// tri-state third-party constraint: unset = both
+  std::optional<bool> third_party;
+  /// $domain= include list (empty = any); entries are lower-case.
+  std::vector<std::string> include_domains;
+  /// $domain= ~excluded page domains.
+  std::vector<std::string> exclude_domains;
+};
+
+/// One parsed filter rule.
+struct Rule {
+  std::string text;             ///< original line (for reporting)
+  bool exception = false;       ///< @@ rule
+  AnchorKind anchor = AnchorKind::None;
+  bool end_anchor = false;      ///< trailing |
+  /// Pattern split on '*': the literals must appear in order. '^' inside
+  /// a literal is the separator class.
+  std::vector<std::string> parts;
+  RuleOptions options;
+};
+
+/// True for characters the ABP '^' separator class matches (anything but
+/// [a-zA-Z0-9] and '_', '-', '.', '%').
+[[nodiscard]] constexpr bool is_separator_char(char c) noexcept {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) {
+    return false;
+  }
+  return c != '_' && c != '-' && c != '.' && c != '%';
+}
+
+/// Parses one filter line. Returns nullopt for comments ('!'), empty
+/// lines, element-hiding rules and unsupported syntax.
+[[nodiscard]] std::optional<Rule> parse_rule(std::string_view line);
+
+/// Request context a rule is evaluated against.
+struct RequestContext {
+  std::string_view url;        ///< full request URL, lower-case expected
+  std::string_view host;       ///< request host
+  std::string_view page_host;  ///< first-party page host
+  bool third_party = true;
+};
+
+/// Evaluates a single rule against a request (ignoring exception-ness;
+/// the engine layers exceptions on top).
+[[nodiscard]] bool rule_matches(const Rule& rule, const RequestContext& request);
+
+}  // namespace cbwt::filterlist

@@ -1,0 +1,155 @@
+#include "geo/country.h"
+
+#include <algorithm>
+#include <array>
+
+namespace cbwt::geo {
+
+namespace {
+
+constexpr Continent EU = Continent::Europe;
+constexpr Continent NA = Continent::NorthAmerica;
+constexpr Continent SA = Continent::SouthAmerica;
+constexpr Continent AS = Continent::Asia;
+constexpr Continent AF = Continent::Africa;
+constexpr Continent OC = Continent::Oceania;
+
+// code, name, continent, EU28, centroid, population (millions),
+// infra density 0..100 (datacenter/hosting proxy), probe share (relative).
+// Infra density is calibrated so that the paper's qualitative ordering
+// holds: NL/DE/IE/GB/FR are European hosting magnets; CY/GR/RO/DK are not.
+constexpr std::array<Country, 60> kCountries = {{
+    {"AR", "Argentina", SA, false, {-34.6, -58.4}, 44.5, 15, 0.004},
+    {"AT", "Austria", EU, true, {48.2, 16.4}, 8.8, 42, 0.020},
+    {"AU", "Australia", OC, false, {-33.9, 151.2}, 24.9, 45, 0.010},
+    {"BE", "Belgium", EU, true, {50.8, 4.4}, 11.4, 45, 0.022},
+    {"BG", "Bulgaria", EU, true, {42.7, 23.3}, 7.0, 12, 0.010},
+    {"BR", "Brazil", SA, false, {-23.5, -46.6}, 209.5, 30, 0.008},
+    {"CA", "Canada", NA, false, {43.7, -79.4}, 37.1, 55, 0.015},
+    {"CH", "Switzerland", EU, false, {47.4, 8.5}, 8.5, 60, 0.025},
+    {"CL", "Chile", SA, false, {-33.4, -70.6}, 18.7, 12, 0.002},
+    {"CN", "China", AS, false, {31.2, 121.5}, 1392.7, 60, 0.004},
+    {"CO", "Colombia", SA, false, {4.7, -74.1}, 49.7, 8, 0.002},
+    {"CY", "Cyprus", EU, true, {35.2, 33.4}, 1.2, 3, 0.003},
+    {"CZ", "Czechia", EU, true, {50.1, 14.4}, 10.6, 30, 0.020},
+    {"DE", "Germany", EU, true, {50.1, 8.7}, 82.9, 85, 0.110},
+    {"DK", "Denmark", EU, true, {55.7, 12.6}, 5.8, 38, 0.018},
+    {"EE", "Estonia", EU, true, {59.4, 24.8}, 1.3, 15, 0.006},
+    {"EG", "Egypt", AF, false, {30.0, 31.2}, 98.4, 8, 0.001},
+    {"ES", "Spain", EU, true, {40.4, -3.7}, 46.7, 50, 0.040},
+    {"FI", "Finland", EU, true, {60.2, 24.9}, 5.5, 35, 0.015},
+    {"FR", "France", EU, true, {48.9, 2.4}, 67.0, 70, 0.070},
+    {"GB", "United Kingdom", EU, true, {51.5, -0.1}, 66.5, 80, 0.085},
+    {"GR", "Greece", EU, true, {38.0, 23.7}, 10.7, 13, 0.012},
+    {"HK", "Hong Kong", AS, false, {22.3, 114.2}, 7.5, 50, 0.002},
+    {"HR", "Croatia", EU, true, {45.8, 16.0}, 4.1, 8, 0.006},
+    {"HU", "Hungary", EU, true, {47.5, 19.0}, 9.8, 20, 0.014},
+    {"IE", "Ireland", EU, true, {53.3, -6.3}, 4.9, 75, 0.014},
+    {"IN", "India", AS, false, {19.1, 72.9}, 1352.6, 25, 0.004},
+    {"IT", "Italy", EU, true, {41.9, 12.5}, 60.4, 45, 0.040},
+    {"JP", "Japan", AS, false, {35.7, 139.7}, 126.5, 70, 0.006},
+    {"KE", "Kenya", AF, false, {-1.3, 36.8}, 51.4, 5, 0.001},
+    {"KR", "South Korea", AS, false, {37.6, 127.0}, 51.6, 50, 0.003},
+    {"LT", "Lithuania", EU, true, {54.7, 25.3}, 2.8, 12, 0.005},
+    {"LU", "Luxembourg", EU, true, {49.6, 6.1}, 0.6, 35, 0.005},
+    {"LV", "Latvia", EU, true, {56.9, 24.1}, 1.9, 10, 0.005},
+    {"MD", "Moldova", EU, false, {47.0, 28.9}, 3.5, 3, 0.002},
+    {"MT", "Malta", EU, true, {35.9, 14.5}, 0.5, 5, 0.002},
+    {"MX", "Mexico", NA, false, {19.4, -99.1}, 126.2, 15, 0.003},
+    {"MY", "Malaysia", AS, false, {3.1, 101.7}, 31.5, 15, 0.002},
+    {"NG", "Nigeria", AF, false, {6.5, 3.4}, 195.9, 5, 0.001},
+    {"NL", "Netherlands", EU, true, {52.4, 4.9}, 17.2, 90, 0.065},
+    {"NO", "Norway", EU, false, {59.9, 10.7}, 5.3, 40, 0.012},
+    {"NZ", "New Zealand", OC, false, {-36.8, 174.8}, 4.9, 15, 0.003},
+    {"PA", "Panama", NA, false, {9.0, -79.5}, 4.2, 3, 0.001},
+    {"PE", "Peru", SA, false, {-12.0, -77.0}, 32.0, 5, 0.001},
+    {"PL", "Poland", EU, true, {52.2, 21.0}, 38.0, 30, 0.030},
+    {"PT", "Portugal", EU, true, {38.7, -9.1}, 10.3, 20, 0.012},
+    {"RO", "Romania", EU, true, {44.4, 26.1}, 19.5, 22, 0.015},
+    {"RS", "Serbia", EU, false, {44.8, 20.5}, 7.0, 8, 0.004},
+    {"RU", "Russia", EU, false, {55.8, 37.6}, 144.5, 35, 0.030},
+    {"SE", "Sweden", EU, true, {59.3, 18.1}, 10.2, 55, 0.025},
+    {"SG", "Singapore", AS, false, {1.3, 103.8}, 5.6, 65, 0.003},
+    {"SI", "Slovenia", EU, true, {46.1, 14.5}, 2.1, 10, 0.005},
+    {"SK", "Slovakia", EU, true, {48.1, 17.1}, 5.4, 15, 0.007},
+    {"TH", "Thailand", AS, false, {13.8, 100.5}, 69.4, 12, 0.002},
+    {"TN", "Tunisia", AF, false, {36.8, 10.2}, 11.6, 4, 0.001},
+    {"TW", "Taiwan", AS, false, {25.0, 121.5}, 23.6, 35, 0.002},
+    {"UA", "Ukraine", EU, false, {50.5, 30.5}, 44.6, 10, 0.008},
+    {"US", "United States", NA, false, {39.0, -77.5}, 327.2, 100, 0.120},
+    {"ZA", "South Africa", AF, false, {-26.2, 28.0}, 57.8, 18, 0.004},
+    {"", "", EU, false, {0, 0}, 0, 0, 0},  // sentinel, not exposed
+}};
+
+constexpr std::size_t kCountryCount = kCountries.size() - 1;
+
+constexpr bool codes_sorted() {
+  for (std::size_t i = 1; i < kCountryCount; ++i) {
+    if (!(kCountries[i - 1].code < kCountries[i].code)) return false;
+  }
+  return true;
+}
+static_assert(codes_sorted(), "country table must stay sorted by code");
+
+}  // namespace
+
+std::string_view to_string(Continent continent) noexcept {
+  switch (continent) {
+    case Continent::Europe: return "Europe";
+    case Continent::NorthAmerica: return "N. America";
+    case Continent::SouthAmerica: return "S. America";
+    case Continent::Asia: return "Asia";
+    case Continent::Africa: return "Africa";
+    case Continent::Oceania: return "Oceania";
+  }
+  return "?";
+}
+
+std::string_view to_string(Region region) noexcept {
+  switch (region) {
+    case Region::EU28: return "EU 28";
+    case Region::RestOfEurope: return "Rest of Europe";
+    case Region::NorthAmerica: return "N. America";
+    case Region::SouthAmerica: return "S. America";
+    case Region::Asia: return "Asia";
+    case Region::Africa: return "Africa";
+    case Region::Oceania: return "Oceania";
+  }
+  return "?";
+}
+
+std::span<const Country> all_countries() noexcept {
+  return {kCountries.data(), kCountryCount};
+}
+
+const Country* find_country(std::string_view code) noexcept {
+  const auto table = all_countries();
+  const auto it = std::lower_bound(
+      table.begin(), table.end(), code,
+      [](const Country& c, std::string_view key) { return c.code < key; });
+  if (it == table.end() || it->code != code) return nullptr;
+  return &*it;
+}
+
+Region region_of(const Country& country) noexcept {
+  if (country.eu28) return Region::EU28;
+  switch (country.continent) {
+    case Continent::Europe: return Region::RestOfEurope;
+    case Continent::NorthAmerica: return Region::NorthAmerica;
+    case Continent::SouthAmerica: return Region::SouthAmerica;
+    case Continent::Asia: return Region::Asia;
+    case Continent::Africa: return Region::Africa;
+    case Continent::Oceania: return Region::Oceania;
+  }
+  return Region::RestOfEurope;
+}
+
+std::optional<Region> region_of_code(std::string_view code) noexcept {
+  const Country* country = find_country(code);
+  if (country == nullptr) return std::nullopt;
+  return region_of(*country);
+}
+
+std::size_t country_count() noexcept { return kCountryCount; }
+
+}  // namespace cbwt::geo

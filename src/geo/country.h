@@ -1,0 +1,69 @@
+// Country registry: ISO-3166-alpha-2 codes, continents, EU28 membership,
+// centroids, and the per-country attributes the synthetic world needs
+// (population weight, IT-infrastructure density, RIPE-Atlas-like probe
+// share). The paper's confinement analysis is keyed on countries and on
+// the region partition {EU28, Rest of Europe, N./S. America, Asia,
+// Africa, Oceania}.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "geo/location.h"
+
+namespace cbwt::geo {
+
+enum class Continent : std::uint8_t {
+  Europe,
+  NorthAmerica,
+  SouthAmerica,
+  Asia,
+  Africa,
+  Oceania,
+};
+
+[[nodiscard]] std::string_view to_string(Continent continent) noexcept;
+
+/// The region partition used throughout the paper's Sankey diagrams:
+/// Europe is split into the GDPR jurisdiction (EU28) and the rest.
+enum class Region : std::uint8_t {
+  EU28,
+  RestOfEurope,
+  NorthAmerica,
+  SouthAmerica,
+  Asia,
+  Africa,
+  Oceania,
+};
+
+[[nodiscard]] std::string_view to_string(Region region) noexcept;
+
+/// Static per-country facts.
+struct Country {
+  std::string_view code;      ///< ISO alpha-2, upper-case ("DE")
+  std::string_view name;      ///< English short name ("Germany")
+  Continent continent;
+  bool eu28;                  ///< member of EU28 as of 2018 (incl. UK)
+  LatLon centroid;            ///< representative point for delay modelling
+  double population_m;        ///< population in millions (user-base weight)
+  double infra_density;       ///< relative datacenter/hosting density, 0..100
+  double probe_share;         ///< share of the active-measurement probe mesh
+};
+
+/// All countries in the registry, ordered by code.
+[[nodiscard]] std::span<const Country> all_countries() noexcept;
+
+/// Lookup by ISO code; nullptr when unknown.
+[[nodiscard]] const Country* find_country(std::string_view code) noexcept;
+
+/// Region of a country (EU28 flag wins over plain continent).
+[[nodiscard]] Region region_of(const Country& country) noexcept;
+[[nodiscard]] std::optional<Region> region_of_code(std::string_view code) noexcept;
+
+/// Number of countries in the registry (compile-time-ish constant).
+[[nodiscard]] std::size_t country_count() noexcept;
+
+}  // namespace cbwt::geo

@@ -1,0 +1,32 @@
+#include "geo/location.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace cbwt::geo {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+// Speed of light in fibre (2/3 of c), in km per millisecond.
+constexpr double kFibreSpeedKmPerMs = 299.792458 * 2.0 / 3.0;
+
+double radians(double degrees) noexcept { return degrees * std::numbers::pi / 180.0; }
+}  // namespace
+
+double distance_km(const LatLon& a, const LatLon& b) noexcept {
+  const double phi1 = radians(a.lat);
+  const double phi2 = radians(b.lat);
+  const double dphi = radians(b.lat - a.lat);
+  const double dlambda = radians(b.lon - a.lon);
+  const double sin_dphi = std::sin(dphi / 2.0);
+  const double sin_dlambda = std::sin(dlambda / 2.0);
+  const double h =
+      sin_dphi * sin_dphi + std::cos(phi1) * std::cos(phi2) * sin_dlambda * sin_dlambda;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double propagation_delay_ms(const LatLon& a, const LatLon& b, double path_stretch) noexcept {
+  return distance_km(a, b) * path_stretch / kFibreSpeedKmPerMs;
+}
+
+}  // namespace cbwt::geo

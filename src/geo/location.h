@@ -1,0 +1,27 @@
+// Geographic primitives: latitude/longitude pairs and great-circle
+// distance. The active-geolocation RTT model and the geo-DNS policies
+// both run on these.
+#pragma once
+
+#include <compare>
+
+namespace cbwt::geo {
+
+/// A point on the globe in decimal degrees.
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+
+  friend constexpr auto operator<=>(const LatLon&, const LatLon&) noexcept = default;
+};
+
+/// Great-circle (haversine) distance in kilometres.
+[[nodiscard]] double distance_km(const LatLon& a, const LatLon& b) noexcept;
+
+/// One-way propagation delay in milliseconds for light in fibre
+/// (~2/3 c) along the great circle, with a path-stretch factor to model
+/// that real routes are not geodesics.
+[[nodiscard]] double propagation_delay_ms(const LatLon& a, const LatLon& b,
+                                          double path_stretch = 1.6) noexcept;
+
+}  // namespace cbwt::geo

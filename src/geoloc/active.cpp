@@ -1,0 +1,117 @@
+#include "geoloc/active.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace cbwt::geoloc {
+
+ProbeMesh::ProbeMesh(MeshConfig config, util::Rng& rng) {
+  const auto countries = geo::all_countries();
+  std::vector<double> weights;
+  weights.reserve(countries.size());
+  for (const auto& country : countries) weights.push_back(country.probe_share);
+  probes_.reserve(config.probes);
+  for (std::uint32_t i = 0; i < config.probes; ++i) {
+    const auto& country = countries[util::sample_discrete(rng, weights)];
+    Probe probe;
+    probe.country = std::string(country.code);
+    // Probes scatter around the population centroid; the scatter must
+    // stay inside national scale or small-country probes leak abroad.
+    probe.location = {country.centroid.lat + rng.next_double_in(-0.7, 0.7),
+                      country.centroid.lon + rng.next_double_in(-0.9, 0.9)};
+    probes_.push_back(std::move(probe));
+  }
+}
+
+std::size_t ProbeMesh::count_in(std::string_view country) const {
+  return static_cast<std::size_t>(
+      std::count_if(probes_.begin(), probes_.end(),
+                    [&](const Probe& probe) { return probe.country == country; }));
+}
+
+ActiveGeolocator::ActiveGeolocator(const world::World& world, const ProbeMesh& mesh,
+                                   ActiveGeolocatorOptions options)
+    : world_(&world), mesh_(&mesh), options_(options) {}
+
+double ActiveGeolocator::measure_rtt(const Probe& probe, const geo::LatLon& target,
+                                     util::Rng& rng) const {
+  const double propagation = 2.0 * geo::propagation_delay_ms(probe.location, target);
+  const double last_mile =
+      rng.next_double_in(options_.last_mile_ms_min, options_.last_mile_ms_max);
+  const double queueing = rng.next_exponential(options_.queue_noise_rate);
+  return propagation + last_mile + queueing;
+}
+
+GeoEstimate ActiveGeolocator::locate(const net::IpAddress& ip, util::Rng& rng) const {
+  const world::Server* server = world_->find_server(ip);
+  if (server == nullptr) return {};
+  const auto& dc = world_->datacenter(server->datacenter);
+
+  // Two measurement rounds, as the IPmap engine runs them: a worldwide
+  // scouting panel first, then a panel concentrated around the scouting
+  // round's lowest-RTT probe.
+  const auto& probes = mesh_->probes();
+  const std::size_t panel_size =
+      std::min<std::size_t>(options_.probes_per_measurement, probes.size());
+  const std::size_t scout_size = panel_size / 3;
+  struct Sample {
+    double rtt;
+    const Probe* probe;
+  };
+  std::vector<Sample> samples;
+  samples.reserve(panel_size);
+  for (std::size_t i = 0; i < scout_size; ++i) {
+    const auto& probe = probes[static_cast<std::size_t>(rng.next_below(probes.size()))];
+    samples.push_back({measure_rtt(probe, dc.location, rng), &probe});
+  }
+  const auto best_scout =
+      std::min_element(samples.begin(), samples.end(),
+                       [](const Sample& a, const Sample& b) { return a.rtt < b.rtt; });
+  const geo::LatLon focus = best_scout->probe->location;
+  // Refinement round: sample probes with weight falling off in distance
+  // from the scouting winner, so the local neighbourhood is represented.
+  std::vector<double> refine_weights(probes.size());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const double km = geo::distance_km(probes[i].location, focus);
+    refine_weights[i] = 1.0 / ((km + 50.0) * (km + 50.0));
+  }
+  for (std::size_t i = scout_size; i < panel_size; ++i) {
+    const auto& probe = probes[util::sample_discrete(rng, refine_weights)];
+    samples.push_back({measure_rtt(probe, dc.location, rng), &probe});
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) { return a.rtt < b.rtt; });
+
+  // The lowest-RTT probes vote with their own country; votes fall off
+  // steeply with RTT so near probes dominate (delay-based location).
+  const std::size_t voters = std::min<std::size_t>(options_.voters, samples.size());
+  std::map<std::string, double> votes;
+  std::map<std::string, std::size_t> headcount;
+  for (std::size_t i = 0; i < voters; ++i) {
+    const double weight =
+        1.0 / std::pow(std::max(samples[i].rtt, 0.1), options_.vote_falloff);
+    votes[samples[i].probe->country] += weight;
+    ++headcount[samples[i].probe->country];
+  }
+
+  GeoEstimate estimate;
+  double best = 0.0;
+  for (const auto& [country, weight] : votes) {
+    if (weight > best) {
+      best = weight;
+      estimate.country = country;
+    }
+  }
+  estimate.country_agreement =
+      voters == 0 ? 0.0
+                  : static_cast<double>(headcount[estimate.country]) /
+                        static_cast<double>(voters);
+  estimate.min_rtt_ms = samples.empty() ? 0.0 : samples.front().rtt;
+  if (const geo::Country* country = geo::find_country(estimate.country)) {
+    estimate.continent = country->continent;
+  }
+  return estimate;
+}
+
+}  // namespace cbwt::geoloc

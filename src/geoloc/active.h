@@ -1,0 +1,83 @@
+// Active (RIPE-IPmap-style) geolocation: a global probe mesh measures
+// RTT to the target; the lowest-RTT probes vote on the target's country
+// and a majority decides. The mesh is Europe-dense like RIPE Atlas
+// (5K+ of 11K probes in Europe), which is what makes the method reliable
+// at country granularity for European infrastructure (§3.4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/country.h"
+#include "geo/location.h"
+#include "net/ip.h"
+#include "util/prng.h"
+#include "world/world.h"
+
+namespace cbwt::geoloc {
+
+struct Probe {
+  std::string country;
+  geo::LatLon location;
+};
+
+struct MeshConfig {
+  std::uint32_t probes = 1100;  ///< scaled-down RIPE Atlas (11K in paper)
+};
+
+/// A deployed probe mesh (built once per study).
+class ProbeMesh {
+ public:
+  ProbeMesh(MeshConfig config, util::Rng& rng);
+
+  [[nodiscard]] const std::vector<Probe>& probes() const noexcept { return probes_; }
+  /// Number of probes in a given country.
+  [[nodiscard]] std::size_t count_in(std::string_view country) const;
+
+ private:
+  std::vector<Probe> probes_;
+};
+
+/// One geolocation verdict.
+struct GeoEstimate {
+  std::string country;          ///< majority country (empty = unlocatable)
+  geo::Continent continent = geo::Continent::Europe;
+  double country_agreement = 0; ///< share of voters backing the winner
+  double min_rtt_ms = 0;
+};
+
+struct ActiveGeolocatorOptions {
+  std::uint32_t probes_per_measurement = 100;  ///< paper: >100 probes per IP
+  std::uint32_t voters = 12;                   ///< lowest-RTT probes that vote
+  /// Probe-side access latency (min over repeated pings keeps this low).
+  double last_mile_ms_min = 0.5;
+  double last_mile_ms_max = 3.0;
+  double queue_noise_rate = 2.0;               ///< exp-distributed queueing
+  /// Votes are weighted by rtt^-vote_falloff: the probes closest to the
+  /// target dominate, as in delay-based multilateration.
+  double vote_falloff = 4.0;
+};
+
+/// Measurement-driven geolocator over a World (the World provides the
+/// hidden ground truth that RTTs are synthesized from; the estimator
+/// itself never reads the true country).
+class ActiveGeolocator {
+ public:
+  ActiveGeolocator(const world::World& world, const ProbeMesh& mesh,
+                   ActiveGeolocatorOptions options = {});
+
+  /// Locates a server IP. Unknown IPs (not in the world) return an empty
+  /// estimate. Deterministic given the Rng.
+  [[nodiscard]] GeoEstimate locate(const net::IpAddress& ip, util::Rng& rng) const;
+
+ private:
+  [[nodiscard]] double measure_rtt(const Probe& probe, const geo::LatLon& target,
+                                   util::Rng& rng) const;
+
+  const world::World* world_;
+  const ProbeMesh* mesh_;
+  ActiveGeolocatorOptions options_;
+};
+
+}  // namespace cbwt::geoloc

@@ -1,0 +1,81 @@
+#include "geoloc/commercial.h"
+
+#include "geo/country.h"
+
+namespace cbwt::geoloc {
+
+namespace {
+
+std::string random_country(util::Rng& rng) {
+  const auto countries = geo::all_countries();
+  return std::string(
+      countries[static_cast<std::size_t>(rng.next_below(countries.size()))].code);
+}
+
+unsigned host_prefix_length(const net::IpAddress& ip) {
+  return ip.is_v4() ? 32U : 128U;
+}
+
+}  // namespace
+
+void CommercialDb::add_ip(const net::IpAddress& ip, std::string country) {
+  trie_.insert(net::IpPrefix{ip, host_prefix_length(ip)}, std::move(country));
+}
+
+void CommercialDb::add_prefix(const net::IpPrefix& prefix, std::string country) {
+  trie_.insert(prefix, std::move(country));
+}
+
+std::optional<std::string> CommercialDb::locate(const net::IpAddress& ip) const {
+  const std::string* hit = trie_.lookup(ip);
+  if (hit == nullptr) return std::nullopt;
+  return *hit;
+}
+
+CommercialDb build_maxmind_like(const world::World& world,
+                                const CommercialDbOptions& options, util::Rng& rng) {
+  CommercialDb db;
+  for (const auto& server : world.servers()) {
+    const auto& org = world.org(server.org);
+    const std::string truth = world.datacenter(server.datacenter).country;
+    std::string reported;
+    if (rng.chance(options.noise)) {
+      reported = random_country(rng);
+    } else if (rng.chance(options.hq_bias)) {
+      reported = org.hq_country;
+    } else {
+      reported = truth;
+    }
+    db.add_ip(server.ip, std::move(reported));
+  }
+  // Eyeball space: accurate per-country blocks — this is the market these
+  // databases optimize for.
+  for (const auto& [country, prefix] : world.addresses().eyeball_blocks()) {
+    db.add_prefix(prefix, country);
+  }
+  return db;
+}
+
+CommercialDb build_ipapi_like(const world::World& world, const CommercialDb& maxmind_like,
+                              double copy_probability, util::Rng& rng) {
+  CommercialDb db;
+  for (const auto& server : world.servers()) {
+    const auto& org = world.org(server.org);
+    const auto sibling = maxmind_like.locate(server.ip);
+    std::string reported;
+    if (sibling && rng.chance(copy_probability)) {
+      reported = *sibling;  // same upstream sources -> same answer
+    } else if (rng.chance(0.7)) {
+      reported = org.hq_country;
+    } else {
+      reported = world.datacenter(server.datacenter).country;
+    }
+    db.add_ip(server.ip, std::move(reported));
+  }
+  for (const auto& [country, prefix] : world.addresses().eyeball_blocks()) {
+    db.add_prefix(prefix, country);
+  }
+  return db;
+}
+
+}  // namespace cbwt::geoloc

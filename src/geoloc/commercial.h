@@ -1,0 +1,57 @@
+// Commercial geolocation-database emulators (MaxMind-like, IP-API-like).
+// Their documented failure mode for infrastructure is modelled directly:
+// server IPs are filed under the *legal entity's* home country (Google's
+// Frankfurt edge shows up in Mountain View), while end-user (eyeball)
+// space is accurate — that is what these databases are sold for (§3.4).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/ip.h"
+#include "net/prefix_trie.h"
+#include "util/prng.h"
+#include "world/world.h"
+
+namespace cbwt::geoloc {
+
+/// A database snapshot: IP -> ISO country code.
+class CommercialDb {
+ public:
+  CommercialDb() = default;
+
+  /// Registers an exact address entry.
+  void add_ip(const net::IpAddress& ip, std::string country);
+  /// Registers a covering prefix entry (eyeball blocks).
+  void add_prefix(const net::IpPrefix& prefix, std::string country);
+
+  /// Longest-prefix lookup; nullopt for unmapped space.
+  [[nodiscard]] std::optional<std::string> locate(const net::IpAddress& ip) const;
+
+  [[nodiscard]] std::size_t entries() const noexcept { return trie_.size(); }
+
+ private:
+  net::PrefixTrie<std::string> trie_;
+};
+
+struct CommercialDbOptions {
+  /// Probability an infrastructure IP is filed at the operator's HQ.
+  double hq_bias = 0.82;
+  /// Probability of outright garbage (random country) on infra IPs.
+  double noise = 0.03;
+};
+
+/// Builds the MaxMind-like snapshot from the world: every server IP is
+/// entered (HQ-biased), every eyeball block accurately.
+[[nodiscard]] CommercialDb build_maxmind_like(const world::World& world,
+                                              const CommercialDbOptions& options,
+                                              util::Rng& rng);
+
+/// Builds the IP-API-like snapshot as a high-agreement sibling of a
+/// MaxMind-like one: it copies most entries and independently errs on
+/// the rest (the paper measures 96%+ country agreement between the two).
+[[nodiscard]] CommercialDb build_ipapi_like(const world::World& world,
+                                            const CommercialDb& maxmind_like,
+                                            double copy_probability, util::Rng& rng);
+
+}  // namespace cbwt::geoloc

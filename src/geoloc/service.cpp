@@ -1,0 +1,82 @@
+#include "geoloc/service.h"
+
+namespace cbwt::geoloc {
+
+std::string_view to_string(Tool tool) noexcept {
+  switch (tool) {
+    case Tool::GroundTruth: return "ground-truth";
+    case Tool::MaxMindLike: return "maxmind-like";
+    case Tool::IpApiLike: return "ip-api-like";
+    case Tool::ActiveIpmap: return "ipmap-like";
+    case Tool::LegalEntity: return "legal-entity";
+  }
+  return "?";
+}
+
+GeoService::GeoService(const world::World& world, CommercialDb maxmind_like,
+                       CommercialDb ipapi_like, const ProbeMesh& mesh,
+                       ActiveGeolocatorOptions active_options,
+                       std::uint64_t measurement_seed)
+    : world_(&world), maxmind_like_(std::move(maxmind_like)),
+      ipapi_like_(std::move(ipapi_like)), active_(world, mesh, active_options),
+      measurement_rng_(measurement_seed) {}
+
+std::string GeoService::locate(const net::IpAddress& ip, Tool tool) const {
+  switch (tool) {
+    case Tool::GroundTruth:
+      return world_->true_country_of(ip);
+    case Tool::MaxMindLike:
+      return maxmind_like_.locate(ip).value_or(std::string{});
+    case Tool::IpApiLike:
+      return ipapi_like_.locate(ip).value_or(std::string{});
+    case Tool::ActiveIpmap: {
+      if (const auto it = active_cache_.find(ip); it != active_cache_.end()) {
+        return it->second;
+      }
+      const auto estimate = active_.locate(ip, measurement_rng_);
+      active_cache_.emplace(ip, estimate.country);
+      return estimate.country;
+    }
+    case Tool::LegalEntity: {
+      const world::Server* server = world_->find_server(ip);
+      if (server == nullptr) return {};
+      return world_->org(server->org).hq_country;
+    }
+  }
+  return {};
+}
+
+std::optional<geo::Continent> GeoService::continent(const net::IpAddress& ip,
+                                                    Tool tool) const {
+  const auto code = locate(ip, tool);
+  const geo::Country* country = geo::find_country(code);
+  if (country == nullptr) return std::nullopt;
+  return country->continent;
+}
+
+std::optional<geo::Region> GeoService::region(const net::IpAddress& ip, Tool tool) const {
+  const auto code = locate(ip, tool);
+  return geo::region_of_code(code);
+}
+
+Agreement pairwise_agreement(const GeoService& service,
+                             const std::vector<net::IpAddress>& ips, Tool a, Tool b) {
+  Agreement agreement;
+  if (ips.empty()) return agreement;
+  std::size_t same_country = 0;
+  std::size_t same_continent = 0;
+  for (const auto& ip : ips) {
+    const auto country_a = service.locate(ip, a);
+    const auto country_b = service.locate(ip, b);
+    if (!country_a.empty() && country_a == country_b) ++same_country;
+    const auto continent_a = service.continent(ip, a);
+    const auto continent_b = service.continent(ip, b);
+    if (continent_a && continent_b && *continent_a == *continent_b) ++same_continent;
+  }
+  agreement.country = static_cast<double>(same_country) / static_cast<double>(ips.size());
+  agreement.continent =
+      static_cast<double>(same_continent) / static_cast<double>(ips.size());
+  return agreement;
+}
+
+}  // namespace cbwt::geoloc

@@ -1,0 +1,80 @@
+// Unified geolocation front-end over the three tools the paper compares
+// (MaxMind-like, IP-API-like, IPmap-like active measurement) plus the
+// hidden ground truth, with memoized active measurements and the
+// pairwise-agreement computation behind Table 3.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geoloc/active.h"
+#include "geoloc/commercial.h"
+
+namespace cbwt::geoloc {
+
+enum class Tool : std::uint8_t {
+  GroundTruth,   ///< the world's real server placement (validation only)
+  MaxMindLike,
+  IpApiLike,
+  ActiveIpmap,
+  LegalEntity,   ///< WHOIS-style: the operator's registered home country
+                 ///< (what several related works call "geolocation",
+                 ///< Table 9) — correct for liability, useless for routing
+};
+
+[[nodiscard]] std::string_view to_string(Tool tool) noexcept;
+
+/// One-stop lookup: country (ISO code) per IP per tool. Active
+/// measurements are lazy and cached (the paper also measures each IP
+/// once and reuses the result).
+class GeoService {
+ public:
+  GeoService(const world::World& world, CommercialDb maxmind_like, CommercialDb ipapi_like,
+             const ProbeMesh& mesh, ActiveGeolocatorOptions active_options,
+             std::uint64_t measurement_seed);
+
+  /// Country code for `ip` under `tool`; empty string when unlocatable.
+  [[nodiscard]] std::string locate(const net::IpAddress& ip, Tool tool) const;
+
+  /// Continent/region helpers driven by locate().
+  [[nodiscard]] std::optional<geo::Continent> continent(const net::IpAddress& ip,
+                                                        Tool tool) const;
+  [[nodiscard]] std::optional<geo::Region> region(const net::IpAddress& ip,
+                                                  Tool tool) const;
+
+  [[nodiscard]] const world::World& world() const noexcept { return *world_; }
+
+ private:
+  const world::World* world_;
+  CommercialDb maxmind_like_;
+  CommercialDb ipapi_like_;
+  ActiveGeolocator active_;
+  mutable util::Rng measurement_rng_;
+  mutable std::unordered_map<net::IpAddress, std::string> active_cache_;
+};
+
+/// Pairwise agreement between two tools over an IP set (Table 3).
+struct Agreement {
+  double country = 0.0;    ///< share of IPs with identical country
+  double continent = 0.0;  ///< share with identical continent
+};
+
+[[nodiscard]] Agreement pairwise_agreement(const GeoService& service,
+                                           const std::vector<net::IpAddress>& ips,
+                                           Tool a, Tool b);
+
+/// Per-organization mis-geolocation stats under a commercial tool,
+/// against the active tool as reference (Table 4).
+struct MisgeolocationStats {
+  std::uint64_t ips = 0;
+  std::uint64_t wrong_country_ips = 0;
+  std::uint64_t wrong_continent_ips = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t wrong_country_requests = 0;
+  std::uint64_t wrong_continent_requests = 0;
+};
+
+}  // namespace cbwt::geoloc

@@ -1,0 +1,70 @@
+#include "net/domain.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/strings.h"
+
+namespace cbwt::net {
+
+namespace {
+
+// Embedded public-suffix subset: the generic TLDs plus the multi-label
+// country suffixes the synthetic world and tests use. Kept sorted so
+// membership is a binary search.
+constexpr std::array<std::string_view, 58> kSuffixes = {
+    "ac.uk",  "ad",    "at",     "be",     "bg",    "biz",   "ch",    "co",
+    "co.jp",  "co.uk", "com",    "com.au", "com.br", "com.cy", "com.gr",
+    "com.mt", "com.pl", "com.ro", "cz",    "de",    "dk",    "ee",    "es",
+    "eu",     "fi",    "fr",     "gov.uk", "gr",    "hr",    "hu",    "ie",
+    "info",   "io",    "it",     "jp",     "lt",    "lu",    "lv",    "me",
+    "mt",     "net",   "net.gr", "nl",     "no",    "org",   "org.uk", "pl",
+    "pt",     "ro",    "rs",     "ru",     "se",    "si",    "sk",    "tv",
+    "uk",     "us",    "xyz"};
+
+static_assert(std::is_sorted(kSuffixes.begin(), kSuffixes.end()));
+
+}  // namespace
+
+std::vector<std::string_view> domain_labels(std::string_view fqdn) {
+  if (fqdn.empty()) return {};
+  return util::split(fqdn, '.');
+}
+
+bool is_public_suffix(std::string_view suffix) noexcept {
+  return std::binary_search(kSuffixes.begin(), kSuffixes.end(), suffix);
+}
+
+std::string_view public_suffix(std::string_view fqdn) noexcept {
+  // Try progressively shorter suffixes from the left; the first (longest)
+  // hit wins, so "co.uk" beats "uk".
+  std::string_view rest = fqdn;
+  while (!rest.empty()) {
+    if (is_public_suffix(rest)) return rest;
+    const std::size_t dot = rest.find('.');
+    if (dot == std::string_view::npos) return {};
+    rest = rest.substr(dot + 1);
+  }
+  return {};
+}
+
+std::string_view registrable_domain(std::string_view fqdn) noexcept {
+  const std::string_view suffix = public_suffix(fqdn);
+  if (suffix.empty() || suffix.size() == fqdn.size()) return fqdn;
+  // One more label to the left of the suffix.
+  const std::string_view head = fqdn.substr(0, fqdn.size() - suffix.size() - 1);
+  const std::size_t dot = head.rfind('.');
+  return dot == std::string_view::npos ? fqdn : fqdn.substr(dot + 1);
+}
+
+bool is_subdomain_of(std::string_view fqdn, std::string_view domain) noexcept {
+  if (fqdn == domain) return true;
+  if (fqdn.size() <= domain.size()) return false;
+  return fqdn.ends_with(domain) && fqdn[fqdn.size() - domain.size() - 1] == '.';
+}
+
+bool same_site(std::string_view host_a, std::string_view host_b) noexcept {
+  return registrable_domain(host_a) == registrable_domain(host_b);
+}
+
+}  // namespace cbwt::net

@@ -1,0 +1,34 @@
+// Domain-name handling: FQDN labels, public-suffix recognition and
+// registrable-domain extraction. The paper aggregates tracking flows per
+// "TLD", by which it means the registrable domain (eTLD+1), e.g.
+// "sync.ads.example.co.uk" -> "example.co.uk"; we follow that usage.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbwt::net {
+
+/// Splits an FQDN into labels; "a.b.c" -> {"a","b","c"}.
+[[nodiscard]] std::vector<std::string_view> domain_labels(std::string_view fqdn);
+
+/// True when `suffix` is a public suffix in the embedded list
+/// (e.g. "com", "co.uk", "com.br"). Matching is exact, lower-case.
+[[nodiscard]] bool is_public_suffix(std::string_view suffix) noexcept;
+
+/// Longest public suffix of `fqdn`, or "" when none matches.
+[[nodiscard]] std::string_view public_suffix(std::string_view fqdn) noexcept;
+
+/// Registrable domain (public suffix + one label), or the input itself
+/// when it is too short to have one. "sync.tracker.com" -> "tracker.com".
+[[nodiscard]] std::string_view registrable_domain(std::string_view fqdn) noexcept;
+
+/// True when `fqdn` equals `domain` or is a subdomain of it.
+[[nodiscard]] bool is_subdomain_of(std::string_view fqdn, std::string_view domain) noexcept;
+
+/// True when the two hosts share a registrable domain (used for the
+/// first/third-party split: a request is third-party when this is false).
+[[nodiscard]] bool same_site(std::string_view host_a, std::string_view host_b) noexcept;
+
+}  // namespace cbwt::net

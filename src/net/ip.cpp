@@ -1,0 +1,195 @@
+#include "net/ip.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+#include "util/prng.h"
+#include "util/strings.h"
+
+namespace cbwt::net {
+
+namespace {
+
+std::optional<std::uint32_t> parse_v4(std::string_view text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    unsigned octet = 0;
+    const auto [ptr, ec] = std::from_chars(part.data(), part.data() + part.size(), octet);
+    if (ec != std::errc{} || ptr != part.data() + part.size() || octet > 255) {
+      return std::nullopt;
+    }
+    value = (value << 8) | octet;
+  }
+  return value;
+}
+
+std::optional<std::array<std::uint16_t, 8>> parse_v6_groups(std::string_view text) {
+  // Handles at most one "::" zero-run, no embedded IPv4 form.
+  const std::size_t gap = text.find("::");
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+  const auto parse_groups = [](std::string_view chunk, std::vector<std::uint16_t>& out) {
+    if (chunk.empty()) return true;
+    for (const auto group : util::split(chunk, ':')) {
+      if (group.empty() || group.size() > 4) return false;
+      unsigned value = 0;
+      const auto [ptr, ec] =
+          std::from_chars(group.data(), group.data() + group.size(), value, 16);
+      if (ec != std::errc{} || ptr != group.data() + group.size()) return false;
+      out.push_back(static_cast<std::uint16_t>(value));
+    }
+    return true;
+  };
+  if (gap == std::string_view::npos) {
+    if (!parse_groups(text, head) || head.size() != 8) return std::nullopt;
+  } else {
+    if (text.find("::", gap + 1) != std::string_view::npos) return std::nullopt;
+    if (!parse_groups(text.substr(0, gap), head)) return std::nullopt;
+    if (!parse_groups(text.substr(gap + 2), tail)) return std::nullopt;
+    if (head.size() + tail.size() >= 8) return std::nullopt;
+  }
+  std::array<std::uint16_t, 8> groups{};
+  std::copy(head.begin(), head.end(), groups.begin());
+  std::copy(tail.begin(), tail.end(), groups.end() - static_cast<std::ptrdiff_t>(tail.size()));
+  return groups;
+}
+
+}  // namespace
+
+std::optional<IpAddress> IpAddress::parse(std::string_view text) {
+  if (text.find(':') == std::string_view::npos) {
+    const auto v4_bits = parse_v4(text);
+    if (!v4_bits) return std::nullopt;
+    return IpAddress::v4(*v4_bits);
+  }
+  const auto groups = parse_v6_groups(text);
+  if (!groups) return std::nullopt;
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 4; ++i) hi = (hi << 16) | (*groups)[static_cast<std::size_t>(i)];
+  for (int i = 4; i < 8; ++i) lo = (lo << 16) | (*groups)[static_cast<std::size_t>(i)];
+  return IpAddress::v6(hi, lo);
+}
+
+std::string IpAddress::to_string() const {
+  char buffer[64];
+  if (is_v4()) {
+    const auto v = v4_value();
+    std::snprintf(buffer, sizeof buffer, "%u.%u.%u.%u", (v >> 24) & 0xFF, (v >> 16) & 0xFF,
+                  (v >> 8) & 0xFF, v & 0xFF);
+    return buffer;
+  }
+  std::array<std::uint16_t, 8> groups{};
+  for (int i = 0; i < 4; ++i) {
+    groups[static_cast<std::size_t>(i)] = static_cast<std::uint16_t>(hi_ >> (48 - 16 * i));
+    groups[static_cast<std::size_t>(i + 4)] = static_cast<std::uint16_t>(lo_ >> (48 - 16 * i));
+  }
+  // Find the longest zero run (length >= 2) to compress with "::".
+  int best_start = -1;
+  int best_len = 1;
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_len = j - i;
+      best_start = i;
+    }
+    i = j;
+  }
+  std::string out;
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      // "::" both closes the previous group and marks the gap.
+      out += "::";
+      i += best_len;
+      if (i >= 8) break;
+      continue;
+    }
+    std::snprintf(buffer, sizeof buffer, "%x", groups[static_cast<std::size_t>(i)]);
+    out += buffer;
+    ++i;
+    if (i < 8 && i != best_start) out += ':';
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+std::uint64_t IpAddress::hash() const noexcept {
+  const std::uint64_t tag = family_ == IpFamily::v4 ? 0x1111 : 0x2222;
+  return util::mix64(hi_ ^ util::mix64(lo_ ^ tag));
+}
+
+IpPrefix::IpPrefix(IpAddress base, unsigned length) noexcept : length_(length) {
+  const unsigned width = base.width();
+  if (length_ > width) length_ = width;
+  if (base.is_v4()) {
+    const std::uint32_t mask =
+        length_ == 0 ? 0 : (~std::uint32_t{0} << (32U - length_));
+    base_ = IpAddress::v4(base.v4_value() & mask);
+  } else {
+    std::uint64_t hi_mask = 0;
+    std::uint64_t lo_mask = 0;
+    if (length_ >= 64) {
+      hi_mask = ~std::uint64_t{0};
+      lo_mask = length_ == 64 ? 0 : (~std::uint64_t{0} << (128U - length_));
+    } else if (length_ > 0) {
+      hi_mask = ~std::uint64_t{0} << (64U - length_);
+    }
+    base_ = IpAddress::v6(base.hi() & hi_mask, base.lo() & lo_mask);
+  }
+}
+
+std::optional<IpPrefix> IpPrefix::parse(std::string_view text) {
+  const std::size_t slash = text.rfind('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto ip = IpAddress::parse(text.substr(0, slash));
+  if (!ip) return std::nullopt;
+  const auto len_text = text.substr(slash + 1);
+  unsigned length = 0;
+  const auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size() || length > ip->width()) {
+    return std::nullopt;
+  }
+  return IpPrefix{*ip, length};
+}
+
+bool IpPrefix::contains(const IpAddress& ip) const noexcept {
+  if (ip.family() != base_.family()) return false;
+  for (unsigned i = 0; i < length_; ++i) {
+    if (ip.bit(i) != base_.bit(i)) return false;
+  }
+  return true;
+}
+
+std::uint64_t IpPrefix::v4_size() const noexcept {
+  if (!base_.is_v4()) return 0;
+  return std::uint64_t{1} << (32U - length_);
+}
+
+IpAddress IpPrefix::at(std::uint64_t offset) const noexcept {
+  if (base_.is_v4()) {
+    const std::uint64_t size = v4_size();
+    return IpAddress::v4(base_.v4_value() + static_cast<std::uint32_t>(offset % size));
+  }
+  // IPv6: offsets index the low 64 bits, which is ample for the model.
+  const unsigned host_bits = 128U - length_;
+  const std::uint64_t mask =
+      host_bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << host_bits) - 1);
+  return IpAddress::v6(base_.hi(), base_.lo() | (offset & mask));
+}
+
+std::string IpPrefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace cbwt::net

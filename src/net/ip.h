@@ -1,0 +1,129 @@
+// IP address and CIDR prefix value types. IPv4 and IPv6 are both
+// supported (the paper's dataset is ~97% IPv4 with a small IPv6 tail,
+// and the synthetic world reproduces that mix).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cbwt::net {
+
+enum class IpFamily : std::uint8_t { v4, v6 };
+
+/// An IPv4 or IPv6 address with value semantics and total ordering.
+///
+/// Internally both families are stored as a 128-bit big-endian integer;
+/// IPv4 occupies the low 32 bits. Ordering compares family first, then
+/// numeric value, so v4 and v6 spaces never interleave.
+class IpAddress {
+ public:
+  constexpr IpAddress() noexcept = default;
+
+  /// Constructs an IPv4 address from its 32-bit host-order value.
+  [[nodiscard]] static constexpr IpAddress v4(std::uint32_t value) noexcept {
+    IpAddress ip;
+    ip.family_ = IpFamily::v4;
+    ip.hi_ = 0;
+    ip.lo_ = value;
+    return ip;
+  }
+
+  /// Constructs an IPv6 address from high/low 64-bit host-order halves.
+  [[nodiscard]] static constexpr IpAddress v6(std::uint64_t hi, std::uint64_t lo) noexcept {
+    IpAddress ip;
+    ip.family_ = IpFamily::v6;
+    ip.hi_ = hi;
+    ip.lo_ = lo;
+    return ip;
+  }
+
+  /// Parses dotted-quad IPv4 or hex-groups IPv6 ("a:b::c"); nullopt on error.
+  [[nodiscard]] static std::optional<IpAddress> parse(std::string_view text);
+
+  [[nodiscard]] constexpr IpFamily family() const noexcept { return family_; }
+  [[nodiscard]] constexpr bool is_v4() const noexcept { return family_ == IpFamily::v4; }
+
+  /// Host-order IPv4 value; only meaningful when is_v4().
+  [[nodiscard]] constexpr std::uint32_t v4_value() const noexcept {
+    return static_cast<std::uint32_t>(lo_);
+  }
+  [[nodiscard]] constexpr std::uint64_t hi() const noexcept { return hi_; }
+  [[nodiscard]] constexpr std::uint64_t lo() const noexcept { return lo_; }
+
+  /// Bit `index` counted from the most significant end of the address
+  /// (index 0 is the top bit). IPv4 addresses have 32 bits, IPv6 128.
+  [[nodiscard]] constexpr bool bit(unsigned index) const noexcept {
+    if (family_ == IpFamily::v4) {
+      return ((lo_ >> (31U - index)) & 1U) != 0;
+    }
+    if (index < 64) return ((hi_ >> (63U - index)) & 1U) != 0;
+    return ((lo_ >> (127U - index)) & 1U) != 0;
+  }
+
+  [[nodiscard]] constexpr unsigned width() const noexcept {
+    return family_ == IpFamily::v4 ? 32U : 128U;
+  }
+
+  /// Canonical text form ("192.0.2.1" / compressed-zero IPv6).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Stable 64-bit hash (suitable for unordered containers).
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
+  friend constexpr auto operator<=>(const IpAddress& a, const IpAddress& b) noexcept {
+    if (a.family_ != b.family_) return a.family_ <=> b.family_;
+    if (a.hi_ != b.hi_) return a.hi_ <=> b.hi_;
+    return a.lo_ <=> b.lo_;
+  }
+  friend constexpr bool operator==(const IpAddress&, const IpAddress&) noexcept = default;
+
+ private:
+  IpFamily family_ = IpFamily::v4;
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+/// A CIDR prefix (address + mask length) with containment queries.
+class IpPrefix {
+ public:
+  constexpr IpPrefix() noexcept = default;
+
+  /// Builds a prefix, zeroing host bits so the invariant base==network holds.
+  IpPrefix(IpAddress base, unsigned length) noexcept;
+
+  /// Parses "a.b.c.d/len" or "v6/len"; nullopt on malformed input.
+  [[nodiscard]] static std::optional<IpPrefix> parse(std::string_view text);
+
+  [[nodiscard]] constexpr const IpAddress& base() const noexcept { return base_; }
+  [[nodiscard]] constexpr unsigned length() const noexcept { return length_; }
+  [[nodiscard]] constexpr IpFamily family() const noexcept { return base_.family(); }
+
+  [[nodiscard]] bool contains(const IpAddress& ip) const noexcept;
+
+  /// Number of addresses in an IPv4 prefix (saturates at 2^32).
+  [[nodiscard]] std::uint64_t v4_size() const noexcept;
+
+  /// The `offset`-th address inside the prefix (offset taken mod size).
+  [[nodiscard]] IpAddress at(std::uint64_t offset) const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const IpPrefix&, const IpPrefix&) noexcept = default;
+
+ private:
+  IpAddress base_;
+  unsigned length_ = 0;
+};
+
+}  // namespace cbwt::net
+
+template <>
+struct std::hash<cbwt::net::IpAddress> {
+  std::size_t operator()(const cbwt::net::IpAddress& ip) const noexcept {
+    return static_cast<std::size_t>(ip.hash());
+  }
+};

@@ -1,0 +1,105 @@
+// Binary (Patricia-style, uncompressed) trie mapping CIDR prefixes to
+// values, with longest-prefix-match lookup. Used by the geolocation
+// databases, the synthetic address plan and NetFlow attribution.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace cbwt::net {
+
+/// Maps IpPrefix -> T with longest-prefix-match semantics.
+///
+/// Inserting the same prefix twice overwrites the value. IPv4 and IPv6
+/// prefixes live in separate sub-tries and never match each other.
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() = default;
+
+  /// Inserts or replaces the value for a prefix.
+  void insert(const IpPrefix& prefix, T value) {
+    Node* node = &root(prefix.family());
+    for (unsigned i = 0; i < prefix.length(); ++i) {
+      auto& child = prefix.base().bit(i) ? node->one : node->zero;
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    if (!node->value) ++size_;
+    node->value = std::move(value);
+  }
+
+  /// Longest-prefix match; nullptr when nothing covers `ip`.
+  [[nodiscard]] const T* lookup(const IpAddress& ip) const noexcept {
+    const Node* node = &root(ip.family());
+    const T* best = node->value ? &*node->value : nullptr;
+    for (unsigned i = 0; i < ip.width(); ++i) {
+      const auto& child = ip.bit(i) ? node->one : node->zero;
+      if (!child) break;
+      node = child.get();
+      if (node->value) best = &*node->value;
+    }
+    return best;
+  }
+
+  /// Exact-prefix probe (no LPM); nullptr if that prefix is absent.
+  [[nodiscard]] const T* exact(const IpPrefix& prefix) const noexcept {
+    const Node* node = &root(prefix.family());
+    for (unsigned i = 0; i < prefix.length(); ++i) {
+      const auto& child = prefix.base().bit(i) ? node->one : node->zero;
+      if (!child) return nullptr;
+      node = child.get();
+    }
+    return node->value ? &*node->value : nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Visits every stored (prefix, value) pair in address order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    walk(v4_root_, IpAddress::v4(0), 0, IpFamily::v4, fn);
+    walk(v6_root_, IpAddress::v6(0, 0), 0, IpFamily::v6, fn);
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> zero;
+    std::unique_ptr<Node> one;
+    std::optional<T> value;
+  };
+
+  [[nodiscard]] Node& root(IpFamily family) noexcept {
+    return family == IpFamily::v4 ? v4_root_ : v6_root_;
+  }
+  [[nodiscard]] const Node& root(IpFamily family) const noexcept {
+    return family == IpFamily::v4 ? v4_root_ : v6_root_;
+  }
+
+  static IpAddress with_bit(const IpAddress& base, unsigned index, IpFamily family) noexcept {
+    if (family == IpFamily::v4) {
+      return IpAddress::v4(base.v4_value() | (1U << (31U - index)));
+    }
+    if (index < 64) return IpAddress::v6(base.hi() | (1ULL << (63U - index)), base.lo());
+    return IpAddress::v6(base.hi(), base.lo() | (1ULL << (127U - index)));
+  }
+
+  template <typename Fn>
+  static void walk(const Node& node, IpAddress base, unsigned depth, IpFamily family, Fn& fn) {
+    if (node.value) fn(IpPrefix{base, depth}, *node.value);
+    if (node.zero) walk(*node.zero, base, depth + 1, family, fn);
+    if (node.one) walk(*node.one, with_bit(base, depth, family), depth + 1, family, fn);
+  }
+
+  Node v4_root_;
+  Node v6_root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cbwt::net

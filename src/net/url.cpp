@@ -1,0 +1,82 @@
+#include "net/url.h"
+
+#include <charconv>
+
+#include "util/strings.h"
+
+namespace cbwt::net {
+
+std::optional<Url> Url::parse(std::string_view text) {
+  const std::size_t scheme_end = text.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) return std::nullopt;
+  Url url;
+  url.scheme_ = util::to_lower(text.substr(0, scheme_end));
+  if (url.scheme_ != "http" && url.scheme_ != "https") return std::nullopt;
+  url.port_ = url.scheme_ == "https" ? 443 : 80;
+
+  std::string_view rest = text.substr(scheme_end + 3);
+  const std::size_t fragment = rest.find('#');
+  if (fragment != std::string_view::npos) rest = rest.substr(0, fragment);
+
+  const std::size_t path_start = rest.find('/');
+  std::string_view authority =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  std::string_view path_query =
+      path_start == std::string_view::npos ? std::string_view{} : rest.substr(path_start);
+
+  const std::size_t colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    const auto port_text = authority.substr(colon + 1);
+    std::uint16_t port = 0;
+    const auto [ptr, ec] =
+        std::from_chars(port_text.data(), port_text.data() + port_text.size(), port);
+    if (ec != std::errc{} || ptr != port_text.data() + port_text.size() || port == 0) {
+      return std::nullopt;
+    }
+    url.port_ = port;
+    authority = authority.substr(0, colon);
+  }
+  if (authority.empty()) return std::nullopt;
+  url.host_ = util::to_lower(authority);
+
+  if (!path_query.empty()) {
+    const std::size_t q = path_query.find('?');
+    if (q == std::string_view::npos) {
+      url.path_ = std::string(path_query);
+    } else {
+      url.path_ = std::string(path_query.substr(0, q));
+      url.query_ = std::string(path_query.substr(q + 1));
+    }
+  }
+  if (url.path_.empty()) url.path_ = "/";
+  return url;
+}
+
+std::vector<std::pair<std::string, std::string>> Url::arguments() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  if (query_.empty()) return out;
+  for (const auto pair : util::split(query_, '&')) {
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      out.emplace_back(std::string(pair), std::string{});
+    } else {
+      out.emplace_back(std::string(pair.substr(0, eq)), std::string(pair.substr(eq + 1)));
+    }
+  }
+  return out;
+}
+
+std::string Url::host_and_rest() const {
+  std::string out = host_;
+  const bool default_port =
+      (scheme_ == "https" && port_ == 443) || (scheme_ == "http" && port_ == 80);
+  if (!default_port) out += ":" + std::to_string(port_);
+  out += path_;
+  if (!query_.empty()) out += "?" + query_;
+  return out;
+}
+
+std::string Url::to_string() const { return scheme_ + "://" + host_and_rest(); }
+
+}  // namespace cbwt::net

@@ -1,0 +1,69 @@
+#include "netflow/collector.h"
+
+namespace cbwt::netflow {
+
+void TrackerIpIndex::add(const net::IpAddress& ip) { ips_.insert(ip); }
+
+TrackerIpIndex TrackerIpIndex::from_pdns(const pdns::Store& store, pdns::Day day) {
+  TrackerIpIndex index;
+  for (const auto& ip : store.all_ips()) {
+    for (const auto* record : store.reverse(ip)) {
+      if (record->first_seen <= day && day <= record->last_seen) {
+        index.add(ip);
+        break;
+      }
+    }
+  }
+  return index;
+}
+
+TrackerIpIndex TrackerIpIndex::from_pdns_all_time(const pdns::Store& store) {
+  TrackerIpIndex index;
+  for (const auto& ip : store.all_ips()) index.add(ip);
+  return index;
+}
+
+bool TrackerIpIndex::contains(const net::IpAddress& ip) const noexcept {
+  return ips_.contains(ip);
+}
+
+std::vector<analysis::Flow> CollectionResult::flows(std::string origin_country) const {
+  std::vector<analysis::Flow> out;
+  out.reserve(per_ip.size());
+  for (const auto& [ip, count] : per_ip) {
+    analysis::Flow flow;
+    flow.origin_country = origin_country;
+    flow.destination = ip;
+    flow.weight = count;
+    out.push_back(std::move(flow));
+  }
+  return out;
+}
+
+CollectionResult collect(std::span<const RawRecord> records, const TrackerIpIndex& trackers,
+                         const IspProfile& isp) {
+  CollectionResult result;
+  for (const auto& record : records) {
+    ++result.records_seen;
+    if (!record.internal_interface) continue;  // peering links carry no user edge
+    ++result.internal_records;
+
+    // Ingress filtering (BCP38) holds, so the subscriber side is simply
+    // the side inside the ISP; the generator puts subscribers in src for
+    // outbound flows, but we check both sides as the paper does.
+    const bool dst_is_tracker = trackers.contains(record.dst);
+    const bool src_is_tracker = trackers.contains(record.src);
+    if (!dst_is_tracker && !src_is_tracker) continue;
+
+    const bool subscriber_is_src = dst_is_tracker;
+    const AnonRecord anon =
+        anonymize(record, subscriber_is_src, std::string(isp.country));
+    ++result.matched_records;
+    if (anon.remote_port == 443) ++result.https_records;
+    if (anon.protocol == 17) ++result.udp_records;
+    ++result.per_ip[anon.remote];
+  }
+  return result;
+}
+
+}  // namespace cbwt::netflow

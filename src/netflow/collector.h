@@ -1,0 +1,61 @@
+// NetFlow collection and tracker matching (§7.2): the collector keeps
+// only user-facing (internal edge) interfaces, anonymizes the subscriber
+// side to a country code, and joins the remote side against the tracker
+// IP list produced by the extension pipeline — restricted to IPs whose
+// pDNS validity window covers the snapshot day, which removes
+// dynamic-IP-reuse noise.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/flows.h"
+#include "netflow/profile.h"
+#include "netflow/record.h"
+#include "pdns/store.h"
+
+namespace cbwt::netflow {
+
+/// The set of known tracking-service IPs, optionally time-bounded.
+class TrackerIpIndex {
+ public:
+  void add(const net::IpAddress& ip);
+
+  /// Builds the index from a pDNS store: every IP with at least one
+  /// (domain, IP) record whose window covers `day`.
+  [[nodiscard]] static TrackerIpIndex from_pdns(const pdns::Store& store, pdns::Day day);
+
+  /// Same, but ignoring validity windows (the no-window ablation).
+  [[nodiscard]] static TrackerIpIndex from_pdns_all_time(const pdns::Store& store);
+
+  [[nodiscard]] bool contains(const net::IpAddress& ip) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return ips_.size(); }
+
+ private:
+  std::unordered_set<net::IpAddress> ips_;
+};
+
+/// Aggregates of one ISP-day collection run.
+struct CollectionResult {
+  std::uint64_t records_seen = 0;
+  std::uint64_t internal_records = 0;    ///< records surviving the edge filter
+  std::uint64_t matched_records = 0;     ///< records touching a tracker IP
+  std::uint64_t https_records = 0;       ///< matched records on port 443
+  std::uint64_t udp_records = 0;         ///< matched records on UDP (QUIC)
+  /// Per-tracker-IP sampled counters (the hash-and-count of §7.2).
+  std::unordered_map<net::IpAddress, std::uint64_t> per_ip;
+
+  /// Matched flows in the analyzer's format (origin = ISP country).
+  [[nodiscard]] std::vector<analysis::Flow> flows(std::string origin_country) const;
+};
+
+/// Runs the collector over one exported snapshot.
+[[nodiscard]] CollectionResult collect(std::span<const RawRecord> records,
+                                       const TrackerIpIndex& trackers,
+                                       const IspProfile& isp);
+
+}  // namespace cbwt::netflow

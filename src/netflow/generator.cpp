@@ -1,0 +1,111 @@
+#include "netflow/generator.h"
+
+#include <cmath>
+
+namespace cbwt::netflow {
+
+AnonRecord anonymize(const RawRecord& record, bool subscriber_is_src,
+                     std::string subscriber_country) {
+  AnonRecord anon;
+  anon.subscriber_country = std::move(subscriber_country);
+  anon.remote = subscriber_is_src ? record.dst : record.src;
+  anon.remote_port = subscriber_is_src ? record.dst_port : record.src_port;
+  anon.protocol = record.protocol;
+  anon.direction = subscriber_is_src ? Direction::Outbound : Direction::Inbound;
+  anon.packets = record.packets;
+  anon.bytes = record.bytes;
+  return anon;
+}
+
+namespace {
+
+/// Ephemeral client port.
+std::uint16_t client_port(util::Rng& rng) {
+  return static_cast<std::uint16_t>(32768 + rng.next_below(28000));
+}
+
+RawRecord base_record(const GeneratorConfig& config, const net::IpAddress& subscriber,
+                      const net::IpAddress& remote, util::Rng& rng) {
+  RawRecord record;
+  record.timestamp_s = static_cast<std::uint32_t>(rng.next_below(86400));
+  record.router = static_cast<std::uint16_t>(rng.next_below(config.routers));
+  record.interface = static_cast<std::uint16_t>(rng.next_below(8));
+  record.internal_interface = true;
+  const bool https = rng.chance(config.https_share);
+  record.dst_port = https ? 443 : 80;
+  record.protocol = (https && rng.chance(config.quic_share)) ? 17 : 6;
+  record.src = subscriber;
+  record.dst = remote;
+  record.src_port = client_port(rng);
+  record.packets = 1 + static_cast<std::uint32_t>(rng.next_below(40));
+  record.bytes = record.packets * (60 + static_cast<std::uint32_t>(rng.next_below(1200)));
+  return record;
+}
+
+}  // namespace
+
+SnapshotExport generate_snapshot(const world::World& world, const dns::Resolver& resolver,
+                                 const IspProfile& isp, const Snapshot& snapshot,
+                                 const GeneratorConfig& config, util::Rng& rng) {
+  SnapshotExport out;
+
+  const double tracking_target = config.flows_per_subscriber_m * isp.subscribers_m *
+                                 isp.web_activity * snapshot.volume_factor * config.scale;
+  out.tracking_intended = static_cast<std::uint64_t>(std::llround(tracking_target));
+  out.background_intended = static_cast<std::uint64_t>(
+      std::llround(tracking_target * config.background_ratio));
+  out.records.reserve(out.tracking_intended + out.background_intended);
+
+  // Subscriber addresses come from the ISP country's eyeball block; the
+  // exact address is irrelevant post-anonymization, so a random offset
+  // inside the block is enough.
+  const auto eyeball =
+      world.addresses().eyeball_blocks().at(std::string(isp.country));
+
+  // Popularity-weighted tracking domains (per-domain DNS then applies the
+  // org's policy with the subscriber's resolver situation).
+  const auto tracking = world.tracking_domain_ids();
+  std::vector<double> tracking_weights;
+  tracking_weights.reserve(tracking.size());
+  for (const auto id : tracking) {
+    tracking_weights.push_back(world.org(world.domain(id).org).popularity);
+  }
+  // Clean third-party services make up the background web flows.
+  std::vector<world::DomainId> clean;
+  std::vector<double> clean_weights;
+  for (const auto& domain : world.domains()) {
+    if (world.org(domain.org).role == world::OrgRole::CleanService) {
+      clean.push_back(domain.id);
+      clean_weights.push_back(world.org(domain.org).popularity);
+    }
+  }
+
+  const auto subscriber_ip = [&] {
+    return eyeball.at(rng.next_below(1ULL << 20));
+  };
+
+  const auto emit = [&](world::DomainId domain_id) {
+    const bool third_party_dns = rng.chance(isp.third_party_resolver_share);
+    const auto answer = resolver.resolve_from(domain_id, isp.country, third_party_dns, rng);
+    out.records.push_back(base_record(config, subscriber_ip(), answer.ip, rng));
+  };
+
+  for (std::uint64_t i = 0; i < out.tracking_intended; ++i) {
+    emit(tracking[util::sample_discrete(rng, tracking_weights)]);
+  }
+  for (std::uint64_t i = 0; i < out.background_intended && !clean.empty(); ++i) {
+    emit(clean[util::sample_discrete(rng, clean_weights)]);
+  }
+
+  // A sprinkle of peering-link records the collector must filter out
+  // (only internal edge routers carry user traffic, §7.2).
+  const std::uint64_t peering = out.records.size() / 50;
+  for (std::uint64_t i = 0; i < peering; ++i) {
+    RawRecord record = base_record(config, subscriber_ip(), subscriber_ip(), rng);
+    record.internal_interface = false;
+    out.records.push_back(record);
+  }
+  return out;
+}
+
+}  // namespace cbwt::netflow

@@ -1,0 +1,41 @@
+#include "netflow/profile.h"
+
+#include <array>
+
+namespace cbwt::netflow {
+
+namespace {
+
+// web_activity is calibrated so that paper-scale sampled volumes match
+// Table 8 (flows ~= 70e6 * subscribers_m * web_activity per day):
+// DE-Broadband ~1.06e9, DE-Mobile ~7.0e7, PL ~1.4e7, HU ~4.3e7.
+constexpr std::array<IspProfile, 4> kIsps = {{
+    {"DE-Broadband", "DE", AccessType::Broadband, 15.0, 1.000, 0.30},
+    {"DE-Mobile", "DE", AccessType::Mobile, 40.0, 0.025, 0.05},
+    {"PL", "PL", AccessType::Mixed, 11.0, 0.018, 0.22},
+    {"HU", "HU", AccessType::Mobile, 6.0, 0.103, 0.08},
+}};
+
+constexpr std::array<Snapshot, 4> kSnapshots = {{
+    {68, "Nov 8", 1.00},
+    {215, "April 4", 1.13},
+    {257, "May 16", 1.04},
+    {292, "June 20", 0.91},
+}};
+
+}  // namespace
+
+std::string_view to_string(AccessType access) noexcept {
+  switch (access) {
+    case AccessType::Broadband: return "broadband";
+    case AccessType::Mobile: return "mobile";
+    case AccessType::Mixed: return "mixed";
+  }
+  return "?";
+}
+
+std::span<const IspProfile> default_isps() noexcept { return kIsps; }
+
+std::span<const Snapshot> default_snapshots() noexcept { return kSnapshots; }
+
+}  // namespace cbwt::netflow

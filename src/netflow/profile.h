@@ -1,0 +1,44 @@
+// Profiles of the four European ISPs the paper analyzes (Table 7), plus
+// the knobs that drive their synthetic NetFlow streams. Subscriber
+// counts are real (published); everything else models the structural
+// differences the paper leans on — mobile users sit behind the ISP's own
+// resolver, broadband users increasingly use third-party DNS.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace cbwt::netflow {
+
+enum class AccessType : std::uint8_t { Broadband, Mobile, Mixed };
+
+[[nodiscard]] std::string_view to_string(AccessType access) noexcept;
+
+struct IspProfile {
+  std::string_view name;       ///< "DE-Broadband", ...
+  std::string_view country;    ///< ISO alpha-2 of the operating country
+  AccessType access = AccessType::Broadband;
+  double subscribers_m = 0.0;  ///< Table 7 demographics
+  /// Relative per-subscriber browser-driven web activity; mobile is lower
+  /// because app traffic bypasses the browser (§7.3).
+  double web_activity = 1.0;
+  /// Share of subscribers whose DNS goes to a third-party resolver.
+  double third_party_resolver_share = 0.30;
+};
+
+/// The four ISPs of Table 7.
+[[nodiscard]] std::span<const IspProfile> default_isps() noexcept;
+
+/// The four daily snapshots of Table 8, as days since Sep 1, 2017.
+struct Snapshot {
+  std::int32_t day = 0;
+  std::string_view label;
+  /// Day-to-day volume drift (the paper's totals move +-15% across dates).
+  double volume_factor = 1.0;
+};
+
+[[nodiscard]] std::span<const Snapshot> default_snapshots() noexcept;
+
+}  // namespace cbwt::netflow

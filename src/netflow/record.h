@@ -1,0 +1,51 @@
+// NetFlow v9-style sampled flow records (RFC 3954 field subset) and the
+// user-IP anonymization step every collected record passes through: end
+// user addresses are replaced by the ISP's country code before anything
+// is stored or analyzed (§7.2 ethics).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/ip.h"
+
+namespace cbwt::netflow {
+
+/// Direction of a flow relative to the ISP's subscribers.
+enum class Direction : std::uint8_t { Outbound, Inbound };
+
+/// One sampled, exported record as the router emits it.
+struct RawRecord {
+  std::uint32_t timestamp_s = 0;   ///< seconds into the snapshot day
+  std::uint16_t router = 0;
+  std::uint16_t interface = 0;
+  bool internal_interface = true;  ///< user-facing edge (vs peering link)
+  std::uint8_t protocol = 6;       ///< 6 TCP, 17 UDP (QUIC)
+  net::IpAddress src;
+  net::IpAddress dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t packets = 0;       ///< sampled packet count
+  std::uint32_t bytes = 0;         ///< sampled byte count
+  std::uint8_t tos = 0;
+};
+
+/// The privacy-preserving form the study operates on: the subscriber
+/// side is reduced to a country code, the remote side keeps its IP.
+struct AnonRecord {
+  std::string subscriber_country;
+  net::IpAddress remote;
+  std::uint16_t remote_port = 0;
+  std::uint8_t protocol = 6;
+  Direction direction = Direction::Outbound;
+  std::uint32_t packets = 0;
+  std::uint32_t bytes = 0;
+};
+
+/// Anonymizes a raw record given which side is the subscriber.
+/// `subscriber_is_src` is decided by the collector from the interface
+/// and address plan (ingress filtering guarantees spoof-free sources).
+[[nodiscard]] AnonRecord anonymize(const RawRecord& record, bool subscriber_is_src,
+                                   std::string subscriber_country);
+
+}  // namespace cbwt::netflow

@@ -1,0 +1,98 @@
+#include "netflow/sflow.h"
+
+#include <cmath>
+
+#include "net/domain.h"
+
+namespace cbwt::netflow {
+
+SflowExport generate_sflow_snapshot(const world::World& world,
+                                    const dns::Resolver& resolver, const IspProfile& isp,
+                                    const Snapshot& snapshot, const SflowConfig& config,
+                                    util::Rng& rng) {
+  SflowExport out;
+  const double target = config.samples_per_subscriber_m * isp.subscribers_m *
+                        isp.web_activity * snapshot.volume_factor * config.scale;
+  out.tracking_intended = static_cast<std::uint64_t>(std::llround(target));
+  out.samples.reserve(out.tracking_intended + out.tracking_intended / 4);
+
+  const auto eyeball = world.addresses().eyeball_blocks().at(std::string(isp.country));
+  const auto tracking = world.tracking_domain_ids();
+  std::vector<double> tracking_weights;
+  tracking_weights.reserve(tracking.size());
+  for (const auto id : tracking) {
+    tracking_weights.push_back(world.org(world.domain(id).org).popularity);
+  }
+  std::vector<world::DomainId> clean;
+  std::vector<double> clean_weights;
+  for (const auto& domain : world.domains()) {
+    if (world.org(domain.org).role == world::OrgRole::CleanService) {
+      clean.push_back(domain.id);
+      clean_weights.push_back(world.org(domain.org).popularity);
+    }
+  }
+
+  const auto emit = [&](world::DomainId domain_id) {
+    const bool third_party_dns = rng.chance(isp.third_party_resolver_share);
+    const auto answer = resolver.resolve_from(domain_id, isp.country, third_party_dns, rng);
+    SflowSample sample;
+    sample.src = eyeball.at(rng.next_below(1ULL << 20));
+    sample.dst = answer.ip;
+    sample.src_port = static_cast<std::uint16_t>(32768 + rng.next_below(28000));
+    sample.true_domain = domain_id;
+    const bool https = rng.chance(config.https_share);
+    sample.dst_port = https ? 443 : 80;
+    const bool quic = https && rng.chance(config.quic_share);
+    sample.protocol = quic ? 17 : 6;
+    const double visible = !https ? config.host_visible_http
+                                  : (quic ? config.host_visible_quic
+                                          : config.host_visible_tls);
+    if (rng.chance(visible)) sample.visible_host = world.domain(domain_id).fqdn;
+    out.samples.push_back(std::move(sample));
+  };
+
+  for (std::uint64_t i = 0; i < out.tracking_intended; ++i) {
+    emit(tracking[util::sample_discrete(rng, tracking_weights)]);
+  }
+  const std::uint64_t background = out.tracking_intended / 4;
+  for (std::uint64_t i = 0; i < background && !clean.empty(); ++i) {
+    emit(clean[util::sample_discrete(rng, clean_weights)]);
+  }
+  return out;
+}
+
+SflowComparison compare_matchers(const world::World& world, const SflowExport& exported,
+                                 const std::vector<std::string>& tracking_registrables,
+                                 const TrackerIpIndex& trackers) {
+  SflowComparison comparison;
+  for (const auto& sample : exported.samples) {
+    const bool truly_tracking =
+        world.org(world.domain(sample.true_domain).org).role !=
+        world::OrgRole::CleanService;
+
+    bool host_hit = false;
+    if (!sample.visible_host.empty()) {
+      const auto registrable = net::registrable_domain(sample.visible_host);
+      for (const auto& candidate : tracking_registrables) {
+        if (registrable == candidate) {
+          host_hit = true;
+          break;
+        }
+      }
+    }
+    const bool ip_hit = trackers.contains(sample.dst);
+
+    if (truly_tracking) {
+      ++comparison.tracking_samples;
+      comparison.matched_by_host += host_hit ? 1 : 0;
+      comparison.matched_by_ip += ip_hit ? 1 : 0;
+      comparison.matched_by_either += (host_hit || ip_hit) ? 1 : 0;
+    } else {
+      comparison.false_host_matches += host_hit ? 1 : 0;
+      comparison.false_ip_matches += ip_hit ? 1 : 0;
+    }
+  }
+  return comparison;
+}
+
+}  // namespace cbwt::netflow

@@ -1,0 +1,59 @@
+#include "pdns/replication.h"
+
+#include <vector>
+
+#include "geo/country.h"
+
+namespace cbwt::pdns {
+
+void replicate_background(Store& store, const dns::Resolver& resolver,
+                          const ReplicationConfig& config, util::Rng& rng) {
+  const world::World& world = resolver.world();
+
+  // Query origins: any country, weighted by population (pDNS collectors
+  // sit in production networks around the world).
+  const auto countries = geo::all_countries();
+  std::vector<double> country_weights;
+  country_weights.reserve(countries.size());
+  for (const auto& country : countries) country_weights.push_back(country.population_m);
+
+  // Queried domains: tracking domains weighted by their org popularity.
+  const auto tracking = world.tracking_domain_ids();
+  std::vector<double> domain_weights;
+  domain_weights.reserve(tracking.size());
+  for (const auto id : tracking) {
+    domain_weights.push_back(world.org(world.domain(id).org).popularity);
+  }
+
+  for (Day day = config.window_start; day <= config.window_end; day += config.sample_every) {
+    for (std::uint32_t q = 0; q < config.queries_per_sample; ++q) {
+      const auto& country = countries[util::sample_discrete(rng, country_weights)];
+      const auto domain_id = tracking[util::sample_discrete(rng, domain_weights)];
+      const bool third_party = rng.chance(0.25);
+      const auto answer =
+          resolver.resolve_from(domain_id, country.code, third_party, rng);
+      const auto& domain = world.domain(domain_id);
+      store.observe(domain.fqdn, domain.registrable, answer.ip, day);
+    }
+  }
+
+  // Dynamic-IP churn noise: record pairs whose window closed before the
+  // study window began; the pair's IP currently belongs to a different
+  // organization's server.
+  for (std::uint32_t i = 0; i < config.stale_pairs; ++i) {
+    const auto victim_id = tracking[static_cast<std::size_t>(
+        rng.next_below(tracking.size()))];
+    const auto donor_id = tracking[static_cast<std::size_t>(
+        rng.next_below(tracking.size()))];
+    const auto& victim = world.domain(victim_id);
+    const auto& donor = world.domain(donor_id);
+    if (victim.org == donor.org || donor.servers.empty()) continue;
+    const auto& donor_server = world.server(donor.servers.front());
+    const Day stale_start = config.window_start - 400 + static_cast<Day>(rng.next_below(300));
+    store.observe(victim.fqdn, victim.registrable, donor_server.ip, stale_start);
+    store.observe(victim.fqdn, victim.registrable, donor_server.ip,
+                  stale_start + static_cast<Day>(rng.next_below(60)));
+  }
+}
+
+}  // namespace cbwt::pdns

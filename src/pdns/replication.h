@@ -1,0 +1,35 @@
+// Feeds the pDNS store the way production replication does: a broad
+// background population of resolvers (far larger than the 350 extension
+// users) querying tracking domains over the whole study window. This is
+// what lets the store return tracker IPs that the recruited users never
+// happened to receive — the paper's §3.3 completeness step (+2.78% IPs).
+#pragma once
+
+#include <cstdint>
+
+#include "dns/resolver.h"
+#include "pdns/store.h"
+#include "util/prng.h"
+#include "world/world.h"
+
+namespace cbwt::pdns {
+
+struct ReplicationConfig {
+  Day window_start = 0;
+  /// Replication runs past the extension window: the paper kept collecting
+  /// mid-Jan..July 2018 so the tracker-IP list stays fresh for the ISP
+  /// snapshots (§7.2). Day 330 ~= end of July 2018.
+  Day window_end = 330;
+  Day sample_every = 3;          ///< replication granularity in days
+  std::uint32_t queries_per_sample = 4000;
+  /// Dynamic-IP noise: pairs observed with an out-of-date window whose IP
+  /// later serves a different organization. Validity-window filtering in
+  /// the analysis removes them.
+  std::uint32_t stale_pairs = 50;
+};
+
+/// Runs the background population against the resolver, filling `store`.
+void replicate_background(Store& store, const dns::Resolver& resolver,
+                          const ReplicationConfig& config, util::Rng& rng);
+
+}  // namespace cbwt::pdns

@@ -1,0 +1,109 @@
+#include "pdns/store.h"
+
+#include <algorithm>
+
+namespace cbwt::pdns {
+
+void Store::observe(const std::string& fqdn, const std::string& registrable,
+                    const net::IpAddress& ip, Day day) {
+  // Try to extend an existing record for this exact (fqdn, ip) pair.
+  if (const auto it = by_fqdn_.find(fqdn); it != by_fqdn_.end()) {
+    for (const std::size_t idx : it->second) {
+      Record& record = records_[idx];
+      if (record.ip == ip) {
+        record.first_seen = std::min(record.first_seen, day);
+        record.last_seen = std::max(record.last_seen, day);
+        ++record.observations;
+        return;
+      }
+    }
+  }
+  const std::size_t idx = records_.size();
+  records_.push_back(Record{fqdn, registrable, ip, day, day, 1});
+  by_fqdn_[fqdn].push_back(idx);
+  by_ip_[ip].push_back(idx);
+  by_registrable_[registrable].push_back(idx);
+}
+
+std::vector<const Record*> Store::forward(const std::string& fqdn) const {
+  std::vector<const Record*> out;
+  if (const auto it = by_fqdn_.find(fqdn); it != by_fqdn_.end()) {
+    out.reserve(it->second.size());
+    for (const std::size_t idx : it->second) out.push_back(&records_[idx]);
+  }
+  return out;
+}
+
+std::vector<const Record*> Store::reverse(const net::IpAddress& ip) const {
+  std::vector<const Record*> out;
+  if (const auto it = by_ip_.find(ip); it != by_ip_.end()) {
+    out.reserve(it->second.size());
+    for (const std::size_t idx : it->second) out.push_back(&records_[idx]);
+  }
+  return out;
+}
+
+bool Store::valid_at(const std::string& fqdn, const net::IpAddress& ip, Day day) const {
+  if (const auto it = by_fqdn_.find(fqdn); it != by_fqdn_.end()) {
+    for (const std::size_t idx : it->second) {
+      const Record& record = records_[idx];
+      if (record.ip == ip && record.first_seen <= day && day <= record.last_seen) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t Store::registrable_count(const net::IpAddress& ip) const {
+  std::vector<std::string_view> seen;
+  if (const auto it = by_ip_.find(ip); it != by_ip_.end()) {
+    for (const std::size_t idx : it->second) {
+      const std::string& reg = records_[idx].registrable;
+      if (std::find(seen.begin(), seen.end(), reg) == seen.end()) seen.push_back(reg);
+    }
+  }
+  return seen.size();
+}
+
+std::uint64_t Store::observations_of(const net::IpAddress& ip) const {
+  std::uint64_t total = 0;
+  if (const auto it = by_ip_.find(ip); it != by_ip_.end()) {
+    for (const std::size_t idx : it->second) total += records_[idx].observations;
+  }
+  return total;
+}
+
+std::vector<net::IpAddress> Store::all_ips() const {
+  std::vector<net::IpAddress> out;
+  out.reserve(by_ip_.size());
+  for (const auto& [ip, indices] : by_ip_) out.push_back(ip);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<net::IpAddress> Store::ips_of_registrable(const std::string& registrable) const {
+  std::vector<net::IpAddress> out;
+  if (const auto it = by_registrable_.find(registrable); it != by_registrable_.end()) {
+    for (const std::size_t idx : it->second) out.push_back(records_[idx].ip);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<net::IpAddress> Store::ips_of_registrable_at(const std::string& registrable,
+                                                         Day day) const {
+  std::vector<net::IpAddress> out;
+  if (const auto it = by_registrable_.find(registrable); it != by_registrable_.end()) {
+    for (const std::size_t idx : it->second) {
+      const Record& record = records_[idx];
+      if (record.first_seen <= day && day <= record.last_seen) out.push_back(record.ip);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace cbwt::pdns

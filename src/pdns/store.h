@@ -1,0 +1,79 @@
+// Passive DNS replication (Weimer-style): observed (fqdn, IP) pairs with
+// first-seen / last-seen validity windows, queryable forward (domain ->
+// IPs) and reverse (IP -> domains). The paper uses a pDNS database to
+// (i) complete the tracker IP set beyond what its 350 users observed and
+// (ii) bound the time window in which an IP actually served a tracking
+// domain, removing dynamic-IP noise (§3.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace cbwt::pdns {
+
+/// Study time is measured in days since the start of the collection
+/// window (Sep 1, 2017 in the paper).
+using Day = std::int32_t;
+
+/// One replicated association between an FQDN and an address.
+struct Record {
+  std::string fqdn;
+  std::string registrable;  ///< the paper's "TLD" granularity
+  net::IpAddress ip;
+  Day first_seen = 0;
+  Day last_seen = 0;
+  std::uint64_t observations = 0;
+};
+
+/// Append-only pDNS database with forward and reverse indices.
+class Store {
+ public:
+  /// Records one observation of `fqdn` resolving to `ip` on `day`.
+  /// Windows extend monotonically; repeated observations are counted.
+  void observe(const std::string& fqdn, const std::string& registrable,
+               const net::IpAddress& ip, Day day);
+
+  /// All records for an FQDN (forward lookup). Empty when unseen.
+  [[nodiscard]] std::vector<const Record*> forward(const std::string& fqdn) const;
+
+  /// All records for an IP (reverse lookup). Empty when unseen.
+  [[nodiscard]] std::vector<const Record*> reverse(const net::IpAddress& ip) const;
+
+  /// True when (fqdn, ip) was a valid pair on `day` (within the window).
+  [[nodiscard]] bool valid_at(const std::string& fqdn, const net::IpAddress& ip,
+                              Day day) const;
+
+  /// Distinct registrable domains served by `ip` over its lifetime.
+  [[nodiscard]] std::size_t registrable_count(const net::IpAddress& ip) const;
+
+  /// Total observations recorded against `ip`.
+  [[nodiscard]] std::uint64_t observations_of(const net::IpAddress& ip) const;
+
+  /// Every distinct IP in the database.
+  [[nodiscard]] std::vector<net::IpAddress> all_ips() const;
+
+  /// Every distinct IP that served `registrable` at any time.
+  [[nodiscard]] std::vector<net::IpAddress> ips_of_registrable(
+      const std::string& registrable) const;
+
+  /// Distinct IPs whose (registrable, IP) validity window covers `day` —
+  /// the time-bounded variant the NetFlow join uses (§3.3, §7.2).
+  [[nodiscard]] std::vector<net::IpAddress> ips_of_registrable_at(
+      const std::string& registrable, Day day) const;
+
+  [[nodiscard]] std::size_t record_count() const noexcept { return records_.size(); }
+
+ private:
+  std::vector<Record> records_;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_fqdn_;
+  std::unordered_map<net::IpAddress, std::vector<std::size_t>> by_ip_;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_registrable_;
+};
+
+}  // namespace cbwt::pdns

@@ -1,0 +1,115 @@
+#include "report/export.h"
+
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#include "report/json.h"
+
+namespace cbwt::report {
+
+std::string flows_to_csv(const analysis::FlowAnalyzer& analyzer,
+                         std::span<const analysis::Flow> flows) {
+  std::string out = "origin_country,destination_country,weight\n";
+  const auto matrix = analyzer.country_matrix(flows);
+  for (const auto& [origin, row] : matrix) {
+    for (const auto& [destination, weight] : row) {
+      out += origin + "," + destination + "," + std::to_string(weight) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string sankey_to_json(
+    const std::map<std::string, std::map<std::string, std::uint64_t>>& matrix) {
+  // Collect node names: origins get an "src:" namespace so a country can
+  // appear on both sides of the diagram, as in the paper's figures.
+  std::vector<std::string> nodes;
+  std::map<std::string, std::size_t> node_index;
+  const auto intern = [&](const std::string& name) {
+    const auto it = node_index.find(name);
+    if (it != node_index.end()) return it->second;
+    const std::size_t index = nodes.size();
+    nodes.push_back(name);
+    node_index.emplace(name, index);
+    return index;
+  };
+  struct Link {
+    std::size_t source;
+    std::size_t target;
+    std::uint64_t value;
+  };
+  std::vector<Link> links;
+  for (const auto& [origin, row] : matrix) {
+    const auto source = intern("src:" + origin);
+    for (const auto& [destination, weight] : row) {
+      links.push_back({source, intern("dst:" + destination), weight});
+    }
+  }
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("nodes").begin_array();
+  for (const auto& node : nodes) {
+    json.begin_object().key("name").value(node).end_object();
+  }
+  json.end_array();
+  json.key("links").begin_array();
+  for (const auto& link : links) {
+    json.begin_object()
+        .key("source").value(static_cast<std::uint64_t>(link.source))
+        .key("target").value(static_cast<std::uint64_t>(link.target))
+        .key("value").value(link.value)
+        .end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::string confinement_to_json(
+    const std::map<std::string, analysis::Confinement>& per_origin) {
+  JsonWriter json;
+  json.begin_object();
+  for (const auto& [origin, confinement] : per_origin) {
+    json.key(origin).begin_object()
+        .key("flows").value(confinement.total)
+        .key("in_country_pct").value(confinement.in_country)
+        .key("in_eu28_pct").value(confinement.in_eu28)
+        .key("in_continent_pct").value(confinement.in_continent)
+        .end_object();
+  }
+  json.end_object();
+  return json.str();
+}
+
+std::string classification_to_json(const classify::ClassificationSummary& summary) {
+  JsonWriter json;
+  json.begin_object();
+  const auto stage = [&](const char* name, const classify::StageStats& stats) {
+    json.key(name).begin_object()
+        .key("fqdns").value(stats.fqdns)
+        .key("registrable_domains").value(stats.registrables)
+        .key("unique_requests").value(stats.unique_urls)
+        .key("total_requests").value(stats.total_requests)
+        .end_object();
+  };
+  stage("abp_lists", summary.abp);
+  stage("semi_automatic", summary.semi);
+  stage("total", summary.total);
+  json.key("non_tracking_requests").value(summary.untracked_requests);
+  json.end_object();
+  return json.str();
+}
+
+void write_file(const std::string& path, std::string_view contents) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(std::fopen(path.c_str(), "wb"),
+                                                       &std::fclose);
+  if (!file) throw std::runtime_error("cannot open for writing: " + path);
+  if (std::fwrite(contents.data(), 1, contents.size(), file.get()) != contents.size()) {
+    throw std::runtime_error("short write: " + path);
+  }
+}
+
+}  // namespace cbwt::report

@@ -1,0 +1,36 @@
+// Export of analysis artifacts to interchange formats — the hooks a
+// downstream user (a DPA dashboard, the paper's own Sankey plots) needs:
+// flows as CSV, Sankey matrices and confinement tables as JSON.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+
+#include "analysis/flows.h"
+#include "classify/classifier.h"
+
+namespace cbwt::report {
+
+/// CSV of aggregated flows: origin_country,destination_country,weight.
+/// Destinations are resolved through the analyzer's geolocation tool.
+[[nodiscard]] std::string flows_to_csv(const analysis::FlowAnalyzer& analyzer,
+                                       std::span<const analysis::Flow> flows);
+
+/// JSON Sankey document: {"nodes":[...], "links":[{"source","target","value"}]}
+/// from an origin->destination matrix (country- or region-level).
+[[nodiscard]] std::string sankey_to_json(
+    const std::map<std::string, std::map<std::string, std::uint64_t>>& matrix);
+
+/// JSON per-origin confinement table (Fig. 8 / Fig. 11 data series).
+[[nodiscard]] std::string confinement_to_json(
+    const std::map<std::string, analysis::Confinement>& per_origin);
+
+/// JSON of the Table-2 classification summary.
+[[nodiscard]] std::string classification_to_json(
+    const classify::ClassificationSummary& summary);
+
+/// Writes text to a file; throws std::runtime_error on I/O failure.
+void write_file(const std::string& path, std::string_view contents);
+
+}  // namespace cbwt::report

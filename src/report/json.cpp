@@ -1,0 +1,147 @@
+#include "report/json.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace cbwt::report {
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty()) return;  // root value
+  if (stack_.back() == Frame::Object && !key_pending_) {
+    throw std::logic_error("JsonWriter: value inside object requires key()");
+  }
+  if (stack_.back() == Frame::Array) {
+    if (!first_in_frame_.back()) out_ += ',';
+    first_in_frame_.back() = false;
+  }
+  key_pending_ = false;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back() != Frame::Object) {
+    throw std::logic_error("JsonWriter: key() outside object");
+  }
+  if (key_pending_) throw std::logic_error("JsonWriter: consecutive key()");
+  if (!first_in_frame_.back()) out_ += ',';
+  first_in_frame_.back() = false;
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back(Frame::Object);
+  first_in_frame_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::Object || key_pending_) {
+    throw std::logic_error("JsonWriter: unbalanced end_object()");
+  }
+  out_ += '}';
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back(Frame::Array);
+  first_in_frame_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::Array) {
+    throw std::logic_error("JsonWriter: unbalanced end_array()");
+  }
+  out_ += ']';
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  out_ += '"';
+  out_ += escape(text);
+  out_ += '"';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6g", number);
+  out_ += buffer;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  out_ += std::to_string(number);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  before_value();
+  out_ += std::to_string(number);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  out_ += flag ? "true" : "false";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty()) throw std::logic_error("JsonWriter: document incomplete");
+  return out_;
+}
+
+}  // namespace cbwt::report

@@ -1,0 +1,50 @@
+// Minimal streaming JSON writer: enough to export analysis artifacts
+// (Sankey matrices, confinement tables) without a third-party
+// dependency. Handles escaping and nesting bookkeeping; misuse (value
+// without a key inside an object, unbalanced end) throws logic_error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbwt::report {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Names the next value inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// The finished document; throws if containers are still open.
+  [[nodiscard]] std::string str() const;
+
+  /// Escapes a string for embedding in JSON (quotes not included).
+  [[nodiscard]] static std::string escape(std::string_view text);
+
+ private:
+  enum class Frame : std::uint8_t { Object, Array };
+
+  void before_value();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_in_frame_;
+  bool key_pending_ = false;
+  bool done_ = false;
+};
+
+}  // namespace cbwt::report

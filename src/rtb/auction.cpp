@@ -1,0 +1,98 @@
+#include "rtb/auction.h"
+
+#include <algorithm>
+
+#include "geo/country.h"
+
+namespace cbwt::rtb {
+
+AuctionEngine::AuctionEngine(const world::World& world, const dns::Resolver& resolver,
+                             AuctionConfig config)
+    : world_(&world), resolver_(&resolver), config_(config) {}
+
+double AuctionEngine::bid_rtt_ms(const world::Organization& dsp,
+                                 const BidRequest& request, util::Rng& rng) const {
+  if (dsp.domains.empty()) return config_.timeout_ms;
+  // Resolve the DSP's bid endpoint for this user and measure the path to
+  // the chosen server.
+  const auto origin = resolver_->origin_for(request.user_country, false);
+  const auto answer = resolver_->resolve(dsp.domains.front(), origin, rng);
+  const auto& dc = world_->datacenter(world_->server(answer.server).datacenter);
+  const geo::Country* home = geo::find_country(request.user_country);
+  if (home == nullptr) return config_.timeout_ms;
+  return 2.0 * geo::propagation_delay_ms(home->centroid, dc.location);
+}
+
+BidResponse AuctionEngine::solicit(const world::Organization& dsp,
+                                   const BidRequest& request, const CookieJar& jar,
+                                   util::Rng& rng) const {
+  BidResponse response;
+  response.latency_ms =
+      bid_rtt_ms(dsp, request, rng) +
+      rng.next_double_in(config_.compute_ms_min, config_.compute_ms_max);
+
+  // COPPA-regulated inventory: most bidders skip behavioural bidding.
+  if (request.coppa && rng.chance(0.8)) return response;
+  if (rng.chance(config_.no_bid_probability)) return response;
+
+  const bool has_profile = jar.has_id(dsp.id);
+  // Valuation: popularity-scaled base CPM, lifted when the DSP can link
+  // the user to a synced behavioural profile.
+  double value = request.imp.bidfloor +
+                 rng.next_pareto(1.3, 40.0) * 0.05 * (1.0 + 50.0 * dsp.popularity);
+  if (has_profile) value *= config_.synced_value_boost;
+  if (value < request.imp.bidfloor) return response;
+
+  Bid bid;
+  bid.request_id = request.id;
+  bid.dsp = dsp.id;
+  bid.price_cpm = value;
+  const auto& endpoint = world_->domain(dsp.domains.front());
+  bid.creative_url = "https://" + endpoint.fqdn + "/creative?auction=" + request.id;
+  bid.win_notice_url = "https://" + endpoint.fqdn + "/win?auction=" + request.id +
+                       "&price=${AUCTION_PRICE}";
+  bid.wants_sync = !has_profile && rng.chance(config_.sync_request_probability);
+  response.bid = std::move(bid);
+  return response;
+}
+
+AuctionOutcome AuctionEngine::run(const BidRequest& request,
+                                  std::span<const world::OrgId> bidders,
+                                  const CookieJar& jar, util::Rng& rng) const {
+  AuctionOutcome outcome;
+  std::vector<Bid> valid;
+  for (const auto dsp_id : bidders) {
+    const auto& dsp = world_->org(dsp_id);
+    outcome.participants.push_back(dsp_id);
+    const auto response = solicit(dsp, request, jar, rng);
+    if (response.latency_ms > config_.timeout_ms) {
+      outcome.timed_out.push_back(dsp_id);
+      continue;
+    }
+    if (!response.bid) {
+      outcome.no_bids.push_back(dsp_id);
+      continue;
+    }
+    valid.push_back(*response.bid);
+  }
+  if (valid.empty()) return outcome;
+
+  std::sort(valid.begin(), valid.end(),
+            [](const Bid& a, const Bid& b) { return a.price_cpm > b.price_cpm; });
+  outcome.winner = valid.front();
+  switch (config_.price_rule) {
+    case PriceRule::FirstPrice:
+      outcome.clearing_price_cpm = valid.front().price_cpm;
+      break;
+    case PriceRule::SecondPrice:
+      // Runner-up + 1 cent, never above the winning bid itself.
+      outcome.clearing_price_cpm =
+          valid.size() > 1
+              ? std::min(valid.front().price_cpm, valid[1].price_cpm + 0.01)
+              : request.imp.bidfloor;
+      break;
+  }
+  return outcome;
+}
+
+}  // namespace cbwt::rtb

@@ -1,0 +1,71 @@
+// The exchange-side auction: fan the BidRequest out to candidate DSPs,
+// model each bidder's valuation (synced cookies raise it — that is the
+// economics behind cookie-sync cascades), apply the RTB latency budget
+// (bidders hosted far from the exchange miss it), and clear the auction.
+//
+// Geography enters twice, exactly as the paper argues: bid latency
+// pushes operators to host near users (§5's RTB motivation), and the
+// winner/sync flows are what the extension observes crossing borders.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dns/resolver.h"
+#include "rtb/cookies.h"
+#include "rtb/openrtb.h"
+#include "util/prng.h"
+#include "world/world.h"
+
+namespace cbwt::rtb {
+
+struct AuctionConfig {
+  PriceRule price_rule = PriceRule::SecondPrice;
+  /// RTB latency budget; bids arriving later are dropped (the paper cites
+  /// the ~100 ms bidding budget as the reason tracker IPs stay dedicated).
+  double timeout_ms = 100.0;
+  /// Bidder-side processing time range added on top of network RTT.
+  double compute_ms_min = 8.0;
+  double compute_ms_max = 45.0;
+  /// Base no-bid probability (campaign/budget misses).
+  double no_bid_probability = 0.25;
+  /// Valuation lift when the DSP has a synced id for the user.
+  double synced_value_boost = 1.6;
+  /// Probability an unsynced winner requests a cookie-sync.
+  double sync_request_probability = 0.85;
+};
+
+/// Runs auctions against a fixed world + resolver.
+class AuctionEngine {
+ public:
+  AuctionEngine(const world::World& world, const dns::Resolver& resolver,
+                AuctionConfig config = {});
+
+  /// Runs one auction among `bidders` for `request`. `jar` supplies the
+  /// user's cookie state (bids read it; the caller applies sync effects
+  /// when the browser actually fires the sync pixels).
+  [[nodiscard]] AuctionOutcome run(const BidRequest& request,
+                                   std::span<const world::OrgId> bidders,
+                                   const CookieJar& jar, util::Rng& rng) const;
+
+  /// One bidder's response (exposed for tests): valuation, latency, and
+  /// whether a sync would be requested.
+  [[nodiscard]] BidResponse solicit(const world::Organization& dsp,
+                                    const BidRequest& request, const CookieJar& jar,
+                                    util::Rng& rng) const;
+
+  [[nodiscard]] const AuctionConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Round-trip time from the user's country to the DSP's nearest server
+  /// answering its bid endpoint.
+  [[nodiscard]] double bid_rtt_ms(const world::Organization& dsp,
+                                  const BidRequest& request, util::Rng& rng) const;
+
+  const world::World* world_;
+  const dns::Resolver* resolver_;
+  AuctionConfig config_;
+};
+
+}  // namespace cbwt::rtb

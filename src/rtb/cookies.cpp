@@ -1,0 +1,30 @@
+#include "rtb/cookies.h"
+
+namespace cbwt::rtb {
+
+std::optional<std::uint64_t> CookieJar::id_of(world::OrgId org) const {
+  const auto it = ids_.find(org);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t CookieJar::ensure_id(world::OrgId org, util::Rng& rng) {
+  const auto it = ids_.find(org);
+  if (it != ids_.end()) return it->second;
+  const std::uint64_t minted = rng();
+  ids_.emplace(org, minted);
+  return minted;
+}
+
+bool CookieJar::has_id(world::OrgId org) const { return ids_.contains(org); }
+
+bool CookieJar::synced(world::OrgId a, world::OrgId b) const {
+  return synced_.contains(key(a, b));
+}
+
+void CookieJar::record_sync(world::OrgId a, world::OrgId b) {
+  if (a == b) return;
+  synced_.insert(key(a, b));
+}
+
+}  // namespace cbwt::rtb

@@ -1,0 +1,73 @@
+// OpenRTB-style message types (a working subset of the IAB OpenRTB 2.3
+// objects the paper's Fig. 1 ecosystem exchanges). The browser renders a
+// publisher page; each ad slot becomes an Impression inside a BidRequest
+// that the ad network (exchange side) fans out to DSPs; responses carry
+// bids and win/creative/sync URLs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "world/types.h"
+
+namespace cbwt::rtb {
+
+/// One ad slot being auctioned (OpenRTB `imp`).
+struct Impression {
+  std::string id;            ///< impression id within the request
+  int width = 300;
+  int height = 250;
+  double bidfloor = 0.05;    ///< CPM floor set by the publisher
+  bool interstitial = false;
+};
+
+/// The auctioned context (OpenRTB `BidRequest` with site/user/regs).
+struct BidRequest {
+  std::string id;                      ///< auction id
+  Impression imp;
+  std::string site_domain;             ///< first-party domain
+  std::vector<world::TopicId> site_topics;
+  std::string user_country;            ///< geo the exchange passes along
+  world::UserId user = 0;
+  /// COPPA flag (OpenRTB `regs.coppa`): set when the site addresses
+  /// minors; compliant bidders must not behaviourally target.
+  bool coppa = false;
+  /// GDPR-sensitive context: set when the site falls in a protected
+  /// category; the paper finds bidding continues regardless (§6).
+  bool sensitive_context = false;
+};
+
+/// One DSP's answer for an impression (OpenRTB `Bid`).
+struct Bid {
+  std::string request_id;
+  world::OrgId dsp = 0;
+  double price_cpm = 0.0;
+  std::string creative_url;   ///< ad markup fetch (browser-visible flow)
+  std::string win_notice_url; ///< nurl, fired on win (browser-visible)
+  bool wants_sync = false;    ///< DSP asks the exchange to cookie-sync
+};
+
+/// OpenRTB `BidResponse` reduced to the single-impression case.
+struct BidResponse {
+  std::optional<Bid> bid;  ///< empty = no-bid
+  double latency_ms = 0.0; ///< how long the bidder took (timeout control)
+};
+
+/// Clearing rule of the exchange.
+enum class PriceRule : std::uint8_t {
+  FirstPrice,
+  SecondPrice,  ///< the 2017/18 default; winner pays runner-up + 0.01
+};
+
+/// Outcome of one auction round.
+struct AuctionOutcome {
+  std::optional<Bid> winner;
+  double clearing_price_cpm = 0.0;
+  std::vector<world::OrgId> participants;  ///< DSPs that received the request
+  std::vector<world::OrgId> timed_out;     ///< DSPs dropped for latency
+  std::vector<world::OrgId> no_bids;       ///< DSPs that declined
+};
+
+}  // namespace cbwt::rtb

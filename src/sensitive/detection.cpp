@@ -1,0 +1,148 @@
+#include "sensitive/detection.h"
+
+#include <algorithm>
+#include <array>
+
+namespace cbwt::sensitive {
+
+namespace {
+
+using world::Topic;
+
+/// Umbrella labels that an automatic GDPR-term lookup catches directly:
+/// only categories whose umbrella itself reads as sensitive.
+constexpr std::array<std::string_view, 1> kAutoDetectableUmbrellas = {"Health"};
+
+bool truly_sensitive(const world::Publisher& publisher, world::TopicId* out_topic) {
+  for (const auto topic_id : publisher.topics) {
+    const Topic& topic = world::topic_by_id(topic_id);
+    if (topic.sensitive) {
+      if (out_topic != nullptr) *out_topic = topic_id;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> auto_tags(const world::Publisher& publisher, util::Rng& rng) {
+  std::vector<std::string> tags;
+  for (const auto topic_id : publisher.topics) {
+    // The tagger reports the umbrella, not the precise (sensitive) topic.
+    tags.emplace_back(world::topic_by_id(topic_id).umbrella);
+  }
+  // Pad with generic interest labels to the 5-15 range the paper reports.
+  static constexpr std::array<std::string_view, 10> kFiller = {
+      "Internet & Telecom", "Reference", "Science",   "Law & Government",
+      "Online Communities", "Books",     "Hobbies",   "World Localities",
+      "Business",           "People & Society"};
+  const std::size_t target = 5 + static_cast<std::size_t>(rng.next_below(11));
+  while (tags.size() < target) {
+    tags.emplace_back(kFiller[static_cast<std::size_t>(rng.next_below(kFiller.size()))]);
+  }
+  return tags;
+}
+
+Catalog detect_sensitive_publishers(const world::World& world,
+                                    const DetectionConfig& config, util::Rng& rng) {
+  Catalog catalog;
+  for (const auto& publisher : world.publishers()) {
+    ++catalog.inspected_domains;
+    world::TopicId true_topic = 0;
+    const bool is_sensitive = truly_sensitive(publisher, &true_topic);
+
+    // Stage A: automatic lookup over the AdWords-style tags.
+    bool flagged = false;
+    const auto tags = auto_tags(publisher, rng);
+    if (is_sensitive) {
+      for (const auto& tag : tags) {
+        for (const auto umbrella : kAutoDetectableUmbrellas) {
+          if (tag == umbrella) flagged = true;
+        }
+      }
+      if (flagged) ++catalog.auto_stage_hits;
+    }
+
+    // Stage B: examiner panel on everything (the paper manually reviewed
+    // all 5,698 domains over two weeks).
+    if (!flagged) {
+      std::uint32_t votes = 0;
+      for (std::uint32_t e = 0; e < config.examiners; ++e) {
+        const double hit_probability =
+            is_sensitive ? config.examiner_sensitivity : config.examiner_false_positive;
+        if (rng.chance(hit_probability)) ++votes;
+      }
+      flagged = votes >= config.required_agreement;
+    }
+
+    if (flagged) {
+      world::TopicId detected_topic = true_topic;
+      if (!is_sensitive) {
+        // False positive: examiners agreed on some plausible category.
+        const auto ids = world::sensitive_topic_ids();
+        detected_topic = ids[static_cast<std::size_t>(rng.next_below(ids.size()))];
+      }
+      catalog.detected.emplace(publisher.id, detected_topic);
+    }
+  }
+  return catalog;
+}
+
+SensitiveBreakdown sensitive_breakdown(const world::World& /*world*/, const Catalog& catalog,
+                                       const browser::ExtensionDataset& dataset,
+                                       const std::vector<classify::Outcome>& outcomes) {
+  SensitiveBreakdown breakdown;
+  std::map<world::TopicId, CategoryStats> by_topic;
+  std::map<world::TopicId, std::vector<world::PublisherId>> publishers_by_topic;
+  for (const auto& [publisher, topic] : catalog.detected) {
+    publishers_by_topic[topic].push_back(publisher);
+  }
+
+  for (std::size_t i = 0; i < dataset.requests.size(); ++i) {
+    if (!classify::is_tracking(outcomes[i].method)) continue;
+    ++breakdown.tracking_flows;
+    const auto& request = dataset.requests[i];
+    const auto it = catalog.detected.find(request.publisher);
+    if (it == catalog.detected.end()) continue;
+    ++breakdown.sensitive_flows;
+    auto& stats = by_topic[it->second];
+    if (stats.category.empty()) {
+      stats.category = std::string(world::topic_by_id(it->second).name);
+    }
+    ++stats.flows;
+  }
+  for (auto& [topic, stats] : by_topic) {
+    stats.publishers = publishers_by_topic[topic].size();
+    breakdown.categories.push_back(stats);
+  }
+  std::sort(breakdown.categories.begin(), breakdown.categories.end(),
+            [](const CategoryStats& a, const CategoryStats& b) {
+              if (a.flows != b.flows) return a.flows > b.flows;
+              return a.category < b.category;
+            });
+  return breakdown;
+}
+
+std::vector<analysis::Flow> sensitive_flows(const world::World& world,
+                                            const Catalog& catalog,
+                                            const browser::ExtensionDataset& dataset,
+                                            const std::vector<classify::Outcome>& outcomes,
+                                            std::string_view category) {
+  std::vector<analysis::Flow> flows;
+  for (std::size_t i = 0; i < dataset.requests.size(); ++i) {
+    if (!classify::is_tracking(outcomes[i].method)) continue;
+    const auto& request = dataset.requests[i];
+    const auto it = catalog.detected.find(request.publisher);
+    if (it == catalog.detected.end()) continue;
+    if (!category.empty() && world::topic_by_id(it->second).name != category) continue;
+    analysis::Flow flow;
+    flow.origin_country = world.users().at(request.user).country;
+    flow.destination = request.server_ip;
+    flow.weight = 1;
+    flows.push_back(std::move(flow));
+  }
+  return flows;
+}
+
+}  // namespace cbwt::sensitive

@@ -1,0 +1,79 @@
+// Sensitive-category tracing (§6): find first-party domains that fall
+// under GDPR-protected categories, then trace the tracking flows they
+// induce. Detection mirrors the paper's multi-stage process: an
+// AdWords-style automatic tagger (whose umbrella labels *hide* most
+// sensitive categories — "pregnancy" shows up as "Health", "porn" as
+// "Men's Interests"), followed by manual review where a domain counts as
+// sensitive when at least two independent examiners agree.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/flows.h"
+#include "browser/extension.h"
+#include "classify/classifier.h"
+#include "util/prng.h"
+#include "world/topics.h"
+#include "world/world.h"
+
+namespace cbwt::sensitive {
+
+/// AdWords-style automatic tags for a publisher: 5-15 umbrella interest
+/// labels. Sensitive content mostly surfaces as its umbrella label only.
+[[nodiscard]] std::vector<std::string> auto_tags(const world::Publisher& publisher,
+                                                 util::Rng& rng);
+
+struct DetectionConfig {
+  std::uint32_t examiners = 3;
+  /// Probability an examiner recognizes a truly sensitive domain.
+  double examiner_sensitivity = 0.93;
+  /// Probability an examiner wrongly flags a benign domain.
+  double examiner_false_positive = 0.004;
+  std::uint32_t required_agreement = 2;
+};
+
+/// Outcome of the multi-stage inspection.
+struct Catalog {
+  /// publisher -> detected sensitive topic id.
+  std::unordered_map<world::PublisherId, world::TopicId> detected;
+  std::uint64_t inspected_domains = 0;
+  std::uint64_t auto_stage_hits = 0;  ///< caught by the automatic lookup alone
+};
+
+/// Runs automatic tagging + the examiner panel over every publisher.
+[[nodiscard]] Catalog detect_sensitive_publishers(const world::World& world,
+                                                  const DetectionConfig& config,
+                                                  util::Rng& rng);
+
+/// Per-category share of tracking flows (Fig. 9).
+struct CategoryStats {
+  std::string category;
+  std::uint64_t flows = 0;
+  std::uint64_t publishers = 0;
+};
+
+/// Tallies classified tracking flows against the catalog. Returns stats
+/// per category plus the total sensitive / overall tracking flow counts.
+struct SensitiveBreakdown {
+  std::vector<CategoryStats> categories;     ///< sorted by flow count desc
+  std::uint64_t sensitive_flows = 0;
+  std::uint64_t tracking_flows = 0;
+};
+
+[[nodiscard]] SensitiveBreakdown sensitive_breakdown(
+    const world::World& world, const Catalog& catalog,
+    const browser::ExtensionDataset& dataset,
+    const std::vector<classify::Outcome>& outcomes);
+
+/// Tracking flows of one sensitive category (for Fig. 10 / Fig. 11 style
+/// destination analysis); empty category selects all sensitive flows.
+[[nodiscard]] std::vector<analysis::Flow> sensitive_flows(
+    const world::World& world, const Catalog& catalog,
+    const browser::ExtensionDataset& dataset,
+    const std::vector<classify::Outcome>& outcomes, std::string_view category = {});
+
+}  // namespace cbwt::sensitive

@@ -1,0 +1,129 @@
+#include "util/prng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace cbwt::util {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless bounded sampling with rejection.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(range));
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_double_in(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::next_normal() noexcept {
+  // Box-Muller; u1 is kept away from zero so log() stays finite.
+  double u1 = next_double();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::next_normal(double mean, double stddev) noexcept {
+  return mean + stddev * next_normal();
+}
+
+double Rng::next_exponential(double lambda) noexcept {
+  double u = next_double();
+  if (u < 1e-300) u = 1e-300;
+  return -std::log(u) / lambda;
+}
+
+double Rng::next_pareto(double alpha, double cap) noexcept {
+  // Inverse-CDF sampling of a Pareto truncated at `cap`.
+  const double u = next_double();
+  const double h = 1.0 - std::pow(cap, -alpha);
+  const double x = std::pow(1.0 - u * h, -1.0 / alpha);
+  return std::min(x, cap);
+}
+
+std::uint64_t Rng::next_poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    const double v = next_normal(mean, std::sqrt(mean));
+    return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double product = next_double();
+  std::uint64_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= next_double();
+  }
+  return count;
+}
+
+Rng Rng::fork(std::uint64_t label) noexcept {
+  std::uint64_t seed = (*this)() ^ mix64(label);
+  return Rng{seed};
+}
+
+std::size_t sample_discrete(Rng& rng, std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (const double w : weights) total += std::max(w, 0.0);
+  if (total <= 0.0 || weights.empty()) return 0;
+  double target = rng.next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= std::max(weights[i], 0.0);
+    if (target <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  cdf_.reserve(n);
+  double running = 0.0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    running += 1.0 / std::pow(static_cast<double>(rank + 1), s);
+    cdf_.push_back(running);
+  }
+  for (double& value : cdf_) value /= running;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  if (cdf_.empty()) return 0;
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it) ==
+                                          static_cast<std::ptrdiff_t>(cdf_.size())
+                                      ? cdf_.size() - 1
+                                      : std::distance(cdf_.begin(), it));
+}
+
+double ZipfSampler::mass(std::size_t rank) const noexcept {
+  if (rank >= cdf_.size()) return 0.0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace cbwt::util

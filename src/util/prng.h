@@ -1,0 +1,141 @@
+// Deterministic pseudo-random number generation for the cbwt library.
+//
+// Everything in cbwt that needs randomness takes an explicit Rng&; the
+// library never touches global random state, so a Study run is fully
+// reproducible from a single 64-bit seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cbwt::util {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes a 64-bit value into a well-distributed hash (stateless).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  return splitmix64(x);
+}
+
+/// xoshiro256++ generator: fast, high-quality, 2^256-1 period.
+///
+/// Satisfies UniformRandomBitGenerator so it can also drive <random>
+/// distributions, though cbwt code uses the member helpers below.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four lanes from `seed` via splitmix64.
+  explicit constexpr Rng(std::uint64_t seed = 0xC0FFEE123456789ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& lane : state_) lane = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  [[nodiscard]] std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double next_double_in(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Standard normal via Box-Muller (one value per call; no caching).
+  [[nodiscard]] double next_normal() noexcept;
+
+  /// Normal with given mean / stddev.
+  [[nodiscard]] double next_normal(double mean, double stddev) noexcept;
+
+  /// Exponential with given rate lambda (> 0).
+  [[nodiscard]] double next_exponential(double lambda) noexcept;
+
+  /// Bounded Pareto-ish heavy tail: x in [1, cap] with density ~ x^-(alpha+1).
+  [[nodiscard]] double next_pareto(double alpha, double cap) noexcept;
+
+  /// Poisson-distributed count (Knuth for small mean, normal approx above 64).
+  [[nodiscard]] std::uint64_t next_poisson(double mean) noexcept;
+
+  /// Derives an independent child generator; stable given the same label.
+  [[nodiscard]] Rng fork(std::uint64_t label) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    if (items.size() < 2) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i + 1));
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+  /// Picks a uniformly random element; requires non-empty span.
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> items) noexcept {
+    return items[static_cast<std::size_t>(next_below(items.size()))];
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Samples an index from unnormalized non-negative weights.
+///
+/// Linear scan; intended for setup-time sampling over modest alphabets.
+/// Returns weights.size() - 1 if rounding leaves residual mass; returns 0
+/// for an all-zero weight vector.
+[[nodiscard]] std::size_t sample_discrete(Rng& rng, std::span<const double> weights) noexcept;
+
+/// Zipf sampler over ranks {0, ..., n-1} with exponent s (>= 0).
+///
+/// Precomputes the CDF once; sampling is O(log n). Used for publisher and
+/// tracker popularity, which the measurement literature finds heavy-tailed.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  /// Probability mass of a given rank.
+  [[nodiscard]] double mass(std::size_t rank) const noexcept;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace cbwt::util

@@ -1,0 +1,119 @@
+// Small statistics toolkit used by the analysis and reporting layers:
+// running moments, empirical CDFs, histograms, quantiles, correlation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cbwt::util {
+
+/// Welford running mean / variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Empirical CDF over a sample; sorted once at construction.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double at(double x) const noexcept;
+  /// Inverse CDF; q clamped to [0,1]. Empty CDF returns 0.
+  [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] std::span<const double> sorted() const noexcept { return sorted_; }
+
+  /// Evaluates the CDF at `points` evenly spaced quantile knots, returning
+  /// (x, F(x)) pairs suitable for plotting a figure-2-style curve.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-bin linear histogram.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t bin) const noexcept;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Inclusive-exclusive bounds of a bin.
+  [[nodiscard]] std::pair<double, double> bin_range(std::size_t bin) const noexcept;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Counter keyed by string: the workhorse for per-domain / per-country
+/// tallies. Deterministic iteration (std::map) so reports are stable.
+class Tally {
+ public:
+  void add(const std::string& key, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::uint64_t count(const std::string& key) const noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t distinct() const noexcept { return counts_.size(); }
+  /// Share of the total mass held by `key`, in [0,1]; 0 when empty.
+  [[nodiscard]] double share(const std::string& key) const noexcept;
+
+  /// Keys sorted by descending count (ties broken lexicographically).
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> top(std::size_t n) const;
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& items() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Pearson correlation of two equally-sized series; 0 if degenerate.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+/// Spearman rank correlation; 0 if degenerate.
+[[nodiscard]] double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Percentage helper: 100 * part / whole, 0 when whole == 0.
+[[nodiscard]] double percent(double part, double whole) noexcept;
+
+/// Two-sided bootstrap confidence interval for the mean of a sample.
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double point = 0.0;  ///< sample mean
+};
+
+/// Percentile bootstrap with `resamples` draws at confidence `level`
+/// (e.g. 0.95). Degenerate inputs return a zero-width interval at the
+/// mean. Deterministic given the rng.
+[[nodiscard]] ConfidenceInterval bootstrap_mean_ci(std::span<const double> sample,
+                                                   double level, std::size_t resamples,
+                                                   class Rng& rng);
+
+}  // namespace cbwt::util

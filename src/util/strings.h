@@ -1,0 +1,36 @@
+// String helpers shared across cbwt modules. All functions are pure and
+// allocation is avoided where a view suffices.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbwt::util {
+
+/// Splits on a single character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Joins pieces with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// ASCII lower-casing (tracking domains and URLs are ASCII in this model).
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+/// Case-sensitive containment test.
+[[nodiscard]] bool contains(std::string_view haystack, std::string_view needle) noexcept;
+
+/// Case-insensitive (ASCII) containment test.
+[[nodiscard]] bool icontains(std::string_view haystack, std::string_view needle);
+
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// printf-style double formatting with fixed decimals, e.g. fmt_pct(84.93,2)
+/// -> "84.93%".
+[[nodiscard]] std::string fmt_fixed(double value, int decimals);
+[[nodiscard]] std::string fmt_pct(double value, int decimals = 2);
+
+/// Thousands-separated integer, e.g. 7172752 -> "7,172,752".
+[[nodiscard]] std::string fmt_count(std::uint64_t value);
+
+}  // namespace cbwt::util

@@ -1,0 +1,187 @@
+#include "whatif/localization.h"
+
+#include "geo/country.h"
+
+namespace cbwt::whatif {
+
+namespace {
+
+std::string continent_of(const std::string& country_code) {
+  const geo::Country* country = geo::find_country(country_code);
+  return country == nullptr ? std::string{} : std::string(geo::to_string(country->continent));
+}
+
+bool set_has_continent(const std::set<std::string>& countries, const std::string& continent) {
+  for (const auto& code : countries) {
+    if (continent_of(code) == continent) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view to_string(Scenario scenario) noexcept {
+  switch (scenario) {
+    case Scenario::Default: return "Default";
+    case Scenario::RedirectFqdn: return "Redirections (FQDN)";
+    case Scenario::RedirectTld: return "Redirections (TLD)";
+    case Scenario::PopMirroring: return "POP Mirroring (Cloud)";
+    case Scenario::RedirectTldPlusMirroring: return "Redirection (TLD) + POP Mirroring";
+    case Scenario::CloudMigration: return "Migration to Cloud";
+  }
+  return "?";
+}
+
+LocalizationStudy::LocalizationStudy(const world::World& world,
+                                     const geoloc::GeoService& service, geoloc::Tool tool)
+    : world_(&world), service_(&service), tool_(tool) {
+  // Published cloud footprints (country level, as the providers advertise).
+  for (const auto& cloud : world.clouds()) {
+    auto& countries = cloud_countries_[cloud.id];
+    for (const auto pop : cloud.pops) {
+      countries.insert(world.datacenter(pop).country);
+      all_cloud_countries_.insert(world.datacenter(pop).country);
+    }
+  }
+}
+
+void LocalizationStudy::load(const browser::ExtensionDataset& dataset,
+                             const std::vector<classify::Outcome>& outcomes) {
+  flows_.clear();
+  countries_by_fqdn_.clear();
+  countries_by_registrable_.clear();
+
+  for (std::size_t i = 0; i < dataset.requests.size(); ++i) {
+    if (!classify::is_tracking(outcomes[i].method)) continue;
+    const auto& request = dataset.requests[i];
+    const auto& user = world_->users().at(request.user);
+    const geo::Country* origin = geo::find_country(user.country);
+    if (origin == nullptr || !origin->eu28) continue;  // Table 5 scope: EU28 users
+
+    StudyFlow flow;
+    flow.origin = user.country;
+    flow.origin_continent = std::string(geo::to_string(origin->continent));
+    flow.default_destination = service_->locate(request.server_ip, tool_);
+    flow.default_destination_continent = continent_of(flow.default_destination);
+    flow.domain = request.domain;
+    flows_.push_back(std::move(flow));
+
+    // Record the observed alternative server location for this FQDN/TLD.
+    const auto& domain = world_->domain(request.domain);
+    const auto destination = flows_.back().default_destination;
+    if (!destination.empty()) {
+      countries_by_fqdn_[domain.fqdn].insert(destination);
+      countries_by_registrable_[domain.registrable].insert(destination);
+    }
+  }
+}
+
+const std::set<std::string>* LocalizationStudy::alternatives(const StudyFlow& flow,
+                                                             Scenario scenario) const {
+  const auto& domain = world_->domain(flow.domain);
+  switch (scenario) {
+    case Scenario::Default:
+      return nullptr;
+    case Scenario::RedirectFqdn: {
+      const auto it = countries_by_fqdn_.find(domain.fqdn);
+      return it == countries_by_fqdn_.end() ? nullptr : &it->second;
+    }
+    case Scenario::RedirectTld:
+    case Scenario::RedirectTldPlusMirroring: {
+      const auto it = countries_by_registrable_.find(domain.registrable);
+      return it == countries_by_registrable_.end() ? nullptr : &it->second;
+    }
+    case Scenario::PopMirroring: {
+      const auto& org = world_->org(domain.org);
+      if (org.cloud == world::kNoCloud) return nullptr;
+      const auto it = cloud_countries_.find(org.cloud);
+      return it == cloud_countries_.end() ? nullptr : &it->second;
+    }
+    case Scenario::CloudMigration:
+      return &all_cloud_countries_;
+  }
+  return nullptr;
+}
+
+bool LocalizationStudy::scenario_confines_to_country(const StudyFlow& flow,
+                                                     Scenario scenario) const {
+  if (flow.default_destination == flow.origin) return true;
+  const auto* alt = alternatives(flow, scenario);
+  if (alt != nullptr && alt->contains(flow.origin)) return true;
+  if (scenario == Scenario::RedirectTldPlusMirroring) {
+    // Also allow the org's cloud footprint on top of TLD redirection.
+    const auto* mirrored = alternatives(flow, Scenario::PopMirroring);
+    if (mirrored != nullptr && mirrored->contains(flow.origin)) return true;
+  }
+  return false;
+}
+
+bool LocalizationStudy::scenario_confines_to_continent(const StudyFlow& flow,
+                                                       Scenario scenario) const {
+  if (flow.default_destination_continent == flow.origin_continent) return true;
+  const auto* alt = alternatives(flow, scenario);
+  if (alt != nullptr && set_has_continent(*alt, flow.origin_continent)) return true;
+  if (scenario == Scenario::RedirectTldPlusMirroring) {
+    const auto* mirrored = alternatives(flow, Scenario::PopMirroring);
+    if (mirrored != nullptr && set_has_continent(*mirrored, flow.origin_continent)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+LocalizationResult LocalizationStudy::evaluate(Scenario scenario) const {
+  LocalizationResult result;
+  std::uint64_t in_country = 0;
+  std::uint64_t in_continent = 0;
+  for (const auto& flow : flows_) {
+    ++result.total;
+    if (scenario_confines_to_country(flow, scenario)) ++in_country;
+    if (scenario_confines_to_continent(flow, scenario)) ++in_continent;
+  }
+  if (result.total > 0) {
+    result.in_country_pct =
+        100.0 * static_cast<double>(in_country) / static_cast<double>(result.total);
+    result.in_continent_pct =
+        100.0 * static_cast<double>(in_continent) / static_cast<double>(result.total);
+  }
+  return result;
+}
+
+std::map<std::string, LocalizationResult> LocalizationStudy::evaluate_per_country(
+    Scenario scenario) const {
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> tallies;  // total, confined
+  std::map<std::string, std::uint64_t> in_continent;
+  for (const auto& flow : flows_) {
+    auto& tally = tallies[flow.origin];
+    ++tally.first;
+    if (scenario_confines_to_country(flow, scenario)) ++tally.second;
+    if (scenario_confines_to_continent(flow, scenario)) ++in_continent[flow.origin];
+  }
+  std::map<std::string, LocalizationResult> out;
+  for (const auto& [country, tally] : tallies) {
+    LocalizationResult result;
+    result.total = tally.first;
+    result.in_country_pct =
+        100.0 * static_cast<double>(tally.second) / static_cast<double>(tally.first);
+    result.in_continent_pct = 100.0 * static_cast<double>(in_continent[country]) /
+                              static_cast<double>(tally.first);
+    out[country] = result;
+  }
+  return out;
+}
+
+std::map<std::string, double> LocalizationStudy::improvement_per_country(
+    Scenario baseline, Scenario scenario) const {
+  const auto base = evaluate_per_country(baseline);
+  const auto improved = evaluate_per_country(scenario);
+  std::map<std::string, double> out;
+  for (const auto& [country, result] : improved) {
+    const auto it = base.find(country);
+    const double baseline_pct = it == base.end() ? 0.0 : it->second.in_country_pct;
+    out[country] = result.in_country_pct - baseline_pct;
+  }
+  return out;
+}
+
+}  // namespace cbwt::whatif

@@ -1,0 +1,94 @@
+// "What-if" localization study (§5): how much tracking-flow confinement
+// improves if tracker operators redirect DNS to alternative servers they
+// already run (FQDN- or TLD-level), mirror PoPs across their cloud's
+// footprint, or migrate to any public-cloud PoP. The study only uses
+// alternatives *observed in the dataset* (for redirection) and the
+// clouds' *published* footprints (for mirroring/migration), exactly as
+// the paper does.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/flows.h"
+#include "browser/extension.h"
+#include "classify/classifier.h"
+#include "geoloc/service.h"
+
+namespace cbwt::whatif {
+
+enum class Scenario : std::uint8_t {
+  Default,                   ///< what DNS actually did
+  RedirectFqdn,              ///< redirect to any observed server of the same FQDN
+  RedirectTld,               ///< ... of the same registrable domain
+  PopMirroring,              ///< replicate onto the org's cloud footprint
+  RedirectTldPlusMirroring,  ///< both of the above
+  CloudMigration,            ///< move to any PoP of any of the nine clouds
+};
+
+[[nodiscard]] std::string_view to_string(Scenario scenario) noexcept;
+
+/// Confinement of a scenario over the loaded flow set.
+struct LocalizationResult {
+  std::uint64_t total = 0;
+  double in_country_pct = 0.0;
+  double in_continent_pct = 0.0;
+};
+
+/// The per-flow and per-domain state the scenarios are evaluated on.
+class LocalizationStudy {
+ public:
+  LocalizationStudy(const world::World& world, const geoloc::GeoService& service,
+                    geoloc::Tool tool);
+
+  /// Loads the classified tracking flows of EU28 users (Table 5 scope).
+  void load(const browser::ExtensionDataset& dataset,
+            const std::vector<classify::Outcome>& outcomes);
+
+  [[nodiscard]] LocalizationResult evaluate(Scenario scenario) const;
+
+  /// Per-origin-country in-country confinement under a scenario.
+  [[nodiscard]] std::map<std::string, LocalizationResult> evaluate_per_country(
+      Scenario scenario) const;
+
+  /// Improvement (percentage points of in-country confinement) of
+  /// `scenario` over `baseline`, per origin country (Table 6 columns).
+  [[nodiscard]] std::map<std::string, double> improvement_per_country(
+      Scenario baseline, Scenario scenario) const;
+
+  [[nodiscard]] std::size_t flow_count() const noexcept { return flows_.size(); }
+
+ private:
+  struct StudyFlow {
+    std::string origin;
+    std::string origin_continent;
+    std::string default_destination;
+    std::string default_destination_continent;
+    world::DomainId domain = 0;
+  };
+
+  [[nodiscard]] bool scenario_confines_to_country(const StudyFlow& flow,
+                                                  Scenario scenario) const;
+  [[nodiscard]] bool scenario_confines_to_continent(const StudyFlow& flow,
+                                                    Scenario scenario) const;
+  /// Candidate destination countries a scenario may redirect a flow to.
+  [[nodiscard]] const std::set<std::string>* alternatives(const StudyFlow& flow,
+                                                          Scenario scenario) const;
+
+  const world::World* world_;
+  const geoloc::GeoService* service_;
+  geoloc::Tool tool_;
+
+  std::vector<StudyFlow> flows_;
+  /// Observed destination countries per FQDN / per registrable domain.
+  std::map<std::string, std::set<std::string>> countries_by_fqdn_;
+  std::map<std::string, std::set<std::string>> countries_by_registrable_;
+  /// Published cloud footprints.
+  std::map<world::CloudId, std::set<std::string>> cloud_countries_;
+  std::set<std::string> all_cloud_countries_;
+};
+
+}  // namespace cbwt::whatif

@@ -1,0 +1,69 @@
+// Tunable knobs of the synthetic world. Defaults are calibrated so the
+// pipeline reproduces the *shape* of the paper's results at a scale a
+// laptop runs in seconds; `scale` multiplies dataset volume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cbwt::world {
+
+struct WorldConfig {
+  std::uint64_t seed = 20180901;  ///< master seed; everything derives from it
+
+  /// Volume multiplier relative to the paper's dataset (1.0 would target
+  /// the full 7.17M third-party requests of Table 1).
+  double scale = 0.10;
+
+  // --- population ----------------------------------------------------
+  /// Recruited extension users. Their country mix follows an embedded
+  /// weight table approximating the paper's: a large EU28 base
+  /// (~183 of 350, Spain/UK/Germany-heavy), a South American cluster,
+  /// and small tails in the other regions (see kUserMix in world.cpp).
+  std::uint32_t extension_users = 350;
+
+  // --- web ecosystem ---------------------------------------------------
+  std::uint32_t publishers = 5693;        ///< first-party domains (Table 1)
+  std::uint32_t ad_networks = 90;
+  std::uint32_t dsps = 140;
+  std::uint32_t sync_services = 60;
+  std::uint32_t analytics_orgs = 70;
+  std::uint32_t clean_orgs = 120;          ///< chat/comments/CDN services
+  double publisher_zipf = 0.95;            ///< popularity skew of sites
+  double org_zipf = 1.05;                  ///< popularity skew of trackers
+
+  /// Fraction of publisher domains carrying a sensitive topic
+  /// (paper: 1,067 of 5,693 inspected -> 18.7%), and the share of
+  /// tracking flow volume they attract (paper: ~2.9%); sensitive sites
+  /// sit in the popularity tail, which the builder enforces.
+  double sensitive_publisher_fraction = 0.187;
+
+  // --- infrastructure --------------------------------------------------
+  std::uint32_t cloud_providers = 9;       ///< paper studies nine clouds
+  double datacenters_per_density = 0.55;   ///< colo sites per density point
+  /// Exponent biasing tracker PoP placement towards hosting magnets;
+  /// higher values concentrate deployments in NL/DE/IE/GB/FR/US.
+  double placement_bias = 1.0;
+
+  /// Share of tracking organizations that are US-based with
+  /// US-only deployments (the "leaking" share of EU flows).
+  double us_only_org_share = 0.24;
+  /// Share of orgs whose DNS ignores client location entirely.
+  double location_blind_share = 0.06;
+  /// Fraction of IPv6 deployments (paper: ~3% of tracker IPs are v6).
+  double ipv6_share = 0.03;
+
+  // --- browsing behaviour ----------------------------------------------
+  double mean_visits_per_user = 0.0;       ///< derived from scale when 0
+  double third_party_resolver_share = 0.30;  ///< broadband users on 8.8.8.8 etc.
+
+  /// Returns visits per user honoring `scale` (Table 1: 76,507 visits
+  /// over 350 users -> ~219 visits/user at scale 1).
+  [[nodiscard]] double visits_per_user() const noexcept {
+    if (mean_visits_per_user > 0.0) return mean_visits_per_user;
+    return 218.6 * scale;
+  }
+};
+
+}  // namespace cbwt::world

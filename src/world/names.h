@@ -1,0 +1,34 @@
+// Deterministic name generation for synthetic organizations, domains and
+// datacenters. Names are readable ("admetrix7.com", "syncpixel12.net") so
+// reports and filter lists stay debuggable.
+#pragma once
+
+#include <string>
+
+#include "util/prng.h"
+#include "world/types.h"
+
+namespace cbwt::world {
+
+/// Generates a brand name for an organization of the given role, e.g.
+/// ad networks get ad-flavoured stems, sync services sync-flavoured ones.
+[[nodiscard]] std::string make_org_name(util::Rng& rng, OrgRole role, std::uint32_t index);
+
+/// Picks a registrable-domain suffix for an org ("com", "net", "io", ...).
+[[nodiscard]] std::string make_domain_suffix(util::Rng& rng);
+
+/// Builds a subdomain label appropriate to a role ("sync", "cdn",
+/// "pixel", "bid", ...). `index` disambiguates repeats.
+[[nodiscard]] std::string make_host_label(util::Rng& rng, OrgRole role, std::uint32_t index);
+
+/// Publisher site name, flavoured by its primary topic name.
+[[nodiscard]] std::string make_publisher_domain(util::Rng& rng, std::string_view topic,
+                                                std::uint32_t index,
+                                                std::string_view country_code);
+
+/// Datacenter site name such as "fra2-colo" or "ams1-cloudnine".
+[[nodiscard]] std::string make_datacenter_name(std::string_view country_code,
+                                               std::uint32_t index,
+                                               std::string_view owner);
+
+}  // namespace cbwt::world

@@ -1,0 +1,64 @@
+#include "world/topics.h"
+
+#include <array>
+
+namespace cbwt::world {
+
+namespace {
+
+// Ordinary topics first; the 12 sensitive categories follow, each with
+// the umbrella label an automatic tagger files it under.
+constexpr std::array<Topic, 28> kTopics = {{
+    {0, "news", false, "News"},
+    {1, "sports", false, "Sports"},
+    {2, "technology", false, "Computers & Electronics"},
+    {3, "shopping", false, "Shopping"},
+    {4, "travel", false, "Travel"},
+    {5, "food", false, "Food & Drink"},
+    {6, "games", false, "Games"},
+    {7, "finance", false, "Finance"},
+    {8, "auto", false, "Autos & Vehicles"},
+    {9, "music", false, "Arts & Entertainment"},
+    {10, "movies", false, "Arts & Entertainment"},
+    {11, "education", false, "Jobs & Education"},
+    {12, "realestate", false, "Real Estate"},
+    {13, "fashion", false, "Beauty & Fitness"},
+    {14, "pets", false, "Pets & Animals"},
+    {15, "diy", false, "Home & Garden"},
+    {16, "health", true, "Health"},
+    {17, "gambling", true, "Games"},
+    {18, "sexual orientation", true, "People & Society"},
+    {19, "pregnancy", true, "Health"},
+    {20, "politics", true, "News"},
+    {21, "porn", true, "Men's Interests"},
+    {22, "religion", true, "People & Society"},
+    {23, "ethnicity", true, "People & Society"},
+    {24, "guns", true, "Hobbies & Leisure"},
+    {25, "alcohol", true, "Food & Drink"},
+    {26, "cancer", true, "Health"},
+    {27, "death", true, "People & Society"},
+}};
+
+constexpr std::array<TopicId, 12> kSensitiveIds = {16, 17, 18, 19, 20, 21,
+                                                   22, 23, 24, 25, 26, 27};
+
+}  // namespace
+
+std::span<const Topic> all_topics() noexcept { return kTopics; }
+
+const Topic* find_topic(std::string_view name) noexcept {
+  for (const auto& topic : kTopics) {
+    if (topic.name == name) return &topic;
+  }
+  return nullptr;
+}
+
+const Topic& topic_by_id(TopicId id) noexcept {
+  return kTopics[id < kTopics.size() ? id : 0];
+}
+
+std::size_t sensitive_topic_count() noexcept { return kSensitiveIds.size(); }
+
+std::span<const TopicId> sensitive_topic_ids() noexcept { return kSensitiveIds; }
+
+}  // namespace cbwt::world

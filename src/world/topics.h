@@ -1,0 +1,41 @@
+// Content-topic taxonomy for publishers. Mirrors the paper's setup: an
+// AdWords-style tagger assigns broad interest topics; twelve GDPR-
+// sensitive categories exist underneath them (e.g. "pregnancy" hides
+// inside "Health", "porn" inside "Men's Interests"), which is why the
+// paper needed manual review on top of automatic tagging.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "world/types.h"
+
+namespace cbwt::world {
+
+/// A topic label. Sensitive topics carry the umbrella topic an automatic
+/// tagger would (mis)file them under.
+struct Topic {
+  TopicId id = 0;
+  std::string_view name;         ///< e.g. "health", "gambling", "news"
+  bool sensitive = false;        ///< one of the paper's 12 GDPR categories
+  std::string_view umbrella;     ///< AdWords-style broad label
+};
+
+/// Full taxonomy: ordinary interest topics first, then the 12 sensitive
+/// categories of the paper (health, gambling, sexual orientation,
+/// pregnancy, politics, porn, religion, ethnicity, guns, alcohol,
+/// cancer, death).
+[[nodiscard]] std::span<const Topic> all_topics() noexcept;
+
+[[nodiscard]] const Topic* find_topic(std::string_view name) noexcept;
+[[nodiscard]] const Topic& topic_by_id(TopicId id) noexcept;
+
+/// Number of sensitive categories (12).
+[[nodiscard]] std::size_t sensitive_topic_count() noexcept;
+
+/// Ids of the sensitive topics, in taxonomy order.
+[[nodiscard]] std::span<const TopicId> sensitive_topic_ids() noexcept;
+
+}  // namespace cbwt::world

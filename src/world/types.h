@@ -1,0 +1,124 @@
+// Entity types of the synthetic internet the study runs on: countries
+// host datacenters (independent colos or cloud PoPs); tracker and
+// content organizations deploy servers into datacenters under DNS
+// policies; publishers embed their tags; user populations browse.
+//
+// The world replaces the paper's closed inputs (real users, the live ad
+// ecosystem, ISP populations) while preserving the structural properties
+// the measurement pipeline keys on — see DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/country.h"
+#include "geo/location.h"
+#include "net/ip.h"
+
+namespace cbwt::world {
+
+using DatacenterId = std::uint32_t;
+using CloudId = std::uint32_t;
+using OrgId = std::uint32_t;
+using DomainId = std::uint32_t;
+using ServerId = std::uint32_t;
+using PublisherId = std::uint32_t;
+using UserId = std::uint32_t;
+using TopicId = std::uint16_t;
+
+inline constexpr CloudId kNoCloud = ~CloudId{0};
+
+/// A physical hosting site. `cloud` is kNoCloud for independent colos.
+struct Datacenter {
+  DatacenterId id = 0;
+  std::string name;
+  std::string country;  ///< ISO alpha-2
+  geo::LatLon location;
+  CloudId cloud = kNoCloud;
+  net::IpPrefix prefix;  ///< server address block of this site
+};
+
+/// A public cloud provider with a published PoP footprint (the paper uses
+/// the published footprints of nine major clouds for its what-if study).
+struct CloudProvider {
+  CloudId id = 0;
+  std::string name;
+  std::vector<DatacenterId> pops;
+};
+
+/// What a third-party organization does; drives list coverage, chaining
+/// behaviour and URL shape.
+enum class OrgRole : std::uint8_t {
+  AdNetwork,   ///< entry point of the ad chain; well known, list-covered
+  Dsp,         ///< RTB bidder, reached via chains; poorly list-covered
+  SyncService, ///< cookie-sync endpoints; keyword-rich URLs
+  Analytics,   ///< page analytics tags; list-covered
+  CleanService ///< genuinely non-tracking third party (chat, comments, CDN)
+};
+
+[[nodiscard]] std::string_view to_string(OrgRole role) noexcept;
+
+/// How an organization's authoritative DNS maps clients to its PoPs.
+enum class DnsPolicy : std::uint8_t {
+  NearestPop,   ///< latency-based geo-DNS (big players)
+  HqOnly,       ///< every FQDN resolves to servers at the HQ deployment
+  RandomPop,    ///< round-robin over all PoPs, location-blind
+};
+
+/// A third-party (tracking or clean) organization.
+struct Organization {
+  OrgId id = 0;
+  std::string name;
+  OrgRole role = OrgRole::AdNetwork;
+  std::string hq_country;        ///< legal entity home; what commercial
+                                 ///< geolocation databases report
+  DnsPolicy dns_policy = DnsPolicy::NearestPop;
+  CloudId cloud = kNoCloud;      ///< cloud the org leases from, if any
+  double popularity = 0.0;       ///< relative request-volume weight
+  std::vector<DomainId> domains;
+  std::vector<ServerId> servers;
+};
+
+/// One FQDN owned by an organization.
+struct TrackerDomain {
+  DomainId id = 0;
+  OrgId org = 0;
+  std::string fqdn;              ///< e.g. "sync.adnexus-3.com"
+  std::string registrable;       ///< e.g. "adnexus-3.com" (paper's "TLD")
+  bool in_easylist = false;      ///< matched by the synthetic easylist
+  bool in_easyprivacy = false;   ///< matched by the synthetic easyprivacy
+  bool keyword_urls = false;     ///< emits usermatch/rtb/cookiesync-style args
+  std::vector<ServerId> servers; ///< deployments answering for this FQDN
+};
+
+/// A server instance in a datacenter. `shared_exchange` marks the small
+/// set of ad-exchange hosts that serve many domains (paper Fig. 5).
+struct Server {
+  ServerId id = 0;
+  OrgId org = 0;
+  DatacenterId datacenter = 0;
+  net::IpAddress ip;
+  bool shared_exchange = false;
+};
+
+/// A first-party website.
+struct Publisher {
+  PublisherId id = 0;
+  std::string domain;
+  std::string country;           ///< where its audience concentrates
+  std::vector<TopicId> topics;   ///< content taxonomy labels
+  double popularity = 0.0;       ///< zipf mass
+  std::vector<DomainId> embedded_tags;  ///< third-party tags on the page
+};
+
+/// A recruited extension user (the paper's 350 CrowdFlower users).
+struct ExtensionUser {
+  UserId id = 0;
+  std::string country;
+  double activity = 1.0;          ///< relative number of page visits
+  bool third_party_resolver = false;  ///< uses Google-DNS-style resolver
+  std::vector<TopicId> interests;
+};
+
+}  // namespace cbwt::world

@@ -1,0 +1,226 @@
+#include "browser/extension.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/url.h"
+
+namespace cbwt::browser {
+namespace {
+
+class BrowserTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world::WorldConfig config;
+    config.seed = 31337;
+    config.scale = 0.01;
+    world_ = new world::World(world::build_world(config));
+    resolver_ = new dns::Resolver(*world_);
+    util::Rng rng(7);
+    CollectorConfig collector;
+    store_ = new pdns::Store();
+    dataset_ = new ExtensionDataset(
+        collect_extension_dataset(*world_, *resolver_, collector, rng, store_));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete store_;
+    delete resolver_;
+    delete world_;
+  }
+  static world::World* world_;
+  static dns::Resolver* resolver_;
+  static pdns::Store* store_;
+  static ExtensionDataset* dataset_;
+};
+
+world::World* BrowserTest::world_ = nullptr;
+dns::Resolver* BrowserTest::resolver_ = nullptr;
+pdns::Store* BrowserTest::store_ = nullptr;
+ExtensionDataset* BrowserTest::dataset_ = nullptr;
+
+TEST_F(BrowserTest, ProducesTraffic) {
+  EXPECT_GT(dataset_->first_party_visits, 100U);
+  EXPECT_GT(dataset_->requests.size(), dataset_->first_party_visits * 10);
+  EXPECT_GT(dataset_->distinct_publishers, 50U);
+}
+
+TEST_F(BrowserTest, EveryUrlParsesAndMatchesItsDomain) {
+  for (const auto& request : dataset_->requests) {
+    const auto url = net::Url::parse(request.url);
+    ASSERT_TRUE(url.has_value()) << request.url;
+    EXPECT_EQ(url->host(), world_->domain(request.domain).fqdn);
+  }
+}
+
+TEST_F(BrowserTest, ServerIpBelongsToTheRequestedDomain) {
+  for (const auto& request : dataset_->requests) {
+    const auto& domain = world_->domain(request.domain);
+    const world::Server* server = world_->find_server(request.server_ip);
+    ASSERT_NE(server, nullptr);
+    const bool listed = std::find(domain.servers.begin(), domain.servers.end(),
+                                  server->id) != domain.servers.end();
+    EXPECT_TRUE(listed) << domain.fqdn;
+  }
+}
+
+TEST_F(BrowserTest, EntryRequestsCarryFirstPartyReferrer) {
+  for (const auto& request : dataset_->requests) {
+    if (request.chain_depth != 0) continue;
+    const auto& publisher = world_->publisher(request.publisher);
+    EXPECT_EQ(request.referrer, "https://" + publisher.domain + "/");
+  }
+}
+
+TEST_F(BrowserTest, ChainedRequestsReferenceARealParentUrl) {
+  // Build the set of all URLs; every chained referrer must be in it.
+  std::unordered_set<std::string_view> urls;
+  for (const auto& request : dataset_->requests) urls.insert(request.url);
+  std::size_t chained = 0;
+  for (const auto& request : dataset_->requests) {
+    if (request.chain_depth == 0) continue;
+    ++chained;
+    EXPECT_TRUE(urls.contains(request.referrer)) << request.referrer;
+  }
+  EXPECT_GT(chained, dataset_->requests.size() / 5);
+}
+
+TEST_F(BrowserTest, ChainDepthsFormTheRtbCascade) {
+  bool depth1 = false;
+  bool depth2 = false;
+  bool depth3 = false;
+  for (const auto& request : dataset_->requests) {
+    depth1 = depth1 || request.chain_depth == 1;
+    depth2 = depth2 || request.chain_depth == 2;
+    depth3 = depth3 || request.chain_depth >= 3;
+  }
+  EXPECT_TRUE(depth1);  // bid requests
+  EXPECT_TRUE(depth2);  // cookie syncs
+  EXPECT_TRUE(depth3);  // recursive sync cascades
+}
+
+TEST_F(BrowserTest, HttpsShareNearConfigured) {
+  std::size_t https = 0;
+  for (const auto& request : dataset_->requests) https += request.https ? 1 : 0;
+  const double share = static_cast<double>(https) / dataset_->requests.size();
+  EXPECT_NEAR(share, 0.8314, 0.02);  // paper: 83.14%
+}
+
+TEST_F(BrowserTest, RolesEmitTheirUrlShapes) {
+  bool saw_ad_path = false;
+  bool saw_sync_keyword = false;
+  bool saw_bid = false;
+  for (const auto& request : dataset_->requests) {
+    const auto role = world_->org(world_->domain(request.domain).org).role;
+    if (role == world::OrgRole::AdNetwork && request.url.find("/ads/") != std::string::npos) {
+      saw_ad_path = true;
+    }
+    if (role == world::OrgRole::SyncService) {
+      saw_sync_keyword = saw_sync_keyword ||
+                         request.url.find("usermatch") != std::string::npos ||
+                         request.url.find("cookiesync") != std::string::npos ||
+                         request.url.find("uid_sync") != std::string::npos ||
+                         request.url.find("idsync") != std::string::npos ||
+                         request.url.find("cm=") != std::string::npos;
+    }
+    if (role == world::OrgRole::Dsp && request.url.find("/bid?") != std::string::npos) {
+      saw_bid = true;
+    }
+  }
+  EXPECT_TRUE(saw_ad_path);
+  EXPECT_TRUE(saw_sync_keyword);
+  EXPECT_TRUE(saw_bid);
+}
+
+TEST_F(BrowserTest, FeedsPdnsWithItsResolutions) {
+  EXPECT_GT(store_->record_count(), 100U);
+  // Spot-check: a random request's (fqdn, ip, day) is valid in the store.
+  const auto& request = dataset_->requests.front();
+  const auto& domain = world_->domain(request.domain);
+  EXPECT_TRUE(store_->valid_at(domain.fqdn, request.server_ip, request.day));
+}
+
+TEST_F(BrowserTest, DaysStayInsideTheWindow) {
+  for (const auto& request : dataset_->requests) {
+    EXPECT_GE(request.day, 0);
+    EXPECT_LE(request.day, 135);
+  }
+}
+
+TEST(BrowserAblation, CrawlerSeesFewerRequestsThanRealUsers) {
+  world::WorldConfig config;
+  config.seed = 2024;
+  config.scale = 0.01;
+  const auto world = world::build_world(config);
+  const dns::Resolver resolver(world);
+
+  CollectorConfig real_users;
+  real_users.user_interaction = true;
+  CollectorConfig crawler;
+  crawler.user_interaction = false;
+
+  util::Rng rng_a(5);
+  const auto with_interaction =
+      collect_extension_dataset(world, resolver, real_users, rng_a);
+  util::Rng rng_b(5);
+  const auto without_interaction =
+      collect_extension_dataset(world, resolver, crawler, rng_b);
+
+  // Interaction-gated requests (ads rendered on visibility) disappear for
+  // the crawler — the paper's argument for recruiting real users (§3.1).
+  EXPECT_LT(without_interaction.requests.size(), with_interaction.requests.size());
+  for (const auto& request : without_interaction.requests) {
+    EXPECT_FALSE(request.interaction_triggered);
+  }
+}
+
+TEST(BrowserUnit, VisitsFillTheCookieJar) {
+  world::WorldConfig config;
+  config.seed = 21;
+  config.scale = 0.01;
+  config.publishers = 50;
+  const auto world = world::build_world(config);
+  const dns::Resolver resolver(world);
+  util::Rng rng(9);
+  std::vector<ThirdPartyRequest> out;
+  CollectorConfig collector;
+  rtb::CookieJar jar;
+  // A few visits accumulate org ids and sync edges in the jar.
+  for (int v = 0; v < 5; ++v) {
+    render_visit(world, resolver, world.users().front(), world.publishers()[v], 3,
+                 collector, rng, out, nullptr, &jar);
+  }
+  EXPECT_GT(jar.known_orgs(), 5U);
+  EXPECT_GT(jar.sync_edges(), 0U);
+  // Every synced pair involves orgs the jar has ids for... the initiator
+  // at least was contacted during the cascade.
+  for (const auto& [a, b] : jar.sync_pairs()) {
+    EXPECT_NE(a, b);
+    EXPECT_NE(world.org(a).role, world::OrgRole::CleanService);
+    EXPECT_NE(world.org(b).role, world::OrgRole::CleanService);
+  }
+}
+
+TEST(BrowserUnit, RenderVisitAppendsForOnePage) {
+  world::WorldConfig config;
+  config.seed = 11;
+  config.scale = 0.01;
+  config.publishers = 50;
+  const auto world = world::build_world(config);
+  const dns::Resolver resolver(world);
+  util::Rng rng(3);
+  std::vector<ThirdPartyRequest> out;
+  CollectorConfig collector;
+  render_visit(world, resolver, world.users().front(), world.publishers().front(), 7,
+               collector, rng, out);
+  EXPECT_FALSE(out.empty());
+  for (const auto& request : out) {
+    EXPECT_EQ(request.user, world.users().front().id);
+    EXPECT_EQ(request.publisher, world.publishers().front().id);
+    EXPECT_EQ(request.day, 7);
+  }
+}
+
+}  // namespace
+}  // namespace cbwt::browser

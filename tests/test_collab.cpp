@@ -1,0 +1,121 @@
+#include "collab/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "core/study.h"
+
+namespace cbwt::collab {
+namespace {
+
+class CollabTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::StudyConfig config;
+    config.world.seed = 777;
+    config.world.scale = 0.02;
+    study_ = new core::Study(config);
+    graph_ = new CollabGraph(CollabGraph::from_dataset(
+        study_->world(), study_->dataset(), study_->outcomes()));
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    delete study_;
+  }
+  static core::Study* study_;
+  static CollabGraph* graph_;
+};
+
+core::Study* CollabTest::study_ = nullptr;
+CollabGraph* CollabTest::graph_ = nullptr;
+
+TEST_F(CollabTest, GraphIsNonTrivial) {
+  EXPECT_GT(graph_->node_count(), 50U);
+  EXPECT_GT(graph_->edge_count(), 100U);
+}
+
+TEST_F(CollabTest, EdgesAreNormalizedAndCrossOrg) {
+  for (const auto& edge : graph_->edges()) {
+    EXPECT_LT(edge.a, edge.b);  // canonical order, no self-loops
+    EXPECT_GT(edge.weight, 0U);
+    EXPECT_GT(edge.users, 0U);
+    EXPECT_LE(edge.users, study_->world().users().size());
+  }
+}
+
+TEST_F(CollabTest, EdgesConnectChainRoles) {
+  // Collaboration edges live between ad networks, DSPs and sync services,
+  // never involving clean services.
+  for (const auto& edge : graph_->top_edges(100)) {
+    for (const auto org_id : {edge.a, edge.b}) {
+      EXPECT_NE(study_->world().org(org_id).role, world::OrgRole::CleanService);
+    }
+  }
+}
+
+TEST_F(CollabTest, DegreeAndPartnersAgree) {
+  const auto heaviest = graph_->top_edges(1).front();
+  EXPECT_GE(graph_->degree(heaviest.a), 1U);
+  const auto partners = graph_->partners_of(heaviest.a);
+  EXPECT_EQ(partners.size(), graph_->degree(heaviest.a));
+  // Partner list is weight-sorted.
+  for (std::size_t i = 1; i < partners.size(); ++i) {
+    EXPECT_GE(partners[i - 1].weight, partners[i].weight);
+  }
+  EXPECT_EQ(graph_->degree(999999), 0U);
+  EXPECT_TRUE(graph_->partners_of(999999).empty());
+}
+
+TEST_F(CollabTest, SyncHubsHaveHighDegree) {
+  // Popular sync services should be among the best-connected nodes.
+  std::size_t best_sync_degree = 0;
+  std::size_t best_clean_degree = 0;
+  for (const auto& org : study_->world().orgs()) {
+    if (org.role == world::OrgRole::SyncService) {
+      best_sync_degree = std::max(best_sync_degree, graph_->degree(org.id));
+    }
+    if (org.role == world::OrgRole::CleanService) {
+      best_clean_degree = std::max(best_clean_degree, graph_->degree(org.id));
+    }
+  }
+  EXPECT_GT(best_sync_degree, 10U);
+  EXPECT_EQ(best_clean_degree, 0U);
+}
+
+TEST_F(CollabTest, CommunitiesPartitionTheGraph) {
+  util::Rng rng(5);
+  const auto labels = graph_->communities(10, rng);
+  EXPECT_EQ(labels.size(), graph_->node_count());
+  std::set<std::uint32_t> distinct;
+  for (const auto& [org, label] : labels) distinct.insert(label);
+  // Converged: far fewer communities than nodes. A hub-dominated graph
+  // may legitimately collapse to a single giant community.
+  EXPECT_GE(distinct.size(), 1U);
+  EXPECT_LE(distinct.size(), graph_->node_count() / 2);
+}
+
+TEST_F(CollabTest, CrossBorderShareIsAProperFraction) {
+  const double share = graph_->cross_border_weight_share(
+      study_->geo(), geoloc::Tool::GroundTruth, study_->world());
+  EXPECT_GE(share, 0.0);
+  EXPECT_LE(share, 1.0);
+  // With a mixed EU/US ecosystem some collaboration must cross the border.
+  EXPECT_GT(share, 0.05);
+}
+
+TEST(CollabUnit, EmptyDatasetYieldsEmptyGraph) {
+  world::WorldConfig config;
+  config.seed = 3;
+  config.scale = 0.01;
+  config.publishers = 50;
+  const auto world = world::build_world(config);
+  browser::ExtensionDataset empty;
+  const std::vector<classify::Outcome> outcomes;
+  const auto graph = CollabGraph::from_dataset(world, empty, outcomes);
+  EXPECT_EQ(graph.node_count(), 0U);
+  EXPECT_EQ(graph.edge_count(), 0U);
+  util::Rng rng(1);
+  EXPECT_TRUE(graph.communities(5, rng).empty());
+}
+
+}  // namespace
+}  // namespace cbwt::collab

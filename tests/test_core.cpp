@@ -1,0 +1,200 @@
+// End-to-end integration tests over the Study facade: the paper's
+// headline findings must hold in shape on a small world.
+#include "core/study.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/jurisdiction.h"
+#include "util/stats.h"
+
+namespace cbwt::core {
+namespace {
+
+class StudyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    StudyConfig config;
+    config.world.seed = 20180901;
+    config.world.scale = 0.02;
+    study_ = new Study(config);
+  }
+  static void TearDownTestSuite() { delete study_; }
+  static Study* study_;
+};
+
+Study* StudyTest::study_ = nullptr;
+
+TEST_F(StudyTest, DatasetHasTableOneShape) {
+  const auto& dataset = study_->dataset();
+  EXPECT_EQ(study_->world().users().size(), 350U);
+  EXPECT_GT(dataset.first_party_visits, 500U);
+  EXPECT_GT(dataset.requests.size(), 50000U);
+  // Most third-party requests are ad/tracking related (Fig. 2 takeaway).
+  std::size_t tracking = 0;
+  for (const auto& outcome : study_->outcomes()) {
+    tracking += classify::is_tracking(outcome.method) ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(tracking) / dataset.requests.size(), 0.5);
+}
+
+TEST_F(StudyTest, PdnsCompletionAddsIps) {
+  const auto observed = study_->observed_tracker_ips().size();
+  const auto completed = study_->completed_tracker_ips().size();
+  EXPECT_GT(observed, 500U);
+  EXPECT_GE(completed, observed);
+  // Small single-digit-percentage gain, like the paper's +2.78%.
+  const double gain = static_cast<double>(completed - observed) /
+                      static_cast<double>(observed);
+  EXPECT_LT(gain, 0.15);
+}
+
+TEST_F(StudyTest, HeadlineConfinementUnderActiveGeolocation) {
+  const auto eu_flows = analysis::flows_from_region(study_->flows(), geo::Region::EU28);
+  const auto confinement = study_->analyzer().confinement(eu_flows);
+  // Paper Fig. 7(b): ~85% of EU28 tracking flows stay inside EU28.
+  EXPECT_GT(confinement.in_eu28, 70.0);
+  EXPECT_LT(confinement.in_eu28, 95.0);
+  EXPECT_GT(confinement.in_continent, confinement.in_eu28);
+  // National confinement is much lower (Table 5 Default: 27.6%).
+  EXPECT_LT(confinement.in_country, 40.0);
+}
+
+TEST_F(StudyTest, MaxMindFlipsTheConclusion) {
+  // The paper's Fig. 7(a)/(b) contrast: under the commercial database the
+  // majority appears to leak to North America; under active geolocation
+  // it stays in Europe.
+  const auto eu_flows = analysis::flows_from_region(study_->flows(), geo::Region::EU28);
+  const auto active = study_->analyzer(geoloc::Tool::ActiveIpmap)
+                          .destination_regions(eu_flows);
+  const auto maxmind = study_->analyzer(geoloc::Tool::MaxMindLike)
+                           .destination_regions(eu_flows);
+  EXPECT_GT(active.share.at(geo::Region::EU28), 0.70);
+  EXPECT_LT(maxmind.share.at(geo::Region::EU28), 0.50);
+  EXPECT_GT(maxmind.share.at(geo::Region::NorthAmerica),
+            active.share.at(geo::Region::NorthAmerica) + 0.25);
+}
+
+TEST_F(StudyTest, SouthAmericaLeaksNorth) {
+  const auto sa_flows =
+      analysis::flows_from_region(study_->flows(), geo::Region::SouthAmerica);
+  ASSERT_FALSE(sa_flows.empty());
+  const auto breakdown = study_->analyzer().destination_regions(sa_flows);
+  // Paper Fig. 6: ~90% of South American tracking flows end in N. America.
+  const auto na = breakdown.share.find(geo::Region::NorthAmerica);
+  ASSERT_NE(na, breakdown.share.end());
+  EXPECT_GT(na->second, 0.5);
+  const auto sa = breakdown.share.find(geo::Region::SouthAmerica);
+  const double confined = sa == breakdown.share.end() ? 0.0 : sa->second;
+  EXPECT_LT(confined, 0.3);
+}
+
+TEST_F(StudyTest, BigCountriesConfineMoreThanSmallOnes) {
+  const auto eu_flows = analysis::flows_from_region(study_->flows(), geo::Region::EU28);
+  const auto by_origin = study_->analyzer().per_origin_confinement(eu_flows);
+  const auto pct = [&](const char* country) {
+    const auto it = by_origin.find(country);
+    return it == by_origin.end() ? 0.0 : it->second.in_country;
+  };
+  EXPECT_GT(pct("DE"), pct("GR"));
+  EXPECT_GT(pct("GB"), pct("CY"));
+  EXPECT_GT(pct("ES"), pct("CY"));
+  EXPECT_LT(pct("CY"), 5.0);
+}
+
+TEST_F(StudyTest, ConfinementCorrelatesWithInfraDensity) {
+  // §5's observation: national confinement tracks datacenter density.
+  const auto eu_flows = analysis::flows_from_region(study_->flows(), geo::Region::EU28);
+  const auto by_origin = study_->analyzer().per_origin_confinement(eu_flows);
+  std::vector<double> densities;
+  std::vector<double> confinements;
+  for (const auto& [country, confinement] : by_origin) {
+    if (confinement.total < 200) continue;  // skip tiny samples
+    densities.push_back(geo::find_country(country)->infra_density);
+    confinements.push_back(confinement.in_country);
+  }
+  ASSERT_GE(densities.size(), 6U);
+  EXPECT_GT(util::spearman(densities, confinements), 0.5);
+}
+
+TEST_F(StudyTest, IspRunMatchesExtensionView) {
+  const auto& isp = netflow::default_isps()[0];  // DE-Broadband
+  const auto& snapshot = netflow::default_snapshots()[1];
+  const auto run = study_->run_isp_snapshot(isp, snapshot);
+  ASSERT_GT(run.collection.matched_records, 1000U);
+  auto analyzer = study_->analyzer();
+  const auto breakdown = analyzer.destination_regions(run.flows);
+  // Table 8: EU28 confinement 76-93% across ISPs and dates.
+  EXPECT_GT(breakdown.share.at(geo::Region::EU28), 0.70);
+  // Mostly HTTPS (>83% in the paper).
+  EXPECT_GT(static_cast<double>(run.collection.https_records) /
+                run.collection.matched_records,
+            0.75);
+}
+
+TEST_F(StudyTest, MobileIspConfinesMoreThanBroadband) {
+  const auto& broadband = netflow::default_isps()[0];
+  const auto& mobile = netflow::default_isps()[1];
+  const auto& snapshot = netflow::default_snapshots()[0];
+  const auto run_b = study_->run_isp_snapshot(broadband, snapshot);
+  const auto run_m = study_->run_isp_snapshot(mobile, snapshot);
+  auto analyzer = study_->analyzer(geoloc::Tool::GroundTruth);
+  const auto eu_b = analyzer.destination_regions(run_b.flows).share.at(geo::Region::EU28);
+  const auto eu_m = analyzer.destination_regions(run_m.flows).share.at(geo::Region::EU28);
+  EXPECT_GT(eu_m, eu_b - 0.02);  // mobile >= broadband (within noise)
+}
+
+TEST_F(StudyTest, JurisdictionViewsAreConsistent) {
+  const auto eu_flows = analysis::flows_from_region(study_->flows(), geo::Region::EU28);
+  const auto gdpr = analysis::jurisdiction_confinement(
+      study_->geo(), geoloc::Tool::ActiveIpmap, analysis::gdpr_jurisdiction(), eu_flows);
+  const auto eea = analysis::jurisdiction_confinement(
+      study_->geo(), geoloc::Tool::ActiveIpmap, analysis::eea_plus_jurisdiction(),
+      eu_flows);
+  const auto germany = analysis::jurisdiction_confinement(
+      study_->geo(), geoloc::Tool::ActiveIpmap, analysis::national_jurisdiction("DE"),
+      eu_flows);
+  // All EU28-origin flows originate inside the GDPR scope...
+  EXPECT_EQ(gdpr.from_inside, gdpr.total);
+  // ...and most terminate there; widening to EEA+ can only add coverage;
+  // a single-country scope covers far less.
+  EXPECT_GT(gdpr.inside_pct(), 70.0);
+  EXPECT_GE(eea.inside, gdpr.inside);
+  EXPECT_LT(germany.inside_pct(), gdpr.inside_pct());
+  // GDPR coverage here equals the in-eu28 confinement metric.
+  const auto confinement = study_->analyzer().confinement(eu_flows);
+  EXPECT_NEAR(gdpr.covered_pct(), confinement.in_eu28, 0.5);
+}
+
+TEST_F(StudyTest, LegalEntityViewIsMoreUsThanPhysicalView) {
+  const auto eu_flows = analysis::flows_from_region(study_->flows(), geo::Region::EU28);
+  const auto legal = study_->analyzer(geoloc::Tool::LegalEntity)
+                         .destination_regions(eu_flows);
+  const auto physical = study_->analyzer(geoloc::Tool::GroundTruth)
+                            .destination_regions(eu_flows);
+  // Judged by legal home, even more tracking "goes to the US" than the
+  // commercial DBs suggest; physically most of it stays in Europe.
+  EXPECT_GT(legal.share.at(geo::Region::NorthAmerica),
+            physical.share.at(geo::Region::NorthAmerica) + 0.3);
+}
+
+TEST_F(StudyTest, StudyIsDeterministic) {
+  StudyConfig config;
+  config.world.seed = 42;
+  config.world.scale = 0.005;
+  Study a(config);
+  Study b(config);
+  // Request stages out of order on purpose: results must not depend on
+  // evaluation order.
+  (void)b.geo();
+  const auto& flows_a = a.flows();
+  const auto& flows_b = b.flows();
+  ASSERT_EQ(flows_a.size(), flows_b.size());
+  for (std::size_t i = 0; i < flows_a.size(); i += 97) {
+    EXPECT_EQ(flows_a[i].destination, flows_b[i].destination);
+    EXPECT_EQ(flows_a[i].origin_country, flows_b[i].origin_country);
+  }
+  EXPECT_EQ(a.observed_tracker_ips(), b.observed_tracker_ips());
+}
+
+}  // namespace
+}  // namespace cbwt::core

@@ -1,0 +1,261 @@
+#include "dns/resolver.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace cbwt::dns {
+namespace {
+
+using world::DnsPolicy;
+using world::World;
+using world::WorldConfig;
+
+const World& test_world() {
+  static const World world = [] {
+    WorldConfig config;
+    config.seed = 555;
+    config.scale = 0.01;
+    config.publishers = 300;
+    return world::build_world(config);
+  }();
+  return world;
+}
+
+TEST(Resolver, OriginForIspResolverIsHomeCountry) {
+  const Resolver resolver(test_world());
+  const auto origin = resolver.origin_for("DE", false);
+  EXPECT_EQ(origin.client_country, "DE");
+  EXPECT_FALSE(origin.via_third_party);
+  const auto* de = geo::find_country("DE");
+  EXPECT_NEAR(origin.effective_location.lat, de->centroid.lat, 1e-9);
+}
+
+TEST(Resolver, OriginForThirdPartyResolverMovesToAnycast) {
+  const Resolver resolver(test_world());
+  const auto origin = resolver.origin_for("DE", true);
+  EXPECT_TRUE(origin.via_third_party);
+  // German clients land on the Amsterdam anycast site.
+  EXPECT_NEAR(origin.effective_location.lat, 52.4, 1e-9);
+  EXPECT_NEAR(origin.effective_location.lon, 4.9, 1e-9);
+}
+
+TEST(Resolver, OriginRejectsUnknownCountry) {
+  const Resolver resolver(test_world());
+  EXPECT_THROW((void)resolver.origin_for("ZZ", false), std::invalid_argument);
+}
+
+TEST(Resolver, ResolveReturnsServerOfTheDomain) {
+  const auto& world = test_world();
+  const Resolver resolver(world);
+  util::Rng rng(1);
+  for (const auto& domain : world.domains()) {
+    const auto answer = resolver.resolve_from(domain.id, "DE", false, rng);
+    const bool known = std::find(domain.servers.begin(), domain.servers.end(),
+                                 answer.server) != domain.servers.end();
+    EXPECT_TRUE(known) << domain.fqdn;
+    EXPECT_EQ(world.server(answer.server).ip, answer.ip);
+    if (world.domains().size() > 50 && domain.id > 50) break;  // keep the test fast
+  }
+}
+
+TEST(Resolver, HqOnlyPolicyStaysAtHeadquarters) {
+  const auto& world = test_world();
+  const Resolver resolver(world);
+  util::Rng rng(2);
+  for (const auto& org : world.orgs()) {
+    if (org.dns_policy != DnsPolicy::HqOnly) continue;
+    // Skip orgs that genuinely have no HQ deployment (fallback case).
+    bool has_home = false;
+    for (const auto sid : org.servers) {
+      if (world.datacenter(world.server(sid).datacenter).country == org.hq_country) {
+        has_home = true;
+        break;
+      }
+    }
+    if (!has_home) continue;
+    const auto domain_id = org.domains.front();
+    // Only domains that actually deploy at home can satisfy the policy.
+    bool domain_has_home = false;
+    for (const auto sid : world.domain(domain_id).servers) {
+      if (world.datacenter(world.server(sid).datacenter).country == org.hq_country) {
+        domain_has_home = true;
+        break;
+      }
+    }
+    if (!domain_has_home) continue;
+    for (int i = 0; i < 10; ++i) {
+      const auto answer = resolver.resolve_from(domain_id, "JP", false, rng);
+      EXPECT_EQ(world.datacenter(world.server(answer.server).datacenter).country,
+                org.hq_country);
+    }
+  }
+}
+
+TEST(Resolver, NearestPopPrefersCloseSites) {
+  const auto& world = test_world();
+  const Resolver resolver(world);
+  util::Rng rng(3);
+  // Aggregate over popular multi-pop orgs: German users should terminate
+  // in/near Germany far more often than in North America.
+  std::uint64_t near = 0;
+  std::uint64_t far = 0;
+  for (const auto& org : world.orgs()) {
+    if (org.dns_policy != DnsPolicy::NearestPop || org.servers.size() < 5) continue;
+    for (int i = 0; i < 30; ++i) {
+      const auto answer = resolver.resolve_from(org.domains.front(), "DE", false, rng);
+      const auto country =
+          world.datacenter(world.server(answer.server).datacenter).country;
+      const auto* info = geo::find_country(country);
+      ASSERT_NE(info, nullptr);
+      if (info->continent == geo::Continent::Europe) ++near;
+      else ++far;
+    }
+  }
+  ASSERT_GT(near + far, 100U);
+  EXPECT_GT(static_cast<double>(near) / static_cast<double>(near + far), 0.80);
+}
+
+TEST(Resolver, ServingRadiusNeverHandsOutDistantReplicas) {
+  // With radius k, the answer must be one of the k nearest distinct sites.
+  const auto& world = test_world();
+  ResolverOptions options;
+  options.serving_radius = 2;
+  const Resolver resolver(world, options);
+  util::Rng rng(4);
+  const auto origin = resolver.origin_for("FR", false);
+  for (const auto& org : world.orgs()) {
+    if (org.dns_policy != DnsPolicy::NearestPop || org.servers.size() < 4) continue;
+    const auto domain_id = org.domains.front();
+    const auto& domain = world.domain(domain_id);
+    // Compute the distinct-site delays for this domain from France.
+    std::map<world::DatacenterId, double> site_delay;
+    for (const auto sid : domain.servers) {
+      const auto& dc = world.datacenter(world.server(sid).datacenter);
+      site_delay.emplace(dc.id,
+                         geo::propagation_delay_ms(origin.effective_location, dc.location));
+    }
+    std::vector<double> delays;
+    delays.reserve(site_delay.size());
+    for (const auto& [dc, delay] : site_delay) delays.push_back(delay);
+    std::sort(delays.begin(), delays.end());
+    const double cutoff = delays[std::min<std::size_t>(1, delays.size() - 1)];
+    for (int i = 0; i < 20; ++i) {
+      const auto answer = resolver.resolve(domain_id, origin, rng);
+      const auto dc = world.server(answer.server).datacenter;
+      EXPECT_LE(site_delay.at(dc), cutoff + 1e-9) << org.name;
+    }
+    break;  // one qualifying org suffices
+  }
+}
+
+TEST(Resolver, DeterministicGivenRngState) {
+  const auto& world = test_world();
+  const Resolver resolver(world);
+  util::Rng rng_a(9);
+  util::Rng rng_b(9);
+  for (int i = 0; i < 50; ++i) {
+    const auto domain_id = world.domains()[static_cast<std::size_t>(i) %
+                                           world.domains().size()].id;
+    const auto a = resolver.resolve_from(domain_id, "ES", false, rng_a);
+    const auto b = resolver.resolve_from(domain_id, "ES", false, rng_b);
+    EXPECT_EQ(a.server, b.server);
+  }
+}
+
+TEST(Resolver, FullEcsRestoresClientLocation) {
+  ResolverOptions with_ecs;
+  with_ecs.ecs_adoption = 1.0;
+  const Resolver resolver(test_world(), with_ecs);
+  const auto origin = resolver.origin_for("DE", true);
+  const auto* de = geo::find_country("DE");
+  EXPECT_NEAR(origin.effective_location.lat, de->centroid.lat, 1e-9);
+  EXPECT_NEAR(origin.effective_location.lon, de->centroid.lon, 1e-9);
+}
+
+TEST(Resolver, PartialEcsImprovesLocalityForPublicResolverUsers) {
+  // Compare in-country termination for a Spanish public-resolver user
+  // with and without ECS over popular multi-pop orgs.
+  const auto& world = test_world();
+  const auto count_local = [&](double adoption) {
+    ResolverOptions options;
+    options.ecs_adoption = adoption;
+    const Resolver resolver(world, options);
+    util::Rng rng(77);
+    std::uint64_t local = 0;
+    std::uint64_t total = 0;
+    for (const auto& org : world.orgs()) {
+      if (org.dns_policy != world::DnsPolicy::NearestPop || org.servers.size() < 6) {
+        continue;
+      }
+      for (int i = 0; i < 20; ++i) {
+        const auto answer = resolver.resolve_from(org.domains.front(), "ES", true, rng);
+        ++total;
+        if (world.datacenter(world.server(answer.server).datacenter).country == "ES") {
+          ++local;
+        }
+      }
+    }
+    return total == 0 ? 0.0 : static_cast<double>(local) / static_cast<double>(total);
+  };
+  EXPECT_GT(count_local(1.0), count_local(0.0));
+}
+
+TEST(Resolver, TtlFollowsPopularity) {
+  world::Organization big;
+  big.popularity = 0.1;
+  world::Organization mid;
+  mid.popularity = 0.01;
+  world::Organization tail;
+  tail.popularity = 0.0001;
+  EXPECT_EQ(ttl_for(big), 300U);
+  EXPECT_EQ(ttl_for(mid), 3600U);
+  EXPECT_EQ(ttl_for(tail), 7200U);
+}
+
+/// Property sweep over origin countries: resolution invariants must hold
+/// from everywhere, with either resolver type.
+class ResolverPerCountry
+    : public ::testing::TestWithParam<std::tuple<const char*, bool>> {};
+
+TEST_P(ResolverPerCountry, AnswersAreAlwaysValidServersOfTheDomain) {
+  const auto& [country, third_party] = GetParam();
+  const auto& world = test_world();
+  const Resolver resolver(world);
+  util::Rng rng(util::mix64(static_cast<std::uint64_t>(country[0]) + third_party));
+  const auto tracking = world.tracking_domain_ids();
+  for (int i = 0; i < 40; ++i) {
+    const auto domain_id = tracking[static_cast<std::size_t>(
+        rng.next_below(tracking.size()))];
+    const auto answer = resolver.resolve_from(domain_id, country, third_party, rng);
+    const auto& domain = world.domain(domain_id);
+    EXPECT_NE(std::find(domain.servers.begin(), domain.servers.end(), answer.server),
+              domain.servers.end());
+    EXPECT_EQ(world.server(answer.server).ip, answer.ip);
+    EXPECT_GE(answer.ttl_s, 300U);
+    EXPECT_LE(answer.ttl_s, 7200U);
+  }
+}
+
+TEST_P(ResolverPerCountry, OriginIsWellFormed) {
+  const auto& [country, third_party] = GetParam();
+  const Resolver resolver(test_world());
+  const auto origin = resolver.origin_for(country, third_party);
+  EXPECT_EQ(origin.client_country, country);
+  EXPECT_EQ(origin.via_third_party, third_party);
+  EXPECT_GE(origin.effective_location.lat, -60.0);
+  EXPECT_LE(origin.effective_location.lat, 72.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CountriesAndResolvers, ResolverPerCountry,
+    ::testing::Combine(::testing::Values("DE", "ES", "GB", "GR", "CY", "PL", "BR",
+                                         "US", "JP", "ZA", "RU", "AU"),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, bool>>& info) {
+      return std::string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_public_dns" : "_isp_dns");
+    });
+
+}  // namespace
+}  // namespace cbwt::dns

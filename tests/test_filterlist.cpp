@@ -1,0 +1,283 @@
+#include "filterlist/engine.h"
+#include "filterlist/generate.h"
+#include "filterlist/rule.h"
+
+#include <gtest/gtest.h>
+
+namespace cbwt::filterlist {
+namespace {
+
+RequestContext ctx(std::string_view url, std::string_view page_host = "news.example.com",
+                   bool third_party = true) {
+  RequestContext request;
+  request.url = url;
+  const std::size_t scheme = url.find("://");
+  std::string_view rest = url.substr(scheme + 3);
+  request.host = rest.substr(0, rest.find('/'));
+  request.page_host = page_host;
+  request.third_party = third_party;
+  return request;
+}
+
+bool matches(std::string_view rule_text, const RequestContext& request) {
+  const auto rule = parse_rule(rule_text);
+  EXPECT_TRUE(rule.has_value()) << rule_text;
+  return rule_matches(*rule, request);
+}
+
+// ---------------------------------------------------------------- parsing
+
+TEST(ParseRule, SkipsCommentsAndEmpties) {
+  EXPECT_FALSE(parse_rule("! comment").has_value());
+  EXPECT_FALSE(parse_rule("").has_value());
+  EXPECT_FALSE(parse_rule("   ").has_value());
+}
+
+TEST(ParseRule, SkipsElementHiding) {
+  EXPECT_FALSE(parse_rule("example.com##.ad-banner").has_value());
+  EXPECT_FALSE(parse_rule("example.com#@#.whitelisted").has_value());
+}
+
+TEST(ParseRule, DomainAnchor) {
+  const auto rule = parse_rule("||ads.example.com^");
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(rule->anchor, AnchorKind::DomainName);
+  EXPECT_FALSE(rule->exception);
+  ASSERT_EQ(rule->parts.size(), 1U);
+  EXPECT_EQ(rule->parts[0], "ads.example.com^");
+}
+
+TEST(ParseRule, ExceptionAndOptions) {
+  const auto rule = parse_rule("@@||good.com^$third-party,domain=a.com|~b.com");
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_TRUE(rule->exception);
+  ASSERT_TRUE(rule->options.third_party.has_value());
+  EXPECT_TRUE(*rule->options.third_party);
+  ASSERT_EQ(rule->options.include_domains.size(), 1U);
+  EXPECT_EQ(rule->options.include_domains[0], "a.com");
+  ASSERT_EQ(rule->options.exclude_domains.size(), 1U);
+  EXPECT_EQ(rule->options.exclude_domains[0], "b.com");
+}
+
+TEST(ParseRule, WildcardSplitting) {
+  const auto rule = parse_rule("/banner/*/img^");
+  ASSERT_TRUE(rule.has_value());
+  ASSERT_EQ(rule->parts.size(), 2U);
+  EXPECT_EQ(rule->parts[0], "/banner/");
+  EXPECT_EQ(rule->parts[1], "/img^");
+}
+
+TEST(ParseRule, StartAndEndAnchors) {
+  const auto rule = parse_rule("|https://ads.|");
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(rule->anchor, AnchorKind::Start);
+  EXPECT_TRUE(rule->end_anchor);
+}
+
+TEST(ParseRule, LowercasesPattern) {
+  const auto rule = parse_rule("||AdServe.COM^");
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(rule->parts[0], "adserve.com^");
+}
+
+// --------------------------------------------------------------- matching
+
+TEST(RuleMatch, SeparatorClass) {
+  EXPECT_TRUE(is_separator_char('/'));
+  EXPECT_TRUE(is_separator_char('?'));
+  EXPECT_TRUE(is_separator_char(':'));
+  EXPECT_FALSE(is_separator_char('a'));
+  EXPECT_FALSE(is_separator_char('5'));
+  EXPECT_FALSE(is_separator_char('-'));
+  EXPECT_FALSE(is_separator_char('.'));
+  EXPECT_FALSE(is_separator_char('%'));
+  EXPECT_FALSE(is_separator_char('_'));
+}
+
+TEST(RuleMatch, DomainAnchorMatchesHostAndSubdomains) {
+  EXPECT_TRUE(matches("||example.com^", ctx("https://example.com/x")));
+  EXPECT_TRUE(matches("||example.com^", ctx("https://sub.example.com/x")));
+  EXPECT_FALSE(matches("||example.com^", ctx("https://badexample.com/x")));
+  EXPECT_FALSE(matches("||example.com^", ctx("https://example.common/x")));
+}
+
+TEST(RuleMatch, DomainAnchorWithTrailingCaretAtUrlEnd) {
+  // '^' may match the end of the address.
+  EXPECT_TRUE(matches("||example.com^", ctx("https://example.com")));
+}
+
+TEST(RuleMatch, DomainAnchorDoesNotMatchInsidePathOrQuery) {
+  EXPECT_FALSE(matches("||track.com^", ctx("https://safe.com/track.com/x")));
+  EXPECT_FALSE(matches("||track.com^", ctx("https://safe.com/x?u=track.com")));
+}
+
+TEST(RuleMatch, PlainSubstring) {
+  EXPECT_TRUE(matches("/adframe/", ctx("https://x.com/adframe/1.js")));
+  EXPECT_FALSE(matches("/adframe/", ctx("https://x.com/frame/1.js")));
+}
+
+TEST(RuleMatch, WildcardSpansSegments) {
+  EXPECT_TRUE(matches("/banner/*/img^", ctx("https://x.com/banner/123/img?s=1")));
+  EXPECT_TRUE(matches("/banner/*/img^", ctx("https://x.com/banner/a/b/img")));
+  EXPECT_FALSE(matches("/banner/*/img^", ctx("https://x.com/banner/123/image")));
+}
+
+TEST(RuleMatch, StartAnchor) {
+  EXPECT_TRUE(matches("|https://ads.", ctx("https://ads.example.com/x")));
+  EXPECT_FALSE(matches("|https://ads.", ctx("https://www.ads.example.com/x")));
+}
+
+TEST(RuleMatch, EndAnchor) {
+  EXPECT_TRUE(matches(".swf|", ctx("https://x.com/movie.swf")));
+  EXPECT_FALSE(matches(".swf|", ctx("https://x.com/movie.swf?x=1")));
+}
+
+TEST(RuleMatch, ThirdPartyOption) {
+  EXPECT_TRUE(matches("||t.com^$third-party", ctx("https://t.com/x", "news.com", true)));
+  EXPECT_FALSE(matches("||t.com^$third-party", ctx("https://t.com/x", "t.com", false)));
+  EXPECT_FALSE(matches("||t.com^$~third-party", ctx("https://t.com/x", "news.com", true)));
+}
+
+TEST(RuleMatch, DomainOption) {
+  EXPECT_TRUE(
+      matches("/ads/$domain=news.com", ctx("https://t.com/ads/1", "news.com")));
+  EXPECT_TRUE(
+      matches("/ads/$domain=news.com", ctx("https://t.com/ads/1", "sub.news.com")));
+  EXPECT_FALSE(
+      matches("/ads/$domain=news.com", ctx("https://t.com/ads/1", "other.com")));
+  EXPECT_FALSE(
+      matches("/ads/$domain=~news.com", ctx("https://t.com/ads/1", "news.com")));
+  EXPECT_TRUE(
+      matches("/ads/$domain=~news.com", ctx("https://t.com/ads/1", "other.com")));
+}
+
+TEST(RuleMatch, ResourceTypeOptionsAreIgnoredNotFatal) {
+  EXPECT_TRUE(matches("||t.com^$script,image", ctx("https://t.com/x")));
+}
+
+TEST(RuleMatch, CaretMatchesQueryBoundary) {
+  EXPECT_TRUE(matches("||t.com^*/pixel?", ctx("https://t.com/a/pixel?uid=1")));
+  // A caret between host and path:
+  EXPECT_TRUE(matches("||t.com^pixel", ctx("https://t.com/pixel")));
+  EXPECT_FALSE(matches("||t.com^pixel", ctx("https://t.com/xpixel")));
+}
+
+// ----------------------------------------------------------------- engine
+
+TEST(Engine, MatchesAcrossListsAndReportsListName) {
+  Engine engine;
+  engine.add_list(FilterList("easylist", {"||ads.t.com^"}));
+  engine.add_list(FilterList("easyprivacy", {"/collect?"}));
+  const auto hit1 = engine.match(ctx("https://ads.t.com/x"));
+  EXPECT_TRUE(hit1.matched);
+  EXPECT_EQ(hit1.list, "easylist");
+  const auto hit2 = engine.match(ctx("https://stats.u.com/collect?sid=1"));
+  EXPECT_TRUE(hit2.matched);
+  EXPECT_EQ(hit2.list, "easyprivacy");
+  EXPECT_FALSE(engine.match(ctx("https://clean.com/app.js")).matched);
+}
+
+TEST(Engine, ExceptionOverridesBlock) {
+  Engine engine;
+  engine.add_list(FilterList("easylist", {"||ads.t.com^", "@@||ads.t.com/allowed/"}));
+  EXPECT_TRUE(engine.match(ctx("https://ads.t.com/x")).matched);
+  EXPECT_FALSE(engine.match(ctx("https://ads.t.com/allowed/x")).matched);
+}
+
+TEST(Engine, IndexedSubdomainLookup) {
+  Engine engine;
+  engine.add_list(FilterList("easylist", {"||t.com^"}));
+  EXPECT_TRUE(engine.match(ctx("https://deep.sub.t.com/x")).matched);
+}
+
+TEST(Engine, SkippedLineAccounting) {
+  const FilterList list("x", {"! comment", "||a.com^", "bad##hide", ""});
+  EXPECT_EQ(list.rule_count(), 1U);
+  EXPECT_EQ(list.skipped_lines(), 3U);
+}
+
+TEST(Engine, TotalRules) {
+  Engine engine;
+  engine.add_list(FilterList("a", {"||a.com^", "/x/"}));
+  engine.add_list(FilterList("b", {"||b.com^"}));
+  EXPECT_EQ(engine.total_rules(), 3U);
+}
+
+/// Property: the indexed engine agrees with a naive scan over all rules.
+TEST(Engine, AgreesWithNaiveScan) {
+  const std::vector<std::string> lines = {
+      "||ads.t.com^$third-party", "||u.com^", "/banner/*/img^",  "&ad_slot=",
+      "|https://ads.",            ".swf|",    "@@||u.com/benign/",
+  };
+  Engine engine;
+  engine.add_list(FilterList("l", lines));
+  std::vector<Rule> rules;
+  for (const auto& line : lines) {
+    if (auto rule = parse_rule(line)) rules.push_back(std::move(*rule));
+  }
+
+  const std::vector<std::string> urls = {
+      "https://ads.t.com/x",
+      "https://sub.ads.t.com/y?a=1",
+      "https://u.com/page",
+      "https://u.com/benign/ok",
+      "https://x.com/banner/12/img?s=1",
+      "https://x.com/a?x=1&ad_slot=3",
+      "https://ads.site.com/z",
+      "https://clean.org/app.swf",
+      "https://clean.org/app.swf?v=2",
+      "https://nothing.example/",
+  };
+  for (const auto& url : urls) {
+    const auto request = ctx(url);
+    bool naive_blocked = false;
+    bool naive_excepted = false;
+    for (const auto& rule : rules) {
+      if (!rule_matches(rule, request)) continue;
+      if (rule.exception) naive_excepted = true;
+      else naive_blocked = true;
+    }
+    const bool naive = naive_blocked && !naive_excepted;
+    EXPECT_EQ(engine.match(request).matched, naive) << url;
+  }
+}
+
+// -------------------------------------------------------------- generation
+
+TEST(Generate, ListsCoverTheWorldsListedDomains) {
+  world::WorldConfig config;
+  config.seed = 99;
+  config.scale = 0.01;
+  config.publishers = 100;
+  const auto world = world::build_world(config);
+  util::Rng rng(5);
+  const auto lists = generate_lists(world, rng);
+  EXPECT_GT(lists.easylist.size(), 50U);
+  EXPECT_GT(lists.easyprivacy.size(), 20U);
+
+  Engine engine;
+  engine.add_list(FilterList("easylist", lists.easylist));
+  engine.add_list(FilterList("easyprivacy", lists.easyprivacy));
+
+  // Every in_easylist ad-network FQDN must be blocked at its root.
+  std::size_t checked = 0;
+  for (const auto& domain : world.domains()) {
+    if (!domain.in_easylist ||
+        world.org(domain.org).role != world::OrgRole::AdNetwork) {
+      continue;
+    }
+    const std::string url =
+        "https://" + domain.fqdn + "/ads/display/1?pub=x.com&ad_slot=2";
+    EXPECT_TRUE(engine.match(ctx(url)).matched) << url;
+    if (++checked > 60) break;
+  }
+  // Clean-service hosts never match.
+  for (const auto& domain : world.domains()) {
+    if (world.org(domain.org).role != world::OrgRole::CleanService) continue;
+    const std::string url = "https://" + domain.fqdn + "/assets/app-1.js";
+    EXPECT_FALSE(engine.match(ctx(url)).matched) << url;
+  }
+}
+
+}  // namespace
+}  // namespace cbwt::filterlist

@@ -1,0 +1,213 @@
+#include "geoloc/active.h"
+#include "geoloc/commercial.h"
+#include "geoloc/service.h"
+
+#include <gtest/gtest.h>
+
+namespace cbwt::geoloc {
+namespace {
+
+class GeolocTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world::WorldConfig config;
+    config.seed = 9001;
+    config.scale = 0.01;
+    config.publishers = 300;
+    world_ = new world::World(world::build_world(config));
+    util::Rng mesh_rng(1);
+    mesh_ = new ProbeMesh(MeshConfig{}, mesh_rng);
+    util::Rng db_rng(2);
+    auto maxmind = build_maxmind_like(*world_, CommercialDbOptions{}, db_rng);
+    auto ipapi = build_ipapi_like(*world_, maxmind, 0.93, db_rng);
+    service_ = new GeoService(*world_, std::move(maxmind), std::move(ipapi), *mesh_,
+                              ActiveGeolocatorOptions{}, 1234);
+  }
+  static void TearDownTestSuite() {
+    delete service_;
+    delete mesh_;
+    delete world_;
+  }
+  static world::World* world_;
+  static ProbeMesh* mesh_;
+  static GeoService* service_;
+};
+
+world::World* GeolocTest::world_ = nullptr;
+ProbeMesh* GeolocTest::mesh_ = nullptr;
+GeoService* GeolocTest::service_ = nullptr;
+
+TEST_F(GeolocTest, MeshIsEuropeDense) {
+  std::size_t europe = 0;
+  for (const auto& probe : mesh_->probes()) {
+    const auto* country = geo::find_country(probe.country);
+    ASSERT_NE(country, nullptr);
+    if (country->continent == geo::Continent::Europe) ++europe;
+  }
+  EXPECT_GT(static_cast<double>(europe) / mesh_->probes().size(), 0.45);
+  EXPECT_GT(mesh_->count_in("DE"), mesh_->count_in("PA"));
+}
+
+TEST_F(GeolocTest, CommercialDbIsAccurateOnEyeballs) {
+  const auto block = world_->addresses().eyeball_blocks().at("DE");
+  const auto located = service_->locate(block.at(12345), Tool::MaxMindLike);
+  EXPECT_EQ(located, "DE");
+}
+
+TEST_F(GeolocTest, CommercialDbFilesInfraAtLegalHome) {
+  // Count how often the MaxMind-like tool reports the org's HQ rather
+  // than the true server country, over servers deployed abroad.
+  std::size_t abroad = 0;
+  std::size_t reported_hq = 0;
+  for (const auto& server : world_->servers()) {
+    const auto& org = world_->org(server.org);
+    const auto truth = world_->datacenter(server.datacenter).country;
+    if (truth == org.hq_country) continue;
+    ++abroad;
+    if (service_->locate(server.ip, Tool::MaxMindLike) == org.hq_country) ++reported_hq;
+  }
+  ASSERT_GT(abroad, 100U);
+  EXPECT_GT(static_cast<double>(reported_hq) / abroad, 0.6);
+}
+
+TEST_F(GeolocTest, ActiveGeolocationIsCountryAccurate) {
+  util::Rng rng(3);
+  const ActiveGeolocator locator(*world_, *mesh_);
+  std::size_t checked = 0;
+  std::size_t country_correct = 0;
+  std::size_t continent_correct = 0;
+  for (const auto& server : world_->servers()) {
+    if (checked >= 250) break;
+    const auto truth = world_->datacenter(server.datacenter).country;
+    const auto* truth_info = geo::find_country(truth);
+    // Focus on Europe/US where the mesh is dense (the paper's validation
+    // scope is exactly EU + US cloud ranges).
+    if (truth_info->continent != geo::Continent::Europe && truth != "US") continue;
+    ++checked;
+    const auto estimate = locator.locate(server.ip, rng);
+    if (estimate.country == truth) ++country_correct;
+    if (estimate.continent == truth_info->continent) ++continent_correct;
+  }
+  ASSERT_EQ(checked, 250U);
+  EXPECT_GT(static_cast<double>(country_correct) / checked, 0.85);
+  EXPECT_GT(static_cast<double>(continent_correct) / checked, 0.97);
+}
+
+TEST_F(GeolocTest, ActiveGeolocationUnknownIpIsEmpty) {
+  util::Rng rng(4);
+  const ActiveGeolocator locator(*world_, *mesh_);
+  const auto estimate = locator.locate(net::IpAddress::v4(1), rng);
+  EXPECT_TRUE(estimate.country.empty());
+}
+
+TEST_F(GeolocTest, ServiceCachesActiveMeasurements) {
+  const auto& ip = world_->servers().front().ip;
+  const auto first = service_->locate(ip, Tool::ActiveIpmap);
+  const auto second = service_->locate(ip, Tool::ActiveIpmap);
+  EXPECT_EQ(first, second);  // measured once, cached thereafter
+}
+
+TEST_F(GeolocTest, GroundTruthToolMatchesWorld) {
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto& server = world_->servers()[i];
+    EXPECT_EQ(service_->locate(server.ip, Tool::GroundTruth),
+              world_->datacenter(server.datacenter).country);
+  }
+}
+
+TEST_F(GeolocTest, PairwiseAgreementShape) {
+  // Over tracker server IPs: the two commercial tools agree with each
+  // other far more than either agrees with active measurement (Table 3).
+  std::vector<net::IpAddress> ips;
+  for (const auto& server : world_->servers()) {
+    ips.push_back(server.ip);
+    if (ips.size() >= 400) break;
+  }
+  const auto commercial = pairwise_agreement(*service_, ips, Tool::MaxMindLike,
+                                             Tool::IpApiLike);
+  const auto maxmind_vs_active =
+      pairwise_agreement(*service_, ips, Tool::MaxMindLike, Tool::ActiveIpmap);
+  EXPECT_GT(commercial.country, 0.85);
+  EXPECT_LT(maxmind_vs_active.country, 0.75);
+  EXPECT_GT(commercial.country, maxmind_vs_active.country + 0.15);
+  // Continent agreement is always higher than country agreement.
+  EXPECT_GE(commercial.continent, commercial.country - 1e-9);
+}
+
+TEST_F(GeolocTest, ActiveAgreesWithGroundTruth) {
+  std::vector<net::IpAddress> ips;
+  for (const auto& server : world_->servers()) {
+    const auto truth = world_->datacenter(server.datacenter).country;
+    const auto* info = geo::find_country(truth);
+    if (info->continent == geo::Continent::Europe || truth == "US") {
+      ips.push_back(server.ip);
+    }
+    if (ips.size() >= 300) break;
+  }
+  const auto agreement =
+      pairwise_agreement(*service_, ips, Tool::ActiveIpmap, Tool::GroundTruth);
+  EXPECT_GT(agreement.country, 0.85);
+  EXPECT_GT(agreement.continent, 0.97);
+}
+
+TEST_F(GeolocTest, LegalEntityToolReportsHq) {
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto& server = world_->servers()[i];
+    EXPECT_EQ(service_->locate(server.ip, Tool::LegalEntity),
+              world_->org(server.org).hq_country);
+  }
+  EXPECT_TRUE(service_->locate(net::IpAddress::v4(7), Tool::LegalEntity).empty());
+}
+
+TEST_F(GeolocTest, RegionAndContinentHelpers) {
+  const auto& server = world_->servers().front();
+  const auto region = service_->region(server.ip, Tool::GroundTruth);
+  ASSERT_TRUE(region.has_value());
+  const auto continent = service_->continent(server.ip, Tool::GroundTruth);
+  ASSERT_TRUE(continent.has_value());
+  EXPECT_FALSE(service_->region(net::IpAddress::v4(2), Tool::GroundTruth).has_value());
+}
+
+TEST_F(GeolocTest, MoreVotersNeverHurtMuch) {
+  // Property sweep: accuracy with 20 voters is within noise of 10 voters
+  // (majority voting is stable), and 1 voter is noticeably worse.
+  const auto accuracy_with = [&](std::uint32_t voters) {
+    ActiveGeolocatorOptions options;
+    options.voters = voters;
+    const ActiveGeolocator locator(*world_, *mesh_, options);
+    util::Rng rng(7);
+    std::size_t correct = 0;
+    std::size_t total = 0;
+    for (const auto& server : world_->servers()) {
+      const auto truth = world_->datacenter(server.datacenter).country;
+      if (geo::find_country(truth)->continent != geo::Continent::Europe) continue;
+      if (++total > 200) break;
+      if (locator.locate(server.ip, rng).country == truth) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(total);
+  };
+  const double one = accuracy_with(1);
+  const double ten = accuracy_with(10);
+  EXPECT_GT(ten, one - 0.02);
+}
+
+TEST(CommercialDb, EmptyLocatesNothing) {
+  CommercialDb db;
+  EXPECT_FALSE(db.locate(net::IpAddress::v4(1)).has_value());
+  db.add_prefix(*net::IpPrefix::parse("10.0.0.0/8"), "DE");
+  db.add_ip(*net::IpAddress::parse("10.1.2.3"), "FR");
+  // Longest prefix wins: the host entry overrides the block.
+  EXPECT_EQ(db.locate(*net::IpAddress::parse("10.1.2.3")).value(), "FR");
+  EXPECT_EQ(db.locate(*net::IpAddress::parse("10.9.9.9")).value(), "DE");
+}
+
+TEST(GeoTool, ToStringCoversAll) {
+  EXPECT_EQ(to_string(Tool::GroundTruth), "ground-truth");
+  EXPECT_EQ(to_string(Tool::MaxMindLike), "maxmind-like");
+  EXPECT_EQ(to_string(Tool::IpApiLike), "ip-api-like");
+  EXPECT_EQ(to_string(Tool::ActiveIpmap), "ipmap-like");
+  EXPECT_EQ(to_string(Tool::LegalEntity), "legal-entity");
+}
+
+}  // namespace
+}  // namespace cbwt::geoloc

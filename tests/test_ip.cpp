@@ -1,0 +1,140 @@
+#include "net/ip.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace cbwt::net {
+namespace {
+
+TEST(IpAddress, ParseV4) {
+  const auto ip = IpAddress::parse("192.0.2.1");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_TRUE(ip->is_v4());
+  EXPECT_EQ(ip->v4_value(), 0xC0000201U);
+  EXPECT_EQ(ip->to_string(), "192.0.2.1");
+}
+
+TEST(IpAddress, ParseV4Invalid) {
+  EXPECT_FALSE(IpAddress::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(IpAddress::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(IpAddress::parse("").has_value());
+  EXPECT_FALSE(IpAddress::parse("1..2.3").has_value());
+}
+
+TEST(IpAddress, ParseV6Full) {
+  const auto ip = IpAddress::parse("2a01:db8:0:1:2:3:4:5");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_FALSE(ip->is_v4());
+  EXPECT_EQ(ip->hi(), 0x2A010DB800000001ULL);
+  EXPECT_EQ(ip->lo(), 0x0002000300040005ULL);
+}
+
+TEST(IpAddress, ParseV6Compressed) {
+  const auto ip = IpAddress::parse("2a01::5");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->hi(), 0x2A01000000000000ULL);
+  EXPECT_EQ(ip->lo(), 5ULL);
+}
+
+TEST(IpAddress, ParseV6Invalid) {
+  EXPECT_FALSE(IpAddress::parse("1:2:3").has_value());
+  EXPECT_FALSE(IpAddress::parse("::1::2").has_value());
+  EXPECT_FALSE(IpAddress::parse("12345::").has_value());
+  EXPECT_FALSE(IpAddress::parse("g::1").has_value());
+}
+
+TEST(IpAddress, V6RoundTrip) {
+  for (const char* text : {"2a01::5", "::", "::1", "1:2:3:4:5:6:7:8", "ff00::"}) {
+    const auto ip = IpAddress::parse(text);
+    ASSERT_TRUE(ip.has_value()) << text;
+    const auto again = IpAddress::parse(ip->to_string());
+    ASSERT_TRUE(again.has_value()) << ip->to_string();
+    EXPECT_EQ(*ip, *again) << text << " -> " << ip->to_string();
+  }
+}
+
+TEST(IpAddress, OrderingSeparatesFamilies) {
+  const auto v4 = IpAddress::v4(0xFFFFFFFFU);
+  const auto v6 = IpAddress::v6(0, 0);
+  EXPECT_LT(v4, v6);  // all v4 sort before all v6
+}
+
+TEST(IpAddress, BitIndexing) {
+  const auto ip = IpAddress::v4(0x80000001U);
+  EXPECT_TRUE(ip.bit(0));
+  EXPECT_FALSE(ip.bit(1));
+  EXPECT_TRUE(ip.bit(31));
+  const auto v6 = IpAddress::v6(1ULL << 63, 1);
+  EXPECT_TRUE(v6.bit(0));
+  EXPECT_TRUE(v6.bit(127));
+  EXPECT_FALSE(v6.bit(64));
+}
+
+TEST(IpAddress, HashDistinguishes) {
+  std::unordered_set<IpAddress> set;
+  for (std::uint32_t i = 0; i < 1000; ++i) set.insert(IpAddress::v4(i));
+  EXPECT_EQ(set.size(), 1000U);
+  // v4 value 5 and v6 (0,5) must hash/compare differently.
+  set.insert(IpAddress::v6(0, 5));
+  EXPECT_TRUE(set.contains(IpAddress::v6(0, 5)));
+  EXPECT_EQ(set.size(), 1001U);
+}
+
+TEST(IpPrefix, ZeroesHostBits) {
+  const IpPrefix prefix(IpAddress::v4(0xC0A80A0FU), 24);  // 192.168.10.15/24
+  EXPECT_EQ(prefix.base().to_string(), "192.168.10.0");
+  EXPECT_EQ(prefix.to_string(), "192.168.10.0/24");
+}
+
+TEST(IpPrefix, ContainsBoundaries) {
+  const auto prefix = IpPrefix::parse("10.0.0.0/8");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_TRUE(prefix->contains(*IpAddress::parse("10.0.0.0")));
+  EXPECT_TRUE(prefix->contains(*IpAddress::parse("10.255.255.255")));
+  EXPECT_FALSE(prefix->contains(*IpAddress::parse("11.0.0.0")));
+  EXPECT_FALSE(prefix->contains(*IpAddress::parse("9.255.255.255")));
+}
+
+TEST(IpPrefix, ZeroLengthContainsEverythingInFamily) {
+  const IpPrefix any(IpAddress::v4(0), 0);
+  EXPECT_TRUE(any.contains(IpAddress::v4(0xDEADBEEFU)));
+  EXPECT_FALSE(any.contains(IpAddress::v6(1, 2)));  // family mismatch
+}
+
+TEST(IpPrefix, ParseRejectsBadInput) {
+  EXPECT_FALSE(IpPrefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(IpPrefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(IpPrefix::parse("10.0.0.0/x").has_value());
+  EXPECT_FALSE(IpPrefix::parse("/8").has_value());
+}
+
+TEST(IpPrefix, V6ContainsAndLength) {
+  const auto prefix = IpPrefix::parse("2a01::/16");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_TRUE(prefix->contains(*IpAddress::parse("2a01:1::1")));
+  EXPECT_FALSE(prefix->contains(*IpAddress::parse("2a02::1")));
+}
+
+TEST(IpPrefix, SizeAndAt) {
+  const auto prefix = IpPrefix::parse("192.0.2.0/30");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(prefix->v4_size(), 4U);
+  EXPECT_EQ(prefix->at(0).to_string(), "192.0.2.0");
+  EXPECT_EQ(prefix->at(3).to_string(), "192.0.2.3");
+  EXPECT_EQ(prefix->at(4).to_string(), "192.0.2.0");  // wraps mod size
+}
+
+TEST(IpPrefix, AtStaysInsidePrefix) {
+  const auto prefix = IpPrefix::parse("11.4.0.0/22");
+  ASSERT_TRUE(prefix.has_value());
+  for (std::uint64_t offset : {0ULL, 1ULL, 1023ULL, 5000ULL}) {
+    EXPECT_TRUE(prefix->contains(prefix->at(offset))) << offset;
+  }
+}
+
+}  // namespace
+}  // namespace cbwt::net

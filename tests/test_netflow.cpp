@@ -1,0 +1,261 @@
+#include "netflow/collector.h"
+#include "netflow/generator.h"
+#include "netflow/profile.h"
+#include "netflow/sflow.h"
+
+#include <gtest/gtest.h>
+
+namespace cbwt::netflow {
+namespace {
+
+TEST(Profiles, TableSevenShape) {
+  const auto isps = default_isps();
+  ASSERT_EQ(isps.size(), 4U);
+  EXPECT_EQ(isps[0].name, "DE-Broadband");
+  EXPECT_EQ(isps[0].country, "DE");
+  EXPECT_EQ(isps[0].access, AccessType::Broadband);
+  EXPECT_DOUBLE_EQ(isps[0].subscribers_m, 15.0);
+  EXPECT_EQ(isps[1].name, "DE-Mobile");
+  EXPECT_DOUBLE_EQ(isps[1].subscribers_m, 40.0);
+  EXPECT_EQ(isps[2].name, "PL");
+  EXPECT_EQ(isps[3].name, "HU");
+  // Mobile operators keep users behind the ISP resolver.
+  EXPECT_LT(isps[1].third_party_resolver_share, isps[0].third_party_resolver_share);
+}
+
+TEST(Profiles, SnapshotsBracketTheGdprDate) {
+  const auto snapshots = default_snapshots();
+  ASSERT_EQ(snapshots.size(), 4U);
+  EXPECT_EQ(snapshots[0].label, "Nov 8");
+  EXPECT_EQ(snapshots[3].label, "June 20");
+  for (std::size_t i = 1; i < snapshots.size(); ++i) {
+    EXPECT_GT(snapshots[i].day, snapshots[i - 1].day);
+  }
+}
+
+TEST(Anonymize, StripsSubscriberSide) {
+  RawRecord record;
+  record.src = net::IpAddress::v4(0x59000001);  // subscriber
+  record.dst = net::IpAddress::v4(0x0B000001);  // tracker
+  record.src_port = 44444;
+  record.dst_port = 443;
+  record.protocol = 6;
+  record.packets = 3;
+  record.bytes = 999;
+  const auto anon = anonymize(record, /*subscriber_is_src=*/true, "DE");
+  EXPECT_EQ(anon.subscriber_country, "DE");
+  EXPECT_EQ(anon.remote, record.dst);
+  EXPECT_EQ(anon.remote_port, 443);
+  EXPECT_EQ(anon.direction, Direction::Outbound);
+  // Reverse direction:
+  const auto inbound = anonymize(record, /*subscriber_is_src=*/false, "DE");
+  EXPECT_EQ(inbound.remote, record.src);
+  EXPECT_EQ(inbound.direction, Direction::Inbound);
+}
+
+TEST(TrackerIpIndex, PdnsWindowing) {
+  pdns::Store store;
+  store.observe("a.t.com", "t.com", net::IpAddress::v4(1), 10);
+  store.observe("a.t.com", "t.com", net::IpAddress::v4(1), 20);
+  store.observe("b.t.com", "t.com", net::IpAddress::v4(2), 50);
+  const auto at15 = TrackerIpIndex::from_pdns(store, 15);
+  EXPECT_TRUE(at15.contains(net::IpAddress::v4(1)));
+  EXPECT_FALSE(at15.contains(net::IpAddress::v4(2)));
+  const auto at50 = TrackerIpIndex::from_pdns(store, 50);
+  EXPECT_FALSE(at50.contains(net::IpAddress::v4(1)));
+  EXPECT_TRUE(at50.contains(net::IpAddress::v4(2)));
+  const auto all = TrackerIpIndex::from_pdns_all_time(store);
+  EXPECT_EQ(all.size(), 2U);
+}
+
+class NetflowPipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world::WorldConfig config;
+    config.seed = 606;
+    config.scale = 0.01;
+    config.publishers = 300;
+    world_ = new world::World(world::build_world(config));
+    resolver_ = new dns::Resolver(*world_);
+    config_.scale = 2e-6;  // tiny but enough records to aggregate
+  }
+  static void TearDownTestSuite() {
+    delete resolver_;
+    delete world_;
+  }
+  static world::World* world_;
+  static dns::Resolver* resolver_;
+  static GeneratorConfig config_;
+};
+
+world::World* NetflowPipeline::world_ = nullptr;
+dns::Resolver* NetflowPipeline::resolver_ = nullptr;
+GeneratorConfig NetflowPipeline::config_;
+
+TEST_F(NetflowPipeline, VolumeScalesWithProfile) {
+  util::Rng rng(1);
+  const auto& isps = default_isps();
+  const auto& snapshot = default_snapshots()[1];
+  const auto big = generate_snapshot(*world_, *resolver_, isps[0], snapshot, config_, rng);
+  const auto small = generate_snapshot(*world_, *resolver_, isps[2], snapshot, config_, rng);
+  // DE-Broadband exports ~75x more than PL (Table 8 volumes).
+  EXPECT_GT(big.tracking_intended, small.tracking_intended * 30);
+  EXPECT_EQ(big.records.size(),
+            (big.tracking_intended + big.background_intended) +
+                (big.tracking_intended + big.background_intended) / 50);
+}
+
+TEST_F(NetflowPipeline, RecordsAreWellFormed) {
+  util::Rng rng(2);
+  const auto exported = generate_snapshot(*world_, *resolver_, default_isps()[3],
+                                          default_snapshots()[0], config_, rng);
+  std::size_t https = 0;
+  for (const auto& record : exported.records) {
+    EXPECT_LT(record.timestamp_s, 86400U);
+    EXPECT_TRUE(record.protocol == 6 || record.protocol == 17);
+    EXPECT_TRUE(record.dst_port == 443 || record.dst_port == 80);
+    EXPECT_GT(record.packets, 0U);
+    EXPECT_GT(record.bytes, 0U);
+    if (record.dst_port == 443) ++https;
+    // QUIC only rides on 443.
+    if (record.protocol == 17) {
+      EXPECT_EQ(record.dst_port, 443);
+    }
+  }
+  // Small-sample binomial noise: ~185 records -> sd ~2.7pp.
+  EXPECT_NEAR(static_cast<double>(https) / exported.records.size(), 0.834, 0.09);
+}
+
+TEST_F(NetflowPipeline, CollectorFiltersAndMatches) {
+  util::Rng rng(3);
+  const auto& isp = default_isps()[0];
+  const auto exported = generate_snapshot(*world_, *resolver_, isp,
+                                          default_snapshots()[1], config_, rng);
+
+  // Index over every tracking server IP (ground truth join list).
+  TrackerIpIndex index;
+  for (const auto id : world_->tracking_domain_ids()) {
+    for (const auto sid : world_->domain(id).servers) {
+      index.add(world_->server(sid).ip);
+    }
+  }
+
+  const auto result = collect(exported.records, index, isp);
+  EXPECT_EQ(result.records_seen, exported.records.size());
+  EXPECT_LT(result.internal_records, result.records_seen);  // peering filtered
+  // All intended tracking flows (and nothing from the peering noise)
+  // should match; clean-service flows should not.
+  EXPECT_EQ(result.matched_records, exported.tracking_intended);
+  EXPECT_GT(result.per_ip.size(), 10U);
+  std::uint64_t total = 0;
+  for (const auto& [ip, count] : result.per_ip) {
+    EXPECT_TRUE(index.contains(ip));
+    total += count;
+  }
+  EXPECT_EQ(total, result.matched_records);
+  EXPECT_GT(result.https_records, result.matched_records / 2);
+}
+
+TEST_F(NetflowPipeline, FlowsCarryTheIspCountry) {
+  util::Rng rng(4);
+  const auto& isp = default_isps()[2];  // PL
+  const auto exported = generate_snapshot(*world_, *resolver_, isp,
+                                          default_snapshots()[0], config_, rng);
+  TrackerIpIndex index;
+  for (const auto id : world_->tracking_domain_ids()) {
+    for (const auto sid : world_->domain(id).servers) {
+      index.add(world_->server(sid).ip);
+    }
+  }
+  const auto result = collect(exported.records, index, isp);
+  const auto flows = result.flows("PL");
+  std::uint64_t total = 0;
+  for (const auto& flow : flows) {
+    EXPECT_EQ(flow.origin_country, "PL");
+    total += flow.weight;
+  }
+  EXPECT_EQ(total, result.matched_records);
+}
+
+TEST_F(NetflowPipeline, MobileIspsResolveMoreLocally) {
+  // Mobile subscribers sit behind the ISP resolver, broadband leans on
+  // third-party DNS: generate both flavors for the same country and
+  // compare in-country termination (the paper's §7.3 observation).
+  util::Rng rng(5);
+  IspProfile broadband = default_isps()[0];
+  IspProfile mobile = broadband;
+  mobile.access = AccessType::Mobile;
+  mobile.third_party_resolver_share = 0.05;
+  broadband.third_party_resolver_share = 0.60;  // exaggerate for a small sample
+
+  const auto count_local = [&](const IspProfile& isp) {
+    const auto exported = generate_snapshot(*world_, *resolver_, isp,
+                                            default_snapshots()[1], config_, rng);
+    std::uint64_t local = 0;
+    std::uint64_t total = 0;
+    for (const auto& record : exported.records) {
+      if (!record.internal_interface) continue;
+      const auto country = world_->true_country_of(record.dst);
+      if (country.empty()) continue;
+      ++total;
+      if (country == isp.country) ++local;
+    }
+    return static_cast<double>(local) / static_cast<double>(total);
+  };
+  EXPECT_GT(count_local(mobile), count_local(broadband));
+}
+
+TEST_F(NetflowPipeline, SflowHostVisibilityFollowsTransport) {
+  util::Rng rng(11);
+  SflowConfig config;
+  config.scale = 4e-6;
+  const auto exported = generate_sflow_snapshot(*world_, *resolver_, default_isps()[0],
+                                                default_snapshots()[1], config, rng);
+  ASSERT_GT(exported.samples.size(), 1000U);
+  std::map<int, std::pair<std::uint64_t, std::uint64_t>> by_kind;  // kind -> (visible, total)
+  for (const auto& sample : exported.samples) {
+    const int kind = sample.dst_port == 80 ? 0 : (sample.protocol == 17 ? 2 : 1);
+    auto& [visible, total] = by_kind[kind];
+    ++total;
+    visible += sample.visible_host.empty() ? 0 : 1;
+    if (!sample.visible_host.empty()) {
+      EXPECT_EQ(sample.visible_host, world_->domain(sample.true_domain).fqdn);
+    }
+  }
+  const auto rate = [&](int kind) {
+    const auto& [visible, total] = by_kind[kind];
+    return total == 0 ? 0.0 : static_cast<double>(visible) / static_cast<double>(total);
+  };
+  EXPECT_GT(rate(0), 0.85);          // plaintext HTTP: Host nearly always seen
+  EXPECT_GT(rate(0), rate(1));       // TLS hides most
+  EXPECT_GT(rate(1), rate(2));       // QUIC hides almost everything
+  EXPECT_LT(rate(2), 0.2);
+}
+
+TEST_F(NetflowPipeline, IpJoinOutRecallsHostJoin) {
+  util::Rng rng(13);
+  SflowConfig config;
+  config.scale = 4e-6;
+  const auto exported = generate_sflow_snapshot(*world_, *resolver_, default_isps()[0],
+                                                default_snapshots()[1], config, rng);
+  TrackerIpIndex trackers;
+  std::set<std::string> registrable_set;
+  for (const auto id : world_->tracking_domain_ids()) {
+    registrable_set.insert(world_->domain(id).registrable);
+    for (const auto sid : world_->domain(id).servers) {
+      trackers.add(world_->server(sid).ip);
+    }
+  }
+  const std::vector<std::string> registrables(registrable_set.begin(),
+                                              registrable_set.end());
+  const auto comparison = compare_matchers(*world_, exported, registrables, trackers);
+  ASSERT_GT(comparison.tracking_samples, 1000U);
+  EXPECT_GT(comparison.ip_recall(), 0.95);          // protocol-agnostic join
+  EXPECT_LT(comparison.host_recall(), 0.70);        // capped by handshake visibility
+  EXPECT_GT(comparison.host_recall(), 0.20);
+  EXPECT_EQ(comparison.false_ip_matches, 0U);
+  EXPECT_EQ(comparison.false_host_matches, 0U);
+}
+
+}  // namespace
+}  // namespace cbwt::netflow

@@ -1,0 +1,142 @@
+#include "net/prefix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/prng.h"
+
+namespace cbwt::net {
+namespace {
+
+IpPrefix p(const char* text) {
+  const auto prefix = IpPrefix::parse(text);
+  EXPECT_TRUE(prefix.has_value()) << text;
+  return *prefix;
+}
+
+IpAddress a(const char* text) {
+  const auto ip = IpAddress::parse(text);
+  EXPECT_TRUE(ip.has_value()) << text;
+  return *ip;
+}
+
+TEST(PrefixTrie, EmptyLookupIsNull) {
+  PrefixTrie<int> trie;
+  EXPECT_EQ(trie.lookup(a("1.2.3.4")), nullptr);
+  EXPECT_TRUE(trie.empty());
+}
+
+TEST(PrefixTrie, LongestPrefixWins) {
+  PrefixTrie<int> trie;
+  trie.insert(p("10.0.0.0/8"), 8);
+  trie.insert(p("10.1.0.0/16"), 16);
+  trie.insert(p("10.1.2.0/24"), 24);
+  EXPECT_EQ(*trie.lookup(a("10.1.2.3")), 24);
+  EXPECT_EQ(*trie.lookup(a("10.1.9.9")), 16);
+  EXPECT_EQ(*trie.lookup(a("10.9.9.9")), 8);
+  EXPECT_EQ(trie.lookup(a("11.0.0.0")), nullptr);
+}
+
+TEST(PrefixTrie, InsertOverwritesSamePrefix) {
+  PrefixTrie<int> trie;
+  trie.insert(p("10.0.0.0/8"), 1);
+  trie.insert(p("10.0.0.0/8"), 2);
+  EXPECT_EQ(trie.size(), 1U);
+  EXPECT_EQ(*trie.lookup(a("10.0.0.1")), 2);
+}
+
+TEST(PrefixTrie, HostRoutes) {
+  PrefixTrie<int> trie;
+  trie.insert(p("192.0.2.7/32"), 7);
+  EXPECT_EQ(*trie.lookup(a("192.0.2.7")), 7);
+  EXPECT_EQ(trie.lookup(a("192.0.2.8")), nullptr);
+}
+
+TEST(PrefixTrie, DefaultRoute) {
+  PrefixTrie<int> trie;
+  trie.insert(p("0.0.0.0/0"), 0);
+  trie.insert(p("10.0.0.0/8"), 8);
+  EXPECT_EQ(*trie.lookup(a("11.1.1.1")), 0);
+  EXPECT_EQ(*trie.lookup(a("10.1.1.1")), 8);
+}
+
+TEST(PrefixTrie, FamiliesAreDisjoint) {
+  PrefixTrie<int> trie;
+  trie.insert(p("0.0.0.0/0"), 4);
+  trie.insert(p("::/0"), 6);
+  EXPECT_EQ(*trie.lookup(a("1.2.3.4")), 4);
+  EXPECT_EQ(*trie.lookup(a("2a01::1")), 6);
+}
+
+TEST(PrefixTrie, V6LongestPrefix) {
+  PrefixTrie<int> trie;
+  trie.insert(p("2a01::/16"), 16);
+  trie.insert(p("2a01:db8::/32"), 32);
+  EXPECT_EQ(*trie.lookup(a("2a01:db8::1")), 32);
+  EXPECT_EQ(*trie.lookup(a("2a01:1::1")), 16);
+  EXPECT_EQ(trie.lookup(a("2a02::1")), nullptr);
+}
+
+TEST(PrefixTrie, ExactProbe) {
+  PrefixTrie<int> trie;
+  trie.insert(p("10.0.0.0/8"), 8);
+  EXPECT_NE(trie.exact(p("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(trie.exact(p("10.0.0.0/9")), nullptr);
+  EXPECT_EQ(trie.exact(p("11.0.0.0/8")), nullptr);
+}
+
+TEST(PrefixTrie, ForEachVisitsAllInOrder) {
+  PrefixTrie<int> trie;
+  trie.insert(p("10.0.0.0/8"), 1);
+  trie.insert(p("10.128.0.0/9"), 2);
+  trie.insert(p("192.0.2.0/24"), 3);
+  trie.insert(p("2a01::/16"), 4);
+  std::vector<std::string> seen;
+  trie.for_each([&](const IpPrefix& prefix, int) { seen.push_back(prefix.to_string()); });
+  ASSERT_EQ(seen.size(), 4U);
+  EXPECT_EQ(seen[0], "10.0.0.0/8");
+  EXPECT_EQ(seen[1], "10.128.0.0/9");
+  EXPECT_EQ(seen[2], "192.0.2.0/24");
+  EXPECT_EQ(seen[3], "2a01::/16");
+}
+
+/// Property check against a brute-force reference over random prefixes.
+TEST(PrefixTrie, MatchesBruteForceReference) {
+  util::Rng rng(4242);
+  PrefixTrie<int> trie;
+  std::vector<std::pair<IpPrefix, int>> reference;
+  for (int i = 0; i < 300; ++i) {
+    const auto base = IpAddress::v4(static_cast<std::uint32_t>(rng()));
+    const auto length = static_cast<unsigned>(rng.next_in(4, 30));
+    const IpPrefix prefix(base, length);
+    // Skip duplicate prefixes so the reference stays unambiguous.
+    const bool duplicate =
+        std::any_of(reference.begin(), reference.end(),
+                    [&](const auto& entry) { return entry.first == prefix; });
+    if (duplicate) continue;
+    trie.insert(prefix, i);
+    reference.emplace_back(prefix, i);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const auto probe = IpAddress::v4(static_cast<std::uint32_t>(rng()));
+    const int* got = trie.lookup(probe);
+    // Brute force: the matching prefix with the greatest length.
+    const std::pair<IpPrefix, int>* best = nullptr;
+    for (const auto& entry : reference) {
+      if (entry.first.contains(probe) &&
+          (best == nullptr || entry.first.length() > best->first.length())) {
+        best = &entry;
+      }
+    }
+    if (best == nullptr) {
+      EXPECT_EQ(got, nullptr);
+    } else {
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, best->second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cbwt::net

@@ -1,0 +1,231 @@
+#include "util/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace cbwt::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroBoundReturnsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.next_below(0), 0U);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7U);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  // Both endpoints reachable.
+  bool lo = false;
+  bool hi = false;
+  for (int i = 0; i < 2000 && !(lo && hi); ++i) {
+    const auto v = rng.next_in(0, 3);
+    lo = lo || v == 0;
+    hi = hi || v == 3;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceFrequencyTracksP) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_normal(10.0, 2.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.02);
+}
+
+TEST(Rng, ParetoBounded) {
+  Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.next_pareto(1.2, 50.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 50.0);
+  }
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(37);
+  for (const double mean : {0.5, 3.0, 20.0, 100.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.next_poisson(mean));
+    EXPECT_NEAR(sum / n, mean, mean * 0.1 + 0.05) << "mean " << mean;
+  }
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(41);
+  EXPECT_EQ(rng.next_poisson(0.0), 0U);
+  EXPECT_EQ(rng.next_poisson(-1.0), 0U);
+}
+
+TEST(Rng, ForkIsIndependentAndStable) {
+  Rng a(99);
+  Rng b(99);
+  Rng fa = a.fork(1);
+  Rng fb = b.fork(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa(), fb());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(43);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  auto copy = values;
+  rng.shuffle(std::span<int>(copy));
+  EXPECT_NE(copy, values);  // astronomically unlikely to be identity
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, values);
+}
+
+TEST(SampleDiscrete, RespectsWeights) {
+  Rng rng(47);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[sample_discrete(rng, weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(SampleDiscrete, AllZeroWeightsReturnsZero) {
+  Rng rng(53);
+  const std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(sample_discrete(rng, weights), 0U);
+}
+
+TEST(SampleDiscrete, NegativeWeightsTreatedAsZero) {
+  Rng rng(59);
+  const std::vector<double> weights = {-5.0, 1.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sample_discrete(rng, weights), 1U);
+}
+
+TEST(ZipfSampler, MassSumsToOne) {
+  const ZipfSampler zipf(100, 1.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < zipf.size(); ++i) total += zipf.mass(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, MassIsMonotoneDecreasing) {
+  const ZipfSampler zipf(50, 1.1);
+  for (std::size_t i = 1; i < zipf.size(); ++i) {
+    EXPECT_LE(zipf.mass(i), zipf.mass(i - 1) + 1e-12);
+  }
+}
+
+TEST(ZipfSampler, SamplingMatchesMass) {
+  Rng rng(61);
+  const ZipfSampler zipf(10, 1.0);
+  std::array<int, 10> counts{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, zipf.mass(r), 0.01) << "rank " << r;
+  }
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform) {
+  Rng rng(67);
+  const ZipfSampler zipf(4, 0.0);
+  for (std::size_t r = 0; r < 4; ++r) EXPECT_NEAR(zipf.mass(r), 0.25, 1e-9);
+}
+
+TEST(Mix64, IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(123), mix64(123));
+  EXPECT_NE(mix64(123), mix64(124));
+}
+
+}  // namespace
+}  // namespace cbwt::util

@@ -1,0 +1,128 @@
+#include "report/export.h"
+#include "report/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace cbwt::report {
+namespace {
+
+TEST(JsonWriter, ScalarRoot) {
+  JsonWriter json;
+  json.value("hi");
+  EXPECT_EQ(json.str(), "\"hi\"");
+}
+
+TEST(JsonWriter, ObjectWithMixedValues) {
+  JsonWriter json;
+  json.begin_object()
+      .key("s").value("x")
+      .key("d").value(1.5)
+      .key("i").value(std::int64_t{-3})
+      .key("u").value(std::uint64_t{7})
+      .key("b").value(true)
+      .key("n").null()
+      .end_object();
+  EXPECT_EQ(json.str(), R"({"s":"x","d":1.5,"i":-3,"u":7,"b":true,"n":null})");
+}
+
+TEST(JsonWriter, NestedArrays) {
+  JsonWriter json;
+  json.begin_array();
+  json.begin_array().value(std::uint64_t{1}).value(std::uint64_t{2}).end_array();
+  json.begin_object().key("k").value("v").end_object();
+  json.end_array();
+  EXPECT_EQ(json.str(), R"([[1,2],{"k":"v"}])");
+}
+
+TEST(JsonWriter, Escaping) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value("x"), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.key("k"), std::logic_error);  // key inside array
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.end_array(), std::logic_error);  // mismatched close
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW((void)json.str(), std::logic_error);  // incomplete
+  }
+  {
+    JsonWriter json;
+    json.begin_object().key("a");
+    EXPECT_THROW(json.key("b"), std::logic_error);  // consecutive keys
+  }
+}
+
+TEST(Export, SankeyJsonShape) {
+  std::map<std::string, std::map<std::string, std::uint64_t>> matrix;
+  matrix["DE"]["NL"] = 5;
+  matrix["DE"]["US"] = 2;
+  matrix["ES"]["US"] = 1;
+  const auto json = sankey_to_json(matrix);
+  EXPECT_NE(json.find("\"nodes\""), std::string::npos);
+  EXPECT_NE(json.find("\"links\""), std::string::npos);
+  EXPECT_NE(json.find("src:DE"), std::string::npos);
+  EXPECT_NE(json.find("dst:US"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":5"), std::string::npos);
+  // Both origins link to the shared dst:US node (interning works).
+  EXPECT_EQ(json.find("dst:US"), json.rfind("dst:US"));
+}
+
+TEST(Export, ConfinementJson) {
+  std::map<std::string, analysis::Confinement> per_origin;
+  analysis::Confinement confinement;
+  confinement.total = 10;
+  confinement.in_country = 50.0;
+  confinement.in_eu28 = 80.0;
+  confinement.in_continent = 90.0;
+  per_origin["DE"] = confinement;
+  const auto json = confinement_to_json(per_origin);
+  EXPECT_NE(json.find("\"DE\""), std::string::npos);
+  EXPECT_NE(json.find("\"in_eu28_pct\":80"), std::string::npos);
+}
+
+TEST(Export, ClassificationJson) {
+  classify::ClassificationSummary summary;
+  summary.abp.total_requests = 100;
+  summary.semi.total_requests = 80;
+  summary.total.total_requests = 180;
+  summary.untracked_requests = 20;
+  const auto json = classification_to_json(summary);
+  EXPECT_NE(json.find("\"abp_lists\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_requests\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"non_tracking_requests\":20"), std::string::npos);
+}
+
+TEST(Export, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cbwt_export_test.txt";
+  write_file(path, "hello\nworld");
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "hello\nworld");
+  std::remove(path.c_str());
+}
+
+TEST(Export, WriteFileFailureThrows) {
+  EXPECT_THROW(write_file("/nonexistent-dir-xyz/file.txt", "x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cbwt::report

@@ -1,0 +1,177 @@
+#include "sensitive/detection.h"
+
+#include <gtest/gtest.h>
+
+#include "core/study.h"
+
+namespace cbwt::sensitive {
+namespace {
+
+class SensitiveTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::StudyConfig config;
+    config.world.seed = 654;
+    config.world.scale = 0.02;
+    study_ = new core::Study(config);
+  }
+  static void TearDownTestSuite() { delete study_; }
+  static core::Study* study_;
+};
+
+core::Study* SensitiveTest::study_ = nullptr;
+
+TEST_F(SensitiveTest, AutoTagsHideSensitiveTopicsUnderUmbrellas) {
+  util::Rng rng(1);
+  for (const auto& publisher : study_->world().publishers()) {
+    const auto tags = auto_tags(publisher, rng);
+    EXPECT_GE(tags.size(), 5U);
+    EXPECT_LE(tags.size(), 15U);
+    // The precise sensitive names never appear; their umbrellas do.
+    for (const auto& tag : tags) {
+      EXPECT_NE(tag, "pregnancy");
+      EXPECT_NE(tag, "porn");
+      EXPECT_NE(tag, "sexual orientation");
+    }
+    if (publisher.id > 200) break;
+  }
+}
+
+TEST_F(SensitiveTest, DetectionFindsMostSensitivePublishers) {
+  const auto& catalog = study_->sensitive_catalog();
+  const auto& world = study_->world();
+  EXPECT_EQ(catalog.inspected_domains, world.publishers().size());
+
+  std::size_t truly = 0;
+  std::size_t caught = 0;
+  std::size_t false_hits = 0;
+  for (const auto& publisher : world.publishers()) {
+    bool is_sensitive = false;
+    for (const auto topic : publisher.topics) {
+      if (world::topic_by_id(topic).sensitive) is_sensitive = true;
+    }
+    const bool detected = catalog.detected.contains(publisher.id);
+    if (is_sensitive) {
+      ++truly;
+      caught += detected ? 1 : 0;
+    } else if (detected) {
+      ++false_hits;
+    }
+  }
+  ASSERT_GT(truly, 100U);
+  EXPECT_GT(static_cast<double>(caught) / truly, 0.85);
+  EXPECT_LT(static_cast<double>(false_hits) / world.publishers().size(), 0.02);
+  // Stage A alone catches only the Health umbrella subset.
+  EXPECT_GT(catalog.auto_stage_hits, 0U);
+  EXPECT_LT(catalog.auto_stage_hits, caught);
+}
+
+TEST_F(SensitiveTest, DetectedCategoryMatchesTruthForTruePositives) {
+  const auto& catalog = study_->sensitive_catalog();
+  const auto& world = study_->world();
+  for (const auto& [publisher_id, topic] : catalog.detected) {
+    const auto& publisher = world.publisher(publisher_id);
+    bool is_sensitive = false;
+    for (const auto t : publisher.topics) {
+      if (world::topic_by_id(t).sensitive) is_sensitive = true;
+    }
+    if (!is_sensitive) continue;  // false positives get an arbitrary label
+    const bool topic_in_publisher =
+        std::find(publisher.topics.begin(), publisher.topics.end(), topic) !=
+        publisher.topics.end();
+    EXPECT_TRUE(topic_in_publisher) << publisher.domain;
+  }
+}
+
+TEST_F(SensitiveTest, BreakdownMatchesPaperShape) {
+  const auto breakdown = sensitive_breakdown(study_->world(), study_->sensitive_catalog(),
+                                             study_->dataset(), study_->outcomes());
+  ASSERT_FALSE(breakdown.categories.empty());
+  // ~3% of tracking flows touch sensitive sites (paper: 2.89%).
+  const double share = static_cast<double>(breakdown.sensitive_flows) /
+                       static_cast<double>(breakdown.tracking_flows);
+  EXPECT_GT(share, 0.01);
+  EXPECT_LT(share, 0.08);
+  // Health is the most tracked category in the paper (38%, gambling 22%);
+  // at small scale the two can swap, but health must stay in the top two
+  // with a substantial share.
+  ASSERT_GE(breakdown.categories.size(), 2U);
+  const bool health_top2 = breakdown.categories[0].category == "health" ||
+                           breakdown.categories[1].category == "health";
+  EXPECT_TRUE(health_top2);
+  double health_share = 0.0;
+  for (const auto& category : breakdown.categories) {
+    if (category.category == "health") {
+      health_share = static_cast<double>(category.flows) /
+                     static_cast<double>(breakdown.sensitive_flows);
+    }
+  }
+  EXPECT_GT(health_share, 0.15);
+  // Categories are sorted by flow count.
+  for (std::size_t i = 1; i < breakdown.categories.size(); ++i) {
+    EXPECT_GE(breakdown.categories[i - 1].flows, breakdown.categories[i].flows);
+  }
+}
+
+TEST_F(SensitiveTest, SensitiveFlowsFilterByCategory) {
+  const auto all = sensitive_flows(study_->world(), study_->sensitive_catalog(),
+                                   study_->dataset(), study_->outcomes());
+  const auto health = sensitive_flows(study_->world(), study_->sensitive_catalog(),
+                                      study_->dataset(), study_->outcomes(), "health");
+  const auto gambling = sensitive_flows(study_->world(), study_->sensitive_catalog(),
+                                        study_->dataset(), study_->outcomes(), "gambling");
+  EXPECT_GT(all.size(), health.size());
+  EXPECT_GT(health.size(), 0U);
+  EXPECT_LE(health.size() + gambling.size(), all.size());
+}
+
+TEST_F(SensitiveTest, SensitiveConfinementTracksGeneralConfinement) {
+  // The paper's closing finding: sensitive flows cross borders at a rate
+  // similar to general traffic.
+  const auto sensitive =
+      sensitive_flows(study_->world(), study_->sensitive_catalog(), study_->dataset(),
+                      study_->outcomes());
+  const auto eu_sensitive = analysis::flows_from_region(sensitive, geo::Region::EU28);
+  const auto eu_all = analysis::flows_from_region(study_->flows(), geo::Region::EU28);
+  auto analyzer = study_->analyzer(geoloc::Tool::GroundTruth);
+  const auto conf_sensitive = analyzer.confinement(eu_sensitive);
+  const auto conf_all = analyzer.confinement(eu_all);
+  ASSERT_GT(conf_sensitive.total, 500U);
+  EXPECT_NEAR(conf_sensitive.in_eu28, conf_all.in_eu28, 8.0);
+}
+
+TEST(SensitiveUnit, ExaminerAgreementThreshold) {
+  // With zero sensitivity nothing is caught beyond stage A; with perfect
+  // examiners everything sensitive is caught.
+  world::WorldConfig world_config;
+  world_config.seed = 12;
+  world_config.scale = 0.01;
+  world_config.publishers = 400;
+  const auto world = world::build_world(world_config);
+
+  DetectionConfig blind;
+  blind.examiner_sensitivity = 0.0;
+  blind.examiner_false_positive = 0.0;
+  util::Rng rng_a(1);
+  const auto catalog_blind = detect_sensitive_publishers(world, blind, rng_a);
+  EXPECT_EQ(catalog_blind.detected.size(), catalog_blind.auto_stage_hits);
+
+  DetectionConfig perfect;
+  perfect.examiner_sensitivity = 1.0;
+  perfect.examiner_false_positive = 0.0;
+  util::Rng rng_b(2);
+  const auto catalog_perfect = detect_sensitive_publishers(world, perfect, rng_b);
+  std::size_t truly = 0;
+  for (const auto& publisher : world.publishers()) {
+    for (const auto topic : publisher.topics) {
+      if (world::topic_by_id(topic).sensitive) {
+        ++truly;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(catalog_perfect.detected.size(), truly);
+}
+
+}  // namespace
+}  // namespace cbwt::sensitive

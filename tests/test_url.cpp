@@ -1,0 +1,121 @@
+#include "net/url.h"
+
+#include <gtest/gtest.h>
+
+#include "net/domain.h"
+
+namespace cbwt::net {
+namespace {
+
+TEST(Url, ParseFull) {
+  const auto url = Url::parse("https://sync.tracker.com:8443/cm?uid=1&usermatch=1");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->scheme(), "https");
+  EXPECT_EQ(url->host(), "sync.tracker.com");
+  EXPECT_EQ(url->port(), 8443);
+  EXPECT_EQ(url->path(), "/cm");
+  EXPECT_EQ(url->query(), "uid=1&usermatch=1");
+  EXPECT_TRUE(url->has_arguments());
+  EXPECT_TRUE(url->is_https());
+}
+
+TEST(Url, DefaultPorts) {
+  EXPECT_EQ(Url::parse("http://a.com/")->port(), 80);
+  EXPECT_EQ(Url::parse("https://a.com/")->port(), 443);
+}
+
+TEST(Url, MissingPathBecomesRoot) {
+  const auto url = Url::parse("https://a.com");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->path(), "/");
+  EXPECT_FALSE(url->has_arguments());
+}
+
+TEST(Url, HostIsLowercased) {
+  EXPECT_EQ(Url::parse("https://AdServe.COM/x")->host(), "adserve.com");
+}
+
+TEST(Url, FragmentsAreStripped) {
+  const auto url = Url::parse("https://a.com/p?x=1#frag");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->query(), "x=1");
+}
+
+TEST(Url, RejectsBadInput) {
+  EXPECT_FALSE(Url::parse("not a url").has_value());
+  EXPECT_FALSE(Url::parse("ftp://a.com/").has_value());
+  EXPECT_FALSE(Url::parse("https:///path").has_value());
+  EXPECT_FALSE(Url::parse("https://a.com:0/").has_value());
+  EXPECT_FALSE(Url::parse("https://a.com:notaport/").has_value());
+  EXPECT_FALSE(Url::parse("").has_value());
+}
+
+TEST(Url, Arguments) {
+  const auto url = Url::parse("https://a.com/p?k1=v1&k2=&flag&k3=v3");
+  ASSERT_TRUE(url.has_value());
+  const auto args = url->arguments();
+  ASSERT_EQ(args.size(), 4U);
+  EXPECT_EQ(args[0], (std::pair<std::string, std::string>{"k1", "v1"}));
+  EXPECT_EQ(args[1], (std::pair<std::string, std::string>{"k2", ""}));
+  EXPECT_EQ(args[2], (std::pair<std::string, std::string>{"flag", ""}));
+  EXPECT_EQ(args[3], (std::pair<std::string, std::string>{"k3", "v3"}));
+}
+
+TEST(Url, EmptyQueryHasNoArguments) {
+  const auto url = Url::parse("https://a.com/p?");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_FALSE(url->has_arguments());
+  EXPECT_TRUE(url->arguments().empty());
+}
+
+TEST(Url, RoundTrip) {
+  for (const char* text :
+       {"https://a.com/", "http://b.net/x/y?q=1", "https://c.org:8080/p?a=b&c=d"}) {
+    const auto url = Url::parse(text);
+    ASSERT_TRUE(url.has_value()) << text;
+    EXPECT_EQ(url->to_string(), text);
+  }
+}
+
+TEST(Domain, Labels) {
+  const auto labels = domain_labels("a.b.co.uk");
+  ASSERT_EQ(labels.size(), 4U);
+  EXPECT_EQ(labels[0], "a");
+  EXPECT_EQ(labels[3], "uk");
+  EXPECT_TRUE(domain_labels("").empty());
+}
+
+TEST(Domain, PublicSuffix) {
+  EXPECT_TRUE(is_public_suffix("com"));
+  EXPECT_TRUE(is_public_suffix("co.uk"));
+  EXPECT_FALSE(is_public_suffix("example.com"));
+  EXPECT_EQ(public_suffix("a.b.example.co.uk"), "co.uk");
+  EXPECT_EQ(public_suffix("example.com"), "com");
+  EXPECT_EQ(public_suffix("localhost"), "");
+}
+
+TEST(Domain, RegistrableDomain) {
+  EXPECT_EQ(registrable_domain("sync.ads.example.com"), "example.com");
+  EXPECT_EQ(registrable_domain("example.com"), "example.com");
+  EXPECT_EQ(registrable_domain("x.example.co.uk"), "example.co.uk");
+  // No recognized suffix: the input is its own site.
+  EXPECT_EQ(registrable_domain("intranet"), "intranet");
+  // Bare public suffix has no registrable domain below it.
+  EXPECT_EQ(registrable_domain("com"), "com");
+}
+
+TEST(Domain, Subdomains) {
+  EXPECT_TRUE(is_subdomain_of("a.b.com", "b.com"));
+  EXPECT_TRUE(is_subdomain_of("b.com", "b.com"));
+  EXPECT_FALSE(is_subdomain_of("ab.com", "b.com"));  // label boundary respected
+  EXPECT_FALSE(is_subdomain_of("b.com", "a.b.com"));
+}
+
+TEST(Domain, SameSite) {
+  EXPECT_TRUE(same_site("cdn.shop.com", "www.shop.com"));
+  EXPECT_FALSE(same_site("shop.com", "shop.net"));
+  EXPECT_FALSE(same_site("a.example.co.uk", "a.other.co.uk"));
+}
+
+}  // namespace
+}  // namespace cbwt::net

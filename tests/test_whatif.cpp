@@ -1,0 +1,128 @@
+#include "whatif/localization.h"
+
+#include <gtest/gtest.h>
+
+#include "core/study.h"
+
+namespace cbwt::whatif {
+namespace {
+
+/// One shared small Study for all localization tests (expensive to set up).
+class WhatIfTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::StudyConfig config;
+    config.world.seed = 321;
+    config.world.scale = 0.02;
+    study_ = new core::Study(config);
+    (void)study_->localization();
+  }
+  static void TearDownTestSuite() { delete study_; }
+  static core::Study* study_;
+};
+
+core::Study* WhatIfTest::study_ = nullptr;
+
+TEST_F(WhatIfTest, LoadsOnlyEu28Flows) {
+  const auto& localization = study_->localization();
+  EXPECT_GT(localization.flow_count(), 1000U);
+  // Fewer than the full tracking flow set (non-EU users are excluded).
+  std::size_t tracking_total = 0;
+  for (const auto& outcome : study_->outcomes()) {
+    tracking_total += classify::is_tracking(outcome.method) ? 1 : 0;
+  }
+  EXPECT_LT(localization.flow_count(), tracking_total);
+}
+
+TEST_F(WhatIfTest, ScenarioMonotonicity) {
+  // Table 5's structure is an ordering: every redirection scenario only
+  // adds alternatives, so confinement can only grow.
+  const auto& localization = study_->localization();
+  const auto base = localization.evaluate(Scenario::Default);
+  const auto fqdn = localization.evaluate(Scenario::RedirectFqdn);
+  const auto tld = localization.evaluate(Scenario::RedirectTld);
+  const auto combined = localization.evaluate(Scenario::RedirectTldPlusMirroring);
+
+  EXPECT_LE(base.in_country_pct, fqdn.in_country_pct + 1e-9);
+  EXPECT_LE(fqdn.in_country_pct, tld.in_country_pct + 1e-9);
+  EXPECT_LE(tld.in_country_pct, combined.in_country_pct + 1e-9);
+  EXPECT_LE(base.in_continent_pct, fqdn.in_continent_pct + 1e-9);
+  EXPECT_LE(fqdn.in_continent_pct, tld.in_continent_pct + 1e-9);
+  EXPECT_LE(tld.in_continent_pct, combined.in_continent_pct + 1e-9);
+}
+
+TEST_F(WhatIfTest, RedirectionAddsRealImprovement) {
+  // The paper's headline (Table 5): TLD-level redirection adds tens of
+  // percentage points at national level over the default.
+  const auto& localization = study_->localization();
+  const auto base = localization.evaluate(Scenario::Default);
+  const auto tld = localization.evaluate(Scenario::RedirectTld);
+  EXPECT_GT(tld.in_country_pct - base.in_country_pct, 10.0);
+  EXPECT_GT(tld.in_continent_pct - base.in_continent_pct, 1.0);
+}
+
+TEST_F(WhatIfTest, MirroringHelpsContinentMoreThanCountry) {
+  const auto& localization = study_->localization();
+  const auto base = localization.evaluate(Scenario::Default);
+  const auto mirrored = localization.evaluate(Scenario::PopMirroring);
+  const double country_gain = mirrored.in_country_pct - base.in_country_pct;
+  const double continent_gain = mirrored.in_continent_pct - base.in_continent_pct;
+  EXPECT_GE(country_gain, 0.0);
+  EXPECT_GE(continent_gain, 0.0);
+  // Mirroring alone never beats mirroring stacked on TLD redirection.
+  const auto combined = localization.evaluate(Scenario::RedirectTldPlusMirroring);
+  EXPECT_LE(mirrored.in_country_pct, combined.in_country_pct + 1e-9);
+  EXPECT_LE(mirrored.in_continent_pct, combined.in_continent_pct + 1e-9);
+}
+
+TEST_F(WhatIfTest, CyprusGainsNothingFromCloudMigration) {
+  // None of the nine clouds has a Cypriot PoP (Table 6's zero row).
+  const auto& localization = study_->localization();
+  const auto improvements = localization.improvement_per_country(
+      Scenario::Default, Scenario::CloudMigration);
+  const auto it = improvements.find("CY");
+  if (it != improvements.end()) {
+    EXPECT_NEAR(it->second, 0.0, 1e-9);
+  }
+}
+
+TEST_F(WhatIfTest, SmallCountriesGainMostFromCloudMigration) {
+  // Denmark/Greece/Romania start low and have cloud PoPs -> huge gains;
+  // Germany/UK start high -> modest gains (Table 6's ordering).
+  const auto& localization = study_->localization();
+  const auto improvements = localization.improvement_per_country(
+      Scenario::Default, Scenario::CloudMigration);
+  const auto gain = [&](const char* country) {
+    const auto it = improvements.find(country);
+    return it == improvements.end() ? 0.0 : it->second;
+  };
+  EXPECT_GT(gain("DK"), gain("DE"));
+  EXPECT_GT(gain("GR"), gain("GB"));
+  EXPECT_GT(gain("DK"), 40.0);
+}
+
+TEST_F(WhatIfTest, PerCountryEvaluationIsConsistentWithAggregate) {
+  const auto& localization = study_->localization();
+  const auto aggregate = localization.evaluate(Scenario::Default);
+  const auto per_country = localization.evaluate_per_country(Scenario::Default);
+  std::uint64_t total = 0;
+  double confined_weighted = 0.0;
+  for (const auto& [country, result] : per_country) {
+    total += result.total;
+    confined_weighted += result.in_country_pct * static_cast<double>(result.total);
+  }
+  EXPECT_EQ(total, aggregate.total);
+  EXPECT_NEAR(confined_weighted / static_cast<double>(total), aggregate.in_country_pct,
+              1e-6);
+}
+
+TEST(WhatIfNames, ScenarioToString) {
+  EXPECT_EQ(to_string(Scenario::Default), "Default");
+  EXPECT_EQ(to_string(Scenario::RedirectFqdn), "Redirections (FQDN)");
+  EXPECT_EQ(to_string(Scenario::RedirectTld), "Redirections (TLD)");
+  EXPECT_EQ(to_string(Scenario::PopMirroring), "POP Mirroring (Cloud)");
+  EXPECT_EQ(to_string(Scenario::CloudMigration), "Migration to Cloud");
+}
+
+}  // namespace
+}  // namespace cbwt::whatif

@@ -1,0 +1,358 @@
+#include "world/world.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "geo/country.h"
+#include "net/domain.h"
+#include "world/topics.h"
+
+namespace cbwt::world {
+namespace {
+
+const World& small_world() {
+  static const World world = [] {
+    WorldConfig config;
+    config.seed = 777;
+    config.scale = 0.01;
+    return build_world(config);
+  }();
+  return world;
+}
+
+TEST(WorldBuild, IsDeterministic) {
+  WorldConfig config;
+  config.seed = 123;
+  config.publishers = 200;
+  const World a = build_world(config);
+  const World b = build_world(config);
+  ASSERT_EQ(a.servers().size(), b.servers().size());
+  for (std::size_t i = 0; i < a.servers().size(); ++i) {
+    EXPECT_EQ(a.servers()[i].ip, b.servers()[i].ip);
+  }
+  ASSERT_EQ(a.domains().size(), b.domains().size());
+  for (std::size_t i = 0; i < a.domains().size(); ++i) {
+    EXPECT_EQ(a.domains()[i].fqdn, b.domains()[i].fqdn);
+  }
+  ASSERT_EQ(a.users().size(), b.users().size());
+}
+
+TEST(WorldBuild, DifferentSeedsDiffer) {
+  WorldConfig config;
+  config.publishers = 200;
+  config.seed = 1;
+  const World a = build_world(config);
+  config.seed = 2;
+  const World b = build_world(config);
+  bool any_difference = a.servers().size() != b.servers().size();
+  for (std::size_t i = 0; !any_difference && i < a.servers().size(); ++i) {
+    any_difference = a.servers()[i].ip != b.servers()[i].ip;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(WorldBuild, CountsMatchConfig) {
+  const auto& world = small_world();
+  const auto& config = world.config();
+  EXPECT_EQ(world.users().size(), config.extension_users);
+  EXPECT_EQ(world.publishers().size(), config.publishers);
+  EXPECT_EQ(world.clouds().size(), config.cloud_providers);
+  EXPECT_EQ(world.orgs().size(), config.ad_networks + config.dsps + config.sync_services +
+                                     config.analytics_orgs + config.clean_orgs);
+}
+
+TEST(WorldBuild, EveryEu28CountryHasADatacenter) {
+  const auto& world = small_world();
+  std::set<std::string> dc_countries;
+  for (const auto& dc : world.datacenters()) dc_countries.insert(dc.country);
+  for (const auto& country : geo::all_countries()) {
+    if (country.eu28) {
+      EXPECT_TRUE(dc_countries.contains(std::string(country.code)))
+          << "EU28 country without a datacenter: " << country.code;
+    }
+  }
+}
+
+TEST(WorldBuild, CloudPopsBelongToTheirCloud) {
+  const auto& world = small_world();
+  for (const auto& cloud : world.clouds()) {
+    EXPECT_FALSE(cloud.pops.empty());
+    for (const auto pop : cloud.pops) {
+      EXPECT_EQ(world.datacenter(pop).cloud, cloud.id);
+    }
+  }
+}
+
+TEST(WorldBuild, NoCloudInCyprusOrMalta) {
+  // Table 6 structure: the nine public clouds have no PoP in CY/MT.
+  const auto& world = small_world();
+  for (const auto& cloud : world.clouds()) {
+    for (const auto pop : cloud.pops) {
+      EXPECT_NE(world.datacenter(pop).country, "CY");
+      EXPECT_NE(world.datacenter(pop).country, "MT");
+    }
+  }
+}
+
+TEST(WorldBuild, ServerIpsAreUniqueAndInsideTheirDatacenter) {
+  const auto& world = small_world();
+  std::unordered_set<net::IpAddress> ips;
+  for (const auto& server : world.servers()) {
+    EXPECT_TRUE(ips.insert(server.ip).second) << server.ip.to_string();
+    if (server.ip.is_v4()) {
+      EXPECT_TRUE(world.datacenter(server.datacenter).prefix.contains(server.ip));
+    }
+  }
+}
+
+TEST(WorldBuild, SomeServersAreV6ButMostAreV4) {
+  const auto& world = small_world();
+  std::size_t v6 = 0;
+  for (const auto& server : world.servers()) {
+    if (!server.ip.is_v4()) ++v6;
+  }
+  const double share = static_cast<double>(v6) / world.servers().size();
+  EXPECT_GT(share, 0.0);
+  EXPECT_LT(share, 0.10);  // paper: ~3% of tracker IPs are v6
+}
+
+TEST(WorldBuild, EveryOrgHasServersAndDomains) {
+  const auto& world = small_world();
+  for (const auto& org : world.orgs()) {
+    EXPECT_FALSE(org.servers.empty()) << org.name;
+    EXPECT_FALSE(org.domains.empty()) << org.name;
+    for (const auto domain_id : org.domains) {
+      EXPECT_EQ(world.domain(domain_id).org, org.id);
+      EXPECT_FALSE(world.domain(domain_id).servers.empty());
+    }
+  }
+}
+
+TEST(WorldBuild, DomainFqdnsAreUniqueAndWellFormed) {
+  const auto& world = small_world();
+  std::set<std::string> fqdns;
+  for (const auto& domain : world.domains()) {
+    EXPECT_TRUE(fqdns.insert(domain.fqdn).second) << domain.fqdn;
+    EXPECT_TRUE(net::is_subdomain_of(domain.fqdn, domain.registrable))
+        << domain.fqdn << " vs " << domain.registrable;
+    EXPECT_EQ(net::registrable_domain(domain.fqdn), domain.registrable);
+  }
+}
+
+TEST(WorldBuild, FindDomainAndServerIndices) {
+  const auto& world = small_world();
+  const auto& domain = world.domains().front();
+  EXPECT_EQ(world.find_domain(domain.fqdn), &world.domains().front());
+  EXPECT_EQ(world.find_domain("no.such.host"), nullptr);
+
+  const auto& server = world.servers().front();
+  EXPECT_EQ(world.find_server(server.ip), &world.servers().front());
+  EXPECT_EQ(world.find_server(net::IpAddress::v4(1)), nullptr);
+  EXPECT_EQ(world.true_country_of(server.ip),
+            world.datacenter(server.datacenter).country);
+  EXPECT_TRUE(world.true_country_of(net::IpAddress::v4(1)).empty());
+}
+
+TEST(WorldBuild, CleanOrgsAreNeverListed) {
+  const auto& world = small_world();
+  for (const auto& domain : world.domains()) {
+    if (world.org(domain.org).role == OrgRole::CleanService) {
+      EXPECT_FALSE(domain.in_easylist);
+      EXPECT_FALSE(domain.in_easyprivacy);
+      EXPECT_FALSE(domain.keyword_urls);
+    }
+  }
+}
+
+TEST(WorldBuild, ListCoverageGapExists) {
+  // Ad networks are well covered; DSP/sync are mostly uncovered — that is
+  // the structural reason for the paper's stage-2 classifier.
+  const auto& world = small_world();
+  std::size_t ad_total = 0;
+  std::size_t ad_listed = 0;
+  std::size_t chain_total = 0;
+  std::size_t chain_listed = 0;
+  for (const auto& domain : world.domains()) {
+    const auto role = world.org(domain.org).role;
+    if (role == OrgRole::AdNetwork) {
+      ++ad_total;
+      ad_listed += domain.in_easylist ? 1 : 0;
+    } else if (role == OrgRole::Dsp || role == OrgRole::SyncService) {
+      ++chain_total;
+      chain_listed += domain.in_easylist ? 1 : 0;
+    }
+  }
+  EXPECT_GT(static_cast<double>(ad_listed) / ad_total, 0.85);
+  EXPECT_LT(static_cast<double>(chain_listed) / chain_total, 0.55);
+}
+
+TEST(WorldBuild, UserMixMatchesPaperShape) {
+  const auto& world = small_world();
+  std::map<geo::Region, std::size_t> by_region;
+  std::size_t spain = 0;
+  for (const auto& user : world.users()) {
+    by_region[*geo::region_of_code(user.country)]++;
+    if (user.country == "ES") ++spain;
+  }
+  EXPECT_EQ(world.users().size(), 350U);
+  // EU28-heavy with a South American cluster (paper: 183 / 86).
+  EXPECT_NEAR(static_cast<double>(by_region[geo::Region::EU28]), 183.0, 10.0);
+  EXPECT_NEAR(static_cast<double>(by_region[geo::Region::SouthAmerica]), 86.0, 8.0);
+  EXPECT_GT(spain, 40U);  // Spain is the largest single cohort
+}
+
+TEST(WorldBuild, SensitivePublishersExistInExpectedShare) {
+  const auto& world = small_world();
+  std::size_t sensitive = 0;
+  for (const auto& publisher : world.publishers()) {
+    for (const auto topic : publisher.topics) {
+      if (topic_by_id(topic).sensitive) {
+        ++sensitive;
+        break;
+      }
+    }
+  }
+  const double share = static_cast<double>(sensitive) / world.publishers().size();
+  EXPECT_NEAR(share, world.config().sensitive_publisher_fraction, 0.02);
+}
+
+TEST(WorldBuild, SensitivePublishersSitInThePopularityTail) {
+  const auto& world = small_world();
+  double sensitive_mass = 0.0;
+  double total_mass = 0.0;
+  for (const auto& publisher : world.publishers()) {
+    total_mass += publisher.popularity;
+    for (const auto topic : publisher.topics) {
+      if (topic_by_id(topic).sensitive) {
+        sensitive_mass += publisher.popularity;
+        break;
+      }
+    }
+  }
+  // ~19% of domains but only a few % of visit mass (paper: ~3% of flows).
+  EXPECT_LT(sensitive_mass / total_mass, 0.08);
+}
+
+TEST(WorldBuild, PublishersEmbedTags) {
+  const auto& world = small_world();
+  for (const auto& publisher : world.publishers()) {
+    EXPECT_GE(publisher.embedded_tags.size(), 3U) << publisher.domain;
+    for (const auto tag : publisher.embedded_tags) {
+      const auto role = world.org(world.domain(tag).org).role;
+      EXPECT_TRUE(role == OrgRole::AdNetwork || role == OrgRole::Analytics ||
+                  role == OrgRole::CleanService);
+    }
+  }
+}
+
+TEST(WorldBuild, SharedExchangeServersServeManyDomains) {
+  const auto& world = small_world();
+  std::size_t exchanges = 0;
+  for (const auto& server : world.servers()) {
+    if (!server.shared_exchange) continue;
+    ++exchanges;
+    EXPECT_GE(world.domains_on_server(server.id).size(), 8U);
+  }
+  EXPECT_GT(exchanges, 0U);
+}
+
+TEST(WorldBuild, TrackingDomainIdsExcludeCleanServices) {
+  const auto& world = small_world();
+  const auto tracking = world.tracking_domain_ids();
+  EXPECT_FALSE(tracking.empty());
+  EXPECT_LT(tracking.size(), world.domains().size());
+  for (const auto id : tracking) {
+    EXPECT_NE(world.org(world.domain(id).org).role, OrgRole::CleanService);
+  }
+}
+
+TEST(WorldBuild, ChainedPrimaryFqdnsDeployOnSubsets) {
+  // DSP/sync primary FQDNs answer from ~70% of the org's servers (the
+  // structural source of the FQDN-vs-TLD redirection gap), but always
+  // keep a home-market server when the org has one.
+  const auto& world = small_world();
+  std::size_t orgs_checked = 0;
+  std::size_t subsets = 0;
+  for (const auto& org : world.orgs()) {
+    if ((org.role != OrgRole::Dsp && org.role != OrgRole::SyncService) ||
+        org.servers.size() < 4) {
+      continue;
+    }
+    ++orgs_checked;
+    const auto& primary = world.domain(org.domains.front());
+    // Shared exchange hosts get appended to sync/DSP serving lists after
+    // creation; count only the org's own servers here.
+    std::size_t own = 0;
+    for (const auto sid : primary.servers) {
+      if (world.server(sid).org == org.id) ++own;
+    }
+    EXPECT_LE(own, org.servers.size());
+    if (own < org.servers.size()) ++subsets;
+    const auto at_home = [&](world::ServerId sid) {
+      return world.datacenter(world.server(sid).datacenter).country == org.hq_country;
+    };
+    const bool org_has_home =
+        std::any_of(org.servers.begin(), org.servers.end(), at_home);
+    if (org_has_home) {
+      EXPECT_TRUE(std::any_of(primary.servers.begin(), primary.servers.end(), at_home))
+          << org.name;
+    }
+  }
+  ASSERT_GT(orgs_checked, 20U);
+  EXPECT_GT(subsets, orgs_checked / 2);
+}
+
+TEST(WorldBuild, EntryPrimaryFqdnsDeployEverywhere) {
+  const auto& world = small_world();
+  for (const auto& org : world.orgs()) {
+    if (org.role != OrgRole::AdNetwork) continue;
+    const auto& primary = world.domain(org.domains.front());
+    EXPECT_EQ(primary.servers.size(), org.servers.size()) << org.name;
+  }
+}
+
+TEST(Topics, TaxonomyInvariants) {
+  EXPECT_EQ(sensitive_topic_count(), 12U);
+  std::size_t sensitive = 0;
+  for (const auto& topic : all_topics()) {
+    if (topic.sensitive) {
+      ++sensitive;
+      EXPECT_FALSE(topic.umbrella.empty());
+    }
+    EXPECT_EQ(&topic_by_id(topic.id), &topic);
+  }
+  EXPECT_EQ(sensitive, 12U);
+  ASSERT_NE(find_topic("health"), nullptr);
+  EXPECT_TRUE(find_topic("health")->sensitive);
+  ASSERT_NE(find_topic("news"), nullptr);
+  EXPECT_FALSE(find_topic("news")->sensitive);
+  EXPECT_EQ(find_topic("nonexistent"), nullptr);
+}
+
+TEST(AddressPlan, EyeballBlocksAreDisjointAndMemoized) {
+  AddressPlan plan;
+  const auto de = plan.eyeball_block("DE");
+  const auto fr = plan.eyeball_block("FR");
+  const auto de_again = plan.eyeball_block("DE");
+  EXPECT_EQ(de, de_again);
+  EXPECT_NE(de, fr);
+  EXPECT_FALSE(de.contains(fr.base()));
+  EXPECT_TRUE(plan.is_eyeball(de.at(42)));
+  EXPECT_FALSE(plan.is_eyeball(net::IpAddress::v4(0x0B000001)));
+}
+
+TEST(AddressPlan, ServerAllocationsAreAlignedAndDisjoint) {
+  AddressPlan plan;
+  const auto a = plan.allocate_server_v4(22);
+  const auto b = plan.allocate_server_v4(22);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(a.contains(b.base()));
+  EXPECT_FALSE(b.contains(a.base()));
+  EXPECT_THROW((void)plan.allocate_server_v4(0), std::invalid_argument);
+  EXPECT_THROW((void)plan.allocate_server_v4(25), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cbwt::world
