@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ecs.dir/bench_ablation_ecs.cpp.o"
+  "CMakeFiles/bench_ablation_ecs.dir/bench_ablation_ecs.cpp.o.d"
+  "bench_ablation_ecs"
+  "bench_ablation_ecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_sensitive_destinations.dir/bench_fig10_sensitive_destinations.cpp.o"
+  "CMakeFiles/bench_fig10_sensitive_destinations.dir/bench_fig10_sensitive_destinations.cpp.o.d"
+  "bench_fig10_sensitive_destinations"
+  "bench_fig10_sensitive_destinations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_sensitive_destinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

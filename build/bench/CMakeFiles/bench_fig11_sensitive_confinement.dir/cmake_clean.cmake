@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_sensitive_confinement.dir/bench_fig11_sensitive_confinement.cpp.o"
+  "CMakeFiles/bench_fig11_sensitive_confinement.dir/bench_fig11_sensitive_confinement.cpp.o.d"
+  "bench_fig11_sensitive_confinement"
+  "bench_fig11_sensitive_confinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_sensitive_confinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

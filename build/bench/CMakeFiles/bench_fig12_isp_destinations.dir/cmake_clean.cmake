@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_isp_destinations.dir/bench_fig12_isp_destinations.cpp.o"
+  "CMakeFiles/bench_fig12_isp_destinations.dir/bench_fig12_isp_destinations.cpp.o.d"
+  "bench_fig12_isp_destinations"
+  "bench_fig12_isp_destinations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_isp_destinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_top_tlds.dir/bench_fig3_top_tlds.cpp.o"
+  "CMakeFiles/bench_fig3_top_tlds.dir/bench_fig3_top_tlds.cpp.o.d"
+  "bench_fig3_top_tlds"
+  "bench_fig3_top_tlds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_top_tlds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

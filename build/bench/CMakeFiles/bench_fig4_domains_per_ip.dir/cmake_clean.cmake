@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_domains_per_ip.dir/bench_fig4_domains_per_ip.cpp.o"
+  "CMakeFiles/bench_fig4_domains_per_ip.dir/bench_fig4_domains_per_ip.cpp.o.d"
+  "bench_fig4_domains_per_ip"
+  "bench_fig4_domains_per_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_domains_per_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_domains_per_ip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_multidomain_ips.dir/bench_fig5_multidomain_ips.cpp.o"
+  "CMakeFiles/bench_fig5_multidomain_ips.dir/bench_fig5_multidomain_ips.cpp.o.d"
+  "bench_fig5_multidomain_ips"
+  "bench_fig5_multidomain_ips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_multidomain_ips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

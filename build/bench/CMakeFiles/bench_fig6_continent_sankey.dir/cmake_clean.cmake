@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_continent_sankey.dir/bench_fig6_continent_sankey.cpp.o"
+  "CMakeFiles/bench_fig6_continent_sankey.dir/bench_fig6_continent_sankey.cpp.o.d"
+  "bench_fig6_continent_sankey"
+  "bench_fig6_continent_sankey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_continent_sankey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_eu28_geolocation.dir/bench_fig7_eu28_geolocation.cpp.o"
+  "CMakeFiles/bench_fig7_eu28_geolocation.dir/bench_fig7_eu28_geolocation.cpp.o.d"
+  "bench_fig7_eu28_geolocation"
+  "bench_fig7_eu28_geolocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_eu28_geolocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

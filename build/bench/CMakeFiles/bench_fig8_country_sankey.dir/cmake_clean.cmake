@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_country_sankey.dir/bench_fig8_country_sankey.cpp.o"
+  "CMakeFiles/bench_fig8_country_sankey.dir/bench_fig8_country_sankey.cpp.o.d"
+  "bench_fig8_country_sankey"
+  "bench_fig8_country_sankey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_country_sankey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

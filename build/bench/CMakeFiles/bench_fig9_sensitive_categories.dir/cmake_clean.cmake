@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_sensitive_categories.dir/bench_fig9_sensitive_categories.cpp.o"
+  "CMakeFiles/bench_fig9_sensitive_categories.dir/bench_fig9_sensitive_categories.cpp.o.d"
+  "bench_fig9_sensitive_categories"
+  "bench_fig9_sensitive_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sensitive_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_geo_validation.dir/bench_geo_validation.cpp.o"
+  "CMakeFiles/bench_geo_validation.dir/bench_geo_validation.cpp.o.d"
+  "bench_geo_validation"
+  "bench_geo_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_geo_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pdns_completeness.dir/bench_pdns_completeness.cpp.o"
+  "CMakeFiles/bench_pdns_completeness.dir/bench_pdns_completeness.cpp.o.d"
+  "bench_pdns_completeness"
+  "bench_pdns_completeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pdns_completeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sflow_vs_netflow.dir/bench_sflow_vs_netflow.cpp.o"
+  "CMakeFiles/bench_sflow_vs_netflow.dir/bench_sflow_vs_netflow.cpp.o.d"
+  "bench_sflow_vs_netflow"
+  "bench_sflow_vs_netflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sflow_vs_netflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_geo_agreement.dir/bench_table3_geo_agreement.cpp.o"
+  "CMakeFiles/bench_table3_geo_agreement.dir/bench_table3_geo_agreement.cpp.o.d"
+  "bench_table3_geo_agreement"
+  "bench_table3_geo_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_geo_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_localization.dir/bench_table5_localization.cpp.o"
+  "CMakeFiles/bench_table5_localization.dir/bench_table5_localization.cpp.o.d"
+  "bench_table5_localization"
+  "bench_table5_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_cloud_migration.dir/bench_table6_cloud_migration.cpp.o"
+  "CMakeFiles/bench_table6_cloud_migration.dir/bench_table6_cloud_migration.cpp.o.d"
+  "bench_table6_cloud_migration"
+  "bench_table6_cloud_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_cloud_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table7_isp_profiles.cpp" "bench/CMakeFiles/bench_table7_isp_profiles.dir/bench_table7_isp_profiles.cpp.o" "gcc" "bench/CMakeFiles/bench_table7_isp_profiles.dir/bench_table7_isp_profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collab/CMakeFiles/cbwt_collab.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/cbwt_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cbwt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netflow/CMakeFiles/cbwt_netflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/whatif/CMakeFiles/cbwt_whatif.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensitive/CMakeFiles/cbwt_sensitive.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cbwt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/cbwt_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/filterlist/CMakeFiles/cbwt_filterlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/cbwt_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdns/CMakeFiles/cbwt_pdns.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtb/CMakeFiles/cbwt_rtb.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/cbwt_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/geoloc/CMakeFiles/cbwt_geoloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/cbwt_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cbwt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cbwt_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cbwt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_isp_confinement.dir/bench_table8_isp_confinement.cpp.o"
+  "CMakeFiles/bench_table8_isp_confinement.dir/bench_table8_isp_confinement.cpp.o.d"
+  "bench_table8_isp_confinement"
+  "bench_table8_isp_confinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_isp_confinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

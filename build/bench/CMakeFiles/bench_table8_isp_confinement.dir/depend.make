@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table8_isp_confinement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/localization_planner.dir/localization_planner.cpp.o"
+  "CMakeFiles/localization_planner.dir/localization_planner.cpp.o.d"
+  "localization_planner"
+  "localization_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localization_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

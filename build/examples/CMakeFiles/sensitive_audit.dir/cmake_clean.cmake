@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitive_audit.dir/sensitive_audit.cpp.o"
+  "CMakeFiles/sensitive_audit.dir/sensitive_audit.cpp.o.d"
+  "sensitive_audit"
+  "sensitive_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitive_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

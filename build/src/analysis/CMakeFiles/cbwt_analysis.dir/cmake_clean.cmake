@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbwt_analysis.dir/flows.cpp.o"
+  "CMakeFiles/cbwt_analysis.dir/flows.cpp.o.d"
+  "CMakeFiles/cbwt_analysis.dir/jurisdiction.cpp.o"
+  "CMakeFiles/cbwt_analysis.dir/jurisdiction.cpp.o.d"
+  "libcbwt_analysis.a"
+  "libcbwt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbwt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

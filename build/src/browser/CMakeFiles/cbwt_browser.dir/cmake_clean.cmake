@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbwt_browser.dir/extension.cpp.o"
+  "CMakeFiles/cbwt_browser.dir/extension.cpp.o.d"
+  "libcbwt_browser.a"
+  "libcbwt_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbwt_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

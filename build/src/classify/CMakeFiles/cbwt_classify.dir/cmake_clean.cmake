@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbwt_classify.dir/classifier.cpp.o"
+  "CMakeFiles/cbwt_classify.dir/classifier.cpp.o.d"
+  "libcbwt_classify.a"
+  "libcbwt_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbwt_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

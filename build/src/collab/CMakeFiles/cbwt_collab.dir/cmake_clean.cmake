@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbwt_collab.dir/graph.cpp.o"
+  "CMakeFiles/cbwt_collab.dir/graph.cpp.o.d"
+  "libcbwt_collab.a"
+  "libcbwt_collab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbwt_collab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcbwt_collab.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbwt_core.dir/study.cpp.o"
+  "CMakeFiles/cbwt_core.dir/study.cpp.o.d"
+  "libcbwt_core.a"
+  "libcbwt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbwt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/resolver.cpp" "src/dns/CMakeFiles/cbwt_dns.dir/resolver.cpp.o" "gcc" "src/dns/CMakeFiles/cbwt_dns.dir/resolver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/world/CMakeFiles/cbwt_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cbwt_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cbwt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cbwt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

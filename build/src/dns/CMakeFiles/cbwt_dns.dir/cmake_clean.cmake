@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbwt_dns.dir/resolver.cpp.o"
+  "CMakeFiles/cbwt_dns.dir/resolver.cpp.o.d"
+  "libcbwt_dns.a"
+  "libcbwt_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbwt_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filterlist/engine.cpp" "src/filterlist/CMakeFiles/cbwt_filterlist.dir/engine.cpp.o" "gcc" "src/filterlist/CMakeFiles/cbwt_filterlist.dir/engine.cpp.o.d"
+  "/root/repo/src/filterlist/generate.cpp" "src/filterlist/CMakeFiles/cbwt_filterlist.dir/generate.cpp.o" "gcc" "src/filterlist/CMakeFiles/cbwt_filterlist.dir/generate.cpp.o.d"
+  "/root/repo/src/filterlist/rule.cpp" "src/filterlist/CMakeFiles/cbwt_filterlist.dir/rule.cpp.o" "gcc" "src/filterlist/CMakeFiles/cbwt_filterlist.dir/rule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/world/CMakeFiles/cbwt_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cbwt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cbwt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cbwt_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

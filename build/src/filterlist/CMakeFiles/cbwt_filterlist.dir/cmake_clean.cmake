@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbwt_filterlist.dir/engine.cpp.o"
+  "CMakeFiles/cbwt_filterlist.dir/engine.cpp.o.d"
+  "CMakeFiles/cbwt_filterlist.dir/generate.cpp.o"
+  "CMakeFiles/cbwt_filterlist.dir/generate.cpp.o.d"
+  "CMakeFiles/cbwt_filterlist.dir/rule.cpp.o"
+  "CMakeFiles/cbwt_filterlist.dir/rule.cpp.o.d"
+  "libcbwt_filterlist.a"
+  "libcbwt_filterlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbwt_filterlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cbwt_filterlist.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbwt_geo.dir/country.cpp.o"
+  "CMakeFiles/cbwt_geo.dir/country.cpp.o.d"
+  "CMakeFiles/cbwt_geo.dir/location.cpp.o"
+  "CMakeFiles/cbwt_geo.dir/location.cpp.o.d"
+  "libcbwt_geo.a"
+  "libcbwt_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbwt_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbwt_geoloc.dir/active.cpp.o"
+  "CMakeFiles/cbwt_geoloc.dir/active.cpp.o.d"
+  "CMakeFiles/cbwt_geoloc.dir/commercial.cpp.o"
+  "CMakeFiles/cbwt_geoloc.dir/commercial.cpp.o.d"
+  "CMakeFiles/cbwt_geoloc.dir/service.cpp.o"
+  "CMakeFiles/cbwt_geoloc.dir/service.cpp.o.d"
+  "libcbwt_geoloc.a"
+  "libcbwt_geoloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbwt_geoloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

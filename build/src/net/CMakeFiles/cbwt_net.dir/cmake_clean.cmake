@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbwt_net.dir/domain.cpp.o"
+  "CMakeFiles/cbwt_net.dir/domain.cpp.o.d"
+  "CMakeFiles/cbwt_net.dir/ip.cpp.o"
+  "CMakeFiles/cbwt_net.dir/ip.cpp.o.d"
+  "CMakeFiles/cbwt_net.dir/url.cpp.o"
+  "CMakeFiles/cbwt_net.dir/url.cpp.o.d"
+  "libcbwt_net.a"
+  "libcbwt_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbwt_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

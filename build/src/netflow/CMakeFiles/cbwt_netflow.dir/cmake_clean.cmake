@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbwt_netflow.dir/collector.cpp.o"
+  "CMakeFiles/cbwt_netflow.dir/collector.cpp.o.d"
+  "CMakeFiles/cbwt_netflow.dir/generator.cpp.o"
+  "CMakeFiles/cbwt_netflow.dir/generator.cpp.o.d"
+  "CMakeFiles/cbwt_netflow.dir/profile.cpp.o"
+  "CMakeFiles/cbwt_netflow.dir/profile.cpp.o.d"
+  "CMakeFiles/cbwt_netflow.dir/sflow.cpp.o"
+  "CMakeFiles/cbwt_netflow.dir/sflow.cpp.o.d"
+  "libcbwt_netflow.a"
+  "libcbwt_netflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbwt_netflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

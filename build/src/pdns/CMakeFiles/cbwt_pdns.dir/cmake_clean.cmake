@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbwt_pdns.dir/replication.cpp.o"
+  "CMakeFiles/cbwt_pdns.dir/replication.cpp.o.d"
+  "CMakeFiles/cbwt_pdns.dir/store.cpp.o"
+  "CMakeFiles/cbwt_pdns.dir/store.cpp.o.d"
+  "libcbwt_pdns.a"
+  "libcbwt_pdns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbwt_pdns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cbwt_pdns.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbwt_report.dir/export.cpp.o"
+  "CMakeFiles/cbwt_report.dir/export.cpp.o.d"
+  "CMakeFiles/cbwt_report.dir/json.cpp.o"
+  "CMakeFiles/cbwt_report.dir/json.cpp.o.d"
+  "libcbwt_report.a"
+  "libcbwt_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbwt_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtb/auction.cpp" "src/rtb/CMakeFiles/cbwt_rtb.dir/auction.cpp.o" "gcc" "src/rtb/CMakeFiles/cbwt_rtb.dir/auction.cpp.o.d"
+  "/root/repo/src/rtb/cookies.cpp" "src/rtb/CMakeFiles/cbwt_rtb.dir/cookies.cpp.o" "gcc" "src/rtb/CMakeFiles/cbwt_rtb.dir/cookies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/cbwt_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/cbwt_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cbwt_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cbwt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cbwt_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbwt_rtb.dir/auction.cpp.o"
+  "CMakeFiles/cbwt_rtb.dir/auction.cpp.o.d"
+  "CMakeFiles/cbwt_rtb.dir/cookies.cpp.o"
+  "CMakeFiles/cbwt_rtb.dir/cookies.cpp.o.d"
+  "libcbwt_rtb.a"
+  "libcbwt_rtb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbwt_rtb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cbwt_rtb.
+# This may be replaced when dependencies are built.

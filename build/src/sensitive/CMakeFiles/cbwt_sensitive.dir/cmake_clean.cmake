@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbwt_sensitive.dir/detection.cpp.o"
+  "CMakeFiles/cbwt_sensitive.dir/detection.cpp.o.d"
+  "libcbwt_sensitive.a"
+  "libcbwt_sensitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbwt_sensitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

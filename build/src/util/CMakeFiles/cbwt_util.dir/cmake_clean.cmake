@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbwt_util.dir/prng.cpp.o"
+  "CMakeFiles/cbwt_util.dir/prng.cpp.o.d"
+  "CMakeFiles/cbwt_util.dir/stats.cpp.o"
+  "CMakeFiles/cbwt_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cbwt_util.dir/strings.cpp.o"
+  "CMakeFiles/cbwt_util.dir/strings.cpp.o.d"
+  "CMakeFiles/cbwt_util.dir/table.cpp.o"
+  "CMakeFiles/cbwt_util.dir/table.cpp.o.d"
+  "libcbwt_util.a"
+  "libcbwt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbwt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbwt_whatif.dir/localization.cpp.o"
+  "CMakeFiles/cbwt_whatif.dir/localization.cpp.o.d"
+  "libcbwt_whatif.a"
+  "libcbwt_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbwt_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

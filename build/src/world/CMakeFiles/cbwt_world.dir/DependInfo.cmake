@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/world/address_plan.cpp" "src/world/CMakeFiles/cbwt_world.dir/address_plan.cpp.o" "gcc" "src/world/CMakeFiles/cbwt_world.dir/address_plan.cpp.o.d"
+  "/root/repo/src/world/names.cpp" "src/world/CMakeFiles/cbwt_world.dir/names.cpp.o" "gcc" "src/world/CMakeFiles/cbwt_world.dir/names.cpp.o.d"
+  "/root/repo/src/world/topics.cpp" "src/world/CMakeFiles/cbwt_world.dir/topics.cpp.o" "gcc" "src/world/CMakeFiles/cbwt_world.dir/topics.cpp.o.d"
+  "/root/repo/src/world/world.cpp" "src/world/CMakeFiles/cbwt_world.dir/world.cpp.o" "gcc" "src/world/CMakeFiles/cbwt_world.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cbwt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cbwt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cbwt_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

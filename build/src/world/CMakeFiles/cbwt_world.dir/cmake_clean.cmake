@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbwt_world.dir/address_plan.cpp.o"
+  "CMakeFiles/cbwt_world.dir/address_plan.cpp.o.d"
+  "CMakeFiles/cbwt_world.dir/names.cpp.o"
+  "CMakeFiles/cbwt_world.dir/names.cpp.o.d"
+  "CMakeFiles/cbwt_world.dir/topics.cpp.o"
+  "CMakeFiles/cbwt_world.dir/topics.cpp.o.d"
+  "CMakeFiles/cbwt_world.dir/world.cpp.o"
+  "CMakeFiles/cbwt_world.dir/world.cpp.o.d"
+  "libcbwt_world.a"
+  "libcbwt_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbwt_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

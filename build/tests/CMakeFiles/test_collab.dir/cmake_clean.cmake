@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collab.dir/test_collab.cpp.o"
+  "CMakeFiles/test_collab.dir/test_collab.cpp.o.d"
+  "test_collab"
+  "test_collab.pdb"
+  "test_collab[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filterlist.dir/test_filterlist.cpp.o"
+  "CMakeFiles/test_filterlist.dir/test_filterlist.cpp.o.d"
+  "test_filterlist"
+  "test_filterlist.pdb"
+  "test_filterlist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filterlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

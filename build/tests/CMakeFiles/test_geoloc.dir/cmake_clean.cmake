@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geoloc.dir/test_geoloc.cpp.o"
+  "CMakeFiles/test_geoloc.dir/test_geoloc.cpp.o.d"
+  "test_geoloc"
+  "test_geoloc.pdb"
+  "test_geoloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geoloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdns.dir/test_pdns.cpp.o"
+  "CMakeFiles/test_pdns.dir/test_pdns.cpp.o.d"
+  "test_pdns"
+  "test_pdns.pdb"
+  "test_pdns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

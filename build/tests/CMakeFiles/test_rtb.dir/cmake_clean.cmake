@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtb.dir/test_rtb.cpp.o"
+  "CMakeFiles/test_rtb.dir/test_rtb.cpp.o.d"
+  "test_rtb"
+  "test_rtb.pdb"
+  "test_rtb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensitive.dir/test_sensitive.cpp.o"
+  "CMakeFiles/test_sensitive.dir/test_sensitive.cpp.o.d"
+  "test_sensitive"
+  "test_sensitive.pdb"
+  "test_sensitive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

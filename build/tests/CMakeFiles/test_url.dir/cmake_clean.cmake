@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_url.dir/test_url.cpp.o"
+  "CMakeFiles/test_url.dir/test_url.cpp.o.d"
+  "test_url"
+  "test_url.pdb"
+  "test_url[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_url.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

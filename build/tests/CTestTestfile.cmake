@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_prng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_strings[1]_include.cmake")
+include("/root/repo/build/tests/test_ip[1]_include.cmake")
+include("/root/repo/build/tests/test_prefix_trie[1]_include.cmake")
+include("/root/repo/build/tests/test_url[1]_include.cmake")
+include("/root/repo/build/tests/test_geo[1]_include.cmake")
+include("/root/repo/build/tests/test_world[1]_include.cmake")
+include("/root/repo/build/tests/test_dns[1]_include.cmake")
+include("/root/repo/build/tests/test_pdns[1]_include.cmake")
+include("/root/repo/build/tests/test_filterlist[1]_include.cmake")
+include("/root/repo/build/tests/test_classify[1]_include.cmake")
+include("/root/repo/build/tests/test_browser[1]_include.cmake")
+include("/root/repo/build/tests/test_geoloc[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_netflow[1]_include.cmake")
+include("/root/repo/build/tests/test_whatif[1]_include.cmake")
+include("/root/repo/build/tests/test_sensitive[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_rtb[1]_include.cmake")
+include("/root/repo/build/tests/test_collab[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
