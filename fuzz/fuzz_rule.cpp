@@ -1,0 +1,55 @@
+// Fuzz target for the AdBlockPlus rule parser and matcher
+// (src/filterlist/rule.cpp): filter-list lines are external inputs in
+// the real pipeline, and mis-parsed rules silently skew Table 2.
+//
+// Every accepted rule is matched against a small fixed set of request
+// contexts so the matcher's position arithmetic runs on every parse,
+// and re-parsed from its stored text (parse must be a fixpoint).
+#include <cstdint>
+#include <string_view>
+
+#include "filterlist/rule.h"
+#include "util/contract.h"
+
+namespace {
+
+void exercise_matcher(const cbwt::filterlist::Rule& rule) {
+  static constexpr std::string_view kUrls[] = {
+      "http://ads.tracker.com/pixel?uid=1",
+      "https://cdn.site.org/lib.js",
+      "https://sub.ads.example.co.uk:8443/a/b^c",
+      "http://x/",
+  };
+  for (const auto url : kUrls) {
+    cbwt::filterlist::RequestContext context;
+    context.url = url;
+    context.host = "ads.tracker.com";
+    context.page_host = "news.site.org";
+    context.third_party = true;
+    (void)cbwt::filterlist::rule_matches(rule, context);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view line =
+      size == 0 ? std::string_view{}
+                : std::string_view(reinterpret_cast<const char*>(data), size);
+  const auto rule = cbwt::filterlist::parse_rule(line);
+  if (!rule) return 0;
+
+  // parse_rule's postcondition, restated where the fuzzer can see it.
+  CBWT_ASSERT(!rule->parts.empty() ||
+              rule->anchor != cbwt::filterlist::AnchorKind::None || rule->end_anchor);
+  exercise_matcher(*rule);
+
+  // The stored text must survive a round trip as the same rule shape.
+  const auto reparsed = cbwt::filterlist::parse_rule(rule->text);
+  CBWT_ASSERT(reparsed.has_value());
+  CBWT_ASSERT(reparsed->exception == rule->exception);
+  CBWT_ASSERT(reparsed->anchor == rule->anchor);
+  CBWT_ASSERT(reparsed->end_anchor == rule->end_anchor);
+  CBWT_ASSERT(reparsed->parts == rule->parts);
+  return 0;
+}

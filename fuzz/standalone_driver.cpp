@@ -1,0 +1,106 @@
+// Replay driver for toolchains without libFuzzer (gcc): feeds every
+// file passed on the command line — directories are walked — to
+// LLVMFuzzerTestOneInput. Set CBWT_FUZZ_SECONDS=<n> to loop over the
+// corpus for n wall-clock seconds with cheap byte-level mutations
+// (truncation, single-byte flips from a deterministic PRNG), which is
+// what tools/run_fuzzers.sh uses for the timed smoke runs.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void collect_inputs(const char* arg, std::vector<std::filesystem::path>& out) {
+  const std::filesystem::path path(arg);
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+      if (entry.is_regular_file()) out.push_back(entry.path());
+    }
+  } else if (std::filesystem::is_regular_file(path, ec)) {
+    out.push_back(path);
+  }
+}
+
+// xorshift64: deterministic, no seed-time dependency on the clock.
+std::uint64_t next_random(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+void run_once(const std::vector<std::uint8_t>& bytes) {
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+}
+
+void run_mutated(std::vector<std::uint8_t> bytes, std::uint64_t& rng) {
+  if (bytes.empty()) {
+    run_once(bytes);
+    return;
+  }
+  switch (next_random(rng) % 3) {
+    case 0:  // flip one byte
+      bytes[next_random(rng) % bytes.size()] =
+          static_cast<std::uint8_t>(next_random(rng));
+      break;
+    case 1:  // truncate
+      bytes.resize(next_random(rng) % bytes.size());
+      break;
+    default:  // append junk
+      bytes.push_back(static_cast<std::uint8_t>(next_random(rng)));
+      break;
+  }
+  run_once(bytes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) collect_inputs(argv[i], inputs);
+  if (inputs.empty()) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  corpus.reserve(inputs.size());
+  for (const auto& path : inputs) corpus.push_back(read_file(path));
+
+  long seconds = 0;
+  if (const char* env = std::getenv("CBWT_FUZZ_SECONDS")) seconds = std::atol(env);
+
+  // Pass 1: exact replay of every corpus input (the regression gate).
+  for (const auto& bytes : corpus) run_once(bytes);
+  std::size_t executions = corpus.size();
+
+  // Pass 2 (optional): timed mutation loop.
+  if (seconds > 0) {
+    std::uint64_t rng = 0x2545F4914F6CDD1DULL;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (const auto& bytes : corpus) {
+        run_mutated(bytes, rng);
+        ++executions;
+      }
+    }
+  }
+
+  std::fprintf(stderr, "standalone_driver: %zu inputs, %zu executions, no crash\n",
+               corpus.size(), executions);
+  return 0;
+}

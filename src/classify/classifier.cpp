@@ -4,6 +4,7 @@
 
 #include "net/domain.h"
 #include "net/url.h"
+#include "util/contract.h"
 #include "util/prng.h"
 
 namespace cbwt::classify {
@@ -52,6 +53,7 @@ Classifier::Classifier(filterlist::Engine engine, ClassifierConfig config)
 
 std::vector<Outcome> Classifier::run(const browser::ExtensionDataset& dataset) const {
   const auto& requests = dataset.requests;
+  CBWT_EXPECTS(config_.max_iterations > 0 || !config_.enable_referrer_stage);
   std::vector<Outcome> outcomes(requests.size());
 
   // LTF identity: hashes of classified tracking URLs. Referrers of chained
@@ -73,7 +75,7 @@ std::vector<Outcome> Classifier::run(const browser::ExtensionDataset& dataset) c
     context.third_party = true;
     const auto hit = engine_.match(context);
     if (hit.matched) {
-      outcomes[i] = {Method::AbpList, hit.list};
+      outcomes[i] = {Method::AbpList, std::string(hit.list)};
       ltf_urls.insert(hash_text(request.url));
     }
   }
@@ -127,6 +129,7 @@ std::vector<Outcome> Classifier::run(const browser::ExtensionDataset& dataset) c
 
 ClassificationSummary summarize(const browser::ExtensionDataset& dataset,
                                 const std::vector<Outcome>& outcomes) {
+  CBWT_EXPECTS(outcomes.size() == dataset.requests.size());
   ClassificationSummary summary;
   struct Sets {
     std::unordered_set<std::string_view> fqdns;
@@ -185,6 +188,7 @@ double Score::recall() const noexcept {
 Score score_against_truth(const world::World& world,
                           const browser::ExtensionDataset& dataset,
                           const std::vector<Outcome>& outcomes) {
+  CBWT_EXPECTS(outcomes.size() == dataset.requests.size());
   Score score;
   for (std::size_t i = 0; i < dataset.requests.size(); ++i) {
     const auto& request = dataset.requests[i];

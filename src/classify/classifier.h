@@ -51,9 +51,10 @@ struct ClassifierConfig {
 };
 
 /// Per-request classification outcome, parallel to the dataset.
+/// Owns its list name so outcomes may outlive the classifier.
 struct Outcome {
   Method method = Method::None;
-  std::string_view list;  ///< matching list name for Method::AbpList
+  std::string list;  ///< matching list name for Method::AbpList
 };
 
 /// The classifier owns its engine (matching is the hot path, so the

@@ -1,6 +1,7 @@
 #include "filterlist/engine.h"
 
 #include "net/domain.h"
+#include "util/contract.h"
 
 namespace cbwt::filterlist {
 
@@ -35,6 +36,9 @@ std::string Engine::anchor_key(const Rule& rule) {
 }
 
 void Engine::index_rule(const Rule& rule, std::string_view list_name) {
+  // parse_rule() guarantees this; an unanchored, literal-free rule would
+  // otherwise match every request from the scan bucket.
+  CBWT_EXPECTS(!rule.parts.empty() || rule.anchor != AnchorKind::None || rule.end_anchor);
   if (rule.exception) {
     exceptions_.push_back({&rule, list_name});
     return;
@@ -67,6 +71,9 @@ bool Engine::exception_matches(const RequestContext& request) const {
 }
 
 MatchResult Engine::match(const RequestContext& request) const {
+  // The host must be a bare host name (no scheme, no path): the anchor
+  // index keys on host suffixes and would silently miss otherwise.
+  CBWT_EXPECTS(request.host.find('/') == std::string_view::npos);
   const auto try_rules = [&](const std::vector<IndexedRule>& rules) -> MatchResult {
     for (const auto& entry : rules) {
       if (rule_matches(*entry.rule, request)) {

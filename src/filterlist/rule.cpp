@@ -1,5 +1,6 @@
 #include "filterlist/rule.h"
 
+#include "util/contract.h"
 #include "util/strings.h"
 
 namespace cbwt::filterlist {
@@ -11,6 +12,7 @@ namespace {
 /// the end of the literal may also match the end of the URL.
 std::optional<std::size_t> match_literal_at(std::string_view url, std::size_t pos,
                                             std::string_view literal) {
+  CBWT_EXPECTS(pos <= url.size());
   std::size_t cursor = pos;
   for (std::size_t i = 0; i < literal.size(); ++i) {
     const char pattern_char = literal[i];
@@ -141,6 +143,15 @@ std::optional<Rule> parse_rule(std::string_view line) {
   for (const auto part : util::split(lowered, '*')) {
     if (!part.empty()) rule.parts.emplace_back(part);
   }
+  if (rule.parts.empty() && rule.anchor == AnchorKind::None && !rule.end_anchor) {
+    // Wildcards only ("*", "***"): unanchored with no literal, such a
+    // rule would match every request — treat it as unparseable instead.
+    return std::nullopt;
+  }
+  // A parsed rule is either anchored or carries at least one literal —
+  // the matcher's case analysis depends on it.
+  CBWT_ENSURES(!rule.parts.empty() || rule.anchor != AnchorKind::None || rule.end_anchor);
+  CBWT_ENSURES(!rule.text.empty());
   return rule;
 }
 
@@ -169,6 +180,7 @@ bool rule_matches(const Rule& rule, const RequestContext& request) {
       const std::size_t host_start = scheme_end + 3;
       std::size_t host_end = url.find('/', host_start);
       if (host_end == std::string_view::npos) host_end = url.size();
+      CBWT_ASSERT(host_start <= host_end);
       for (std::size_t pos = host_start; pos < host_end;) {
         if (finish(match_parts_from(url, pos, rule.parts, /*first_exact=*/true))) {
           return true;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "util/contract.h"
+
 namespace cbwt::geo {
 
 namespace {
@@ -89,7 +91,9 @@ constexpr bool codes_sorted() {
   }
   return true;
 }
-static_assert(codes_sorted(), "country table must stay sorted by code");
+CBWT_STATIC_EXPECT(codes_sorted(), "country table must stay sorted by code");
+CBWT_STATIC_EXPECT(kCountries.back().code.empty(),
+                   "last table entry must be the unexposed sentinel");
 
 }  // namespace
 
@@ -119,6 +123,7 @@ std::string_view to_string(Region region) noexcept {
 }
 
 std::span<const Country> all_countries() noexcept {
+  CBWT_ASSERT(kCountryCount < kCountries.size());  // span excludes the sentinel
   return {kCountries.data(), kCountryCount};
 }
 
@@ -128,6 +133,7 @@ const Country* find_country(std::string_view code) noexcept {
       table.begin(), table.end(), code,
       [](const Country& c, std::string_view key) { return c.code < key; });
   if (it == table.end() || it->code != code) return nullptr;
+  CBWT_ENSURES(!it->code.empty());  // the sentinel row is never returned
   return &*it;
 }
 

@@ -1,6 +1,7 @@
 #include "geoloc/commercial.h"
 
 #include "geo/country.h"
+#include "util/contract.h"
 
 namespace cbwt::geoloc {
 
@@ -19,10 +20,12 @@ unsigned host_prefix_length(const net::IpAddress& ip) {
 }  // namespace
 
 void CommercialDb::add_ip(const net::IpAddress& ip, std::string country) {
+  CBWT_EXPECTS(!country.empty());  // an empty answer means "unlocated", never stored
   trie_.insert(net::IpPrefix{ip, host_prefix_length(ip)}, std::move(country));
 }
 
 void CommercialDb::add_prefix(const net::IpPrefix& prefix, std::string country) {
+  CBWT_EXPECTS(!country.empty());
   trie_.insert(prefix, std::move(country));
 }
 

@@ -1,5 +1,7 @@
 #include "geoloc/service.h"
 
+#include "util/contract.h"
+
 namespace cbwt::geoloc {
 
 std::string_view to_string(Tool tool) noexcept {
@@ -22,6 +24,7 @@ GeoService::GeoService(const world::World& world, CommercialDb maxmind_like,
       measurement_rng_(measurement_seed) {}
 
 std::string GeoService::locate(const net::IpAddress& ip, Tool tool) const {
+  CBWT_ASSERT(world_ != nullptr);
   switch (tool) {
     case Tool::GroundTruth:
       return world_->true_country_of(ip);
@@ -76,6 +79,8 @@ Agreement pairwise_agreement(const GeoService& service,
   agreement.country = static_cast<double>(same_country) / static_cast<double>(ips.size());
   agreement.continent =
       static_cast<double>(same_continent) / static_cast<double>(ips.size());
+  CBWT_ENSURES(agreement.country >= 0.0 && agreement.country <= 1.0);
+  CBWT_ENSURES(agreement.continent >= 0.0 && agreement.continent <= 1.0);
   return agreement;
 }
 

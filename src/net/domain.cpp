@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "util/contract.h"
 #include "util/strings.h"
 
 namespace cbwt::net {
@@ -22,7 +23,8 @@ constexpr std::array<std::string_view, 58> kSuffixes = {
     "pt",     "ro",    "rs",     "ru",     "se",    "si",    "sk",    "tv",
     "uk",     "us",    "xyz"};
 
-static_assert(std::is_sorted(kSuffixes.begin(), kSuffixes.end()));
+CBWT_STATIC_EXPECT(std::is_sorted(kSuffixes.begin(), kSuffixes.end()),
+                   "suffix table must stay sorted for binary_search");
 
 }  // namespace
 
@@ -40,7 +42,10 @@ std::string_view public_suffix(std::string_view fqdn) noexcept {
   // hit wins, so "co.uk" beats "uk".
   std::string_view rest = fqdn;
   while (!rest.empty()) {
-    if (is_public_suffix(rest)) return rest;
+    if (is_public_suffix(rest)) {
+      CBWT_ENSURES(fqdn.ends_with(rest));
+      return rest;
+    }
     const std::size_t dot = rest.find('.');
     if (dot == std::string_view::npos) return {};
     rest = rest.substr(dot + 1);
@@ -52,9 +57,13 @@ std::string_view registrable_domain(std::string_view fqdn) noexcept {
   const std::string_view suffix = public_suffix(fqdn);
   if (suffix.empty() || suffix.size() == fqdn.size()) return fqdn;
   // One more label to the left of the suffix.
+  CBWT_ASSERT(fqdn.size() > suffix.size());
   const std::string_view head = fqdn.substr(0, fqdn.size() - suffix.size() - 1);
   const std::size_t dot = head.rfind('.');
-  return dot == std::string_view::npos ? fqdn : fqdn.substr(dot + 1);
+  const std::string_view out =
+      dot == std::string_view::npos ? fqdn : fqdn.substr(dot + 1);
+  CBWT_ENSURES(fqdn.ends_with(out));
+  return out;
 }
 
 bool is_subdomain_of(std::string_view fqdn, std::string_view domain) noexcept {

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "util/contract.h"
 #include "util/prng.h"
 #include "util/strings.h"
 
@@ -146,6 +147,10 @@ IpPrefix::IpPrefix(IpAddress base, unsigned length) noexcept : length_(length) {
     }
     base_ = IpAddress::v6(base.hi() & hi_mask, base.lo() & lo_mask);
   }
+  // The class invariant every containment/offset query relies on:
+  // host bits are zero and the length fits the family width.
+  CBWT_ENSURES(length_ <= base_.width());
+  CBWT_ENSURES(base_.family() == base.family());
 }
 
 std::optional<IpPrefix> IpPrefix::parse(std::string_view text) {
@@ -179,6 +184,7 @@ std::uint64_t IpPrefix::v4_size() const noexcept {
 IpAddress IpPrefix::at(std::uint64_t offset) const noexcept {
   if (base_.is_v4()) {
     const std::uint64_t size = v4_size();
+    CBWT_ASSERT(size > 0);  // guaranteed by length_ <= 32
     return IpAddress::v4(base_.v4_value() + static_cast<std::uint32_t>(offset % size));
   }
   // IPv6: offsets index the low 64 bits, which is ample for the model.

@@ -2,9 +2,30 @@
 
 #include <charconv>
 
+#include "util/contract.h"
 #include "util/strings.h"
 
 namespace cbwt::net {
+
+namespace {
+
+// RFC 1035 caps a full domain name at 253 octets; anything longer is
+// hostile or corrupt input, not a real destination.
+constexpr std::size_t kMaxHostLength = 253;
+
+/// Hostname charset after lowering: letters, digits, '.', '-', '_'.
+/// Rejecting everything else (spaces, brackets, stray ':', non-ASCII
+/// bytes) keeps parse/to_string a fixpoint — see fuzz/fuzz_url.cpp.
+bool valid_host(std::string_view host) noexcept {
+  for (const char c : host) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '.' ||
+                    c == '-' || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 std::optional<Url> Url::parse(std::string_view text) {
   const std::size_t scheme_end = text.find("://");
@@ -18,7 +39,9 @@ std::optional<Url> Url::parse(std::string_view text) {
   const std::size_t fragment = rest.find('#');
   if (fragment != std::string_view::npos) rest = rest.substr(0, fragment);
 
-  const std::size_t path_start = rest.find('/');
+  // The authority ends at the first '/' or '?': "http://a.com?x=1" is a
+  // query on the root path, not a host containing '?'.
+  const std::size_t path_start = rest.find_first_of("/?");
   std::string_view authority =
       path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
   std::string_view path_query =
@@ -36,8 +59,9 @@ std::optional<Url> Url::parse(std::string_view text) {
     url.port_ = port;
     authority = authority.substr(0, colon);
   }
-  if (authority.empty()) return std::nullopt;
+  if (authority.empty() || authority.size() > kMaxHostLength) return std::nullopt;
   url.host_ = util::to_lower(authority);
+  if (!valid_host(url.host_)) return std::nullopt;
 
   if (!path_query.empty()) {
     const std::size_t q = path_query.find('?');
@@ -49,6 +73,12 @@ std::optional<Url> Url::parse(std::string_view text) {
     }
   }
   if (url.path_.empty()) url.path_ = "/";
+  // The accessor documentation promises these to every downstream stage
+  // (classifier, filter engine); a parse that breaks them is a bug here,
+  // not in the caller.
+  CBWT_ENSURES(!url.host_.empty());
+  CBWT_ENSURES(url.path_.front() == '/');
+  CBWT_ENSURES(url.port_ != 0);
   return url;
 }
 
@@ -68,6 +98,7 @@ std::vector<std::pair<std::string, std::string>> Url::arguments() const {
 }
 
 std::string Url::host_and_rest() const {
+  CBWT_EXPECTS(!host_.empty());  // only parse() constructs, so host is set
   std::string out = host_;
   const bool default_port =
       (scheme_ == "https" && port_ == 443) || (scheme_ == "http" && port_ == 80);

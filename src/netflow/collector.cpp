@@ -1,5 +1,7 @@
 #include "netflow/collector.h"
 
+#include "util/contract.h"
+
 namespace cbwt::netflow {
 
 void TrackerIpIndex::add(const net::IpAddress& ip) { ips_.insert(ip); }
@@ -63,6 +65,10 @@ CollectionResult collect(std::span<const RawRecord> records, const TrackerIpInde
     if (anon.protocol == 17) ++result.udp_records;
     ++result.per_ip[anon.remote];
   }
+  // Counter funnel: every matched record is internal, every internal
+  // record was seen. A violation means a counting branch was skipped.
+  CBWT_ENSURES(result.matched_records <= result.internal_records);
+  CBWT_ENSURES(result.internal_records <= result.records_seen);
   return result;
 }
 

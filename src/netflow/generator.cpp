@@ -2,10 +2,15 @@
 
 #include <cmath>
 
+#include "util/contract.h"
+
 namespace cbwt::netflow {
 
 AnonRecord anonymize(const RawRecord& record, bool subscriber_is_src,
                      std::string subscriber_country) {
+  // Anonymization is the ethics boundary (§7.2): a record without a
+  // subscriber country would leak through analysis unattributed.
+  CBWT_EXPECTS(!subscriber_country.empty());
   AnonRecord anon;
   anon.subscriber_country = std::move(subscriber_country);
   anon.remote = subscriber_is_src ? record.dst : record.src;
@@ -14,6 +19,8 @@ AnonRecord anonymize(const RawRecord& record, bool subscriber_is_src,
   anon.direction = subscriber_is_src ? Direction::Outbound : Direction::Inbound;
   anon.packets = record.packets;
   anon.bytes = record.bytes;
+  // The subscriber address must not survive into the anonymized form.
+  CBWT_ENSURES(anon.remote == (subscriber_is_src ? record.dst : record.src));
   return anon;
 }
 

@@ -1,0 +1,48 @@
+// Binary wire form for sampled flow records: a NetFlow v9-flavoured
+// fixed layout (version + record count header, fixed-size records) that
+// collectors would receive off the socket. The seed pipeline passed
+// RawRecord structs around in memory; this codec is the boundary where
+// untrusted router bytes become structs, so parsing is defensive: any
+// malformed packet — truncated record, bad address family, overstated
+// record count — yields nullopt instead of garbage structs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netflow/record.h"
+
+namespace cbwt::netflow {
+
+/// Export-format version tag carried in every packet header.
+inline constexpr std::uint16_t kWireVersion = 9;
+
+/// Bytes per encoded record (fixed layout, see wire.cpp).
+inline constexpr std::size_t kWireRecordSize = 57;
+
+/// Bytes in the packet header (version + record count, both big-endian).
+inline constexpr std::size_t kWireHeaderSize = 4;
+
+/// Records a single packet may carry; bounds the decode allocation.
+inline constexpr std::size_t kWireMaxRecordsPerPacket = 1024;
+
+/// Serializes one record into its fixed 57-byte layout.
+[[nodiscard]] std::vector<std::uint8_t> encode_record(const RawRecord& record);
+
+/// Serializes a header plus all records; `records.size()` must not
+/// exceed kWireMaxRecordsPerPacket.
+[[nodiscard]] std::vector<std::uint8_t> encode_packet(std::span<const RawRecord> records);
+
+/// Decodes exactly one record from exactly kWireRecordSize bytes.
+/// Rejects wrong sizes and malformed address-family tags.
+[[nodiscard]] std::optional<RawRecord> parse_record(std::span<const std::uint8_t> bytes);
+
+/// Decodes a full packet. Rejects short headers, unknown versions,
+/// record counts that overrun the payload (the truncation class of
+/// bug), counts above kWireMaxRecordsPerPacket, and trailing bytes.
+[[nodiscard]] std::optional<std::vector<RawRecord>> parse_packet(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace cbwt::netflow

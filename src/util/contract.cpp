@@ -1,0 +1,51 @@
+#include "util/contract.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cbwt::util {
+
+namespace {
+
+std::atomic<ContractPolicy> g_policy{ContractPolicy::Abort};
+
+}  // namespace
+
+void set_contract_policy(ContractPolicy policy) noexcept {
+  g_policy.store(policy, std::memory_order_relaxed);
+}
+
+ContractPolicy contract_policy() noexcept {
+  return g_policy.load(std::memory_order_relaxed);
+}
+
+std::string_view to_string(ContractKind kind) noexcept {
+  switch (kind) {
+    case ContractKind::Precondition: return "precondition";
+    case ContractKind::Postcondition: return "postcondition";
+    case ContractKind::Assertion: return "assertion";
+  }
+  return "?";
+}
+
+void contract_violated(ContractKind kind, std::string_view expression,
+                       std::source_location where) {
+  std::string message;
+  message += to_string(kind);
+  message += " failed: ";
+  message += expression;
+  message += " at ";
+  message += where.file_name();
+  message += ":";
+  message += std::to_string(where.line());
+  message += " in ";
+  message += where.function_name();
+  if (contract_policy() == ContractPolicy::Throw) {
+    throw ContractViolation(kind, std::move(message));
+  }
+  std::fprintf(stderr, "cbwt: %s\n", message.c_str());
+  std::abort();
+}
+
+}  // namespace cbwt::util

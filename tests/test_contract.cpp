@@ -1,0 +1,91 @@
+#include "util/contract.h"
+
+#include <gtest/gtest.h>
+
+namespace cbwt::util {
+namespace {
+
+/// Restores the process-wide policy on scope exit so test order cannot
+/// leak a Throw policy into unrelated tests.
+class PolicyGuard {
+ public:
+  PolicyGuard() : saved_(contract_policy()) {}
+  ~PolicyGuard() { set_contract_policy(saved_); }
+  PolicyGuard(const PolicyGuard&) = delete;
+  PolicyGuard& operator=(const PolicyGuard&) = delete;
+
+ private:
+  ContractPolicy saved_;
+};
+
+int checked_increment(int value) {
+  CBWT_EXPECTS(value >= 0);
+  const int out = value + 1;
+  CBWT_ENSURES(out > value);
+  return out;
+}
+
+TEST(Contract, PassingChecksAreSilent) {
+  EXPECT_EQ(checked_increment(41), 42);
+  CBWT_ASSERT(1 + 1 == 2);
+}
+
+TEST(Contract, ThrowPolicyRaisesContractViolation) {
+  const PolicyGuard guard;
+  set_contract_policy(ContractPolicy::Throw);
+  EXPECT_THROW(checked_increment(-1), ContractViolation);
+}
+
+TEST(Contract, ViolationCarriesKindAndLocation) {
+  const PolicyGuard guard;
+  set_contract_policy(ContractPolicy::Throw);
+  try {
+    checked_increment(-1);
+    FAIL() << "precondition did not fire";
+  } catch (const ContractViolation& violation) {
+    EXPECT_EQ(violation.kind(), ContractKind::Precondition);
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("value >= 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_contract.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("checked_increment"), std::string::npos) << what;
+  }
+}
+
+TEST(Contract, EnsuresAndAssertReportTheirKind) {
+  const PolicyGuard guard;
+  set_contract_policy(ContractPolicy::Throw);
+  try {
+    CBWT_ENSURES(false);
+    FAIL();
+  } catch (const ContractViolation& violation) {
+    EXPECT_EQ(violation.kind(), ContractKind::Postcondition);
+  }
+  try {
+    CBWT_ASSERT(false);
+    FAIL();
+  } catch (const ContractViolation& violation) {
+    EXPECT_EQ(violation.kind(), ContractKind::Assertion);
+  }
+}
+
+TEST(Contract, PolicyIsReadable) {
+  const PolicyGuard guard;
+  EXPECT_EQ(contract_policy(), ContractPolicy::Abort);
+  set_contract_policy(ContractPolicy::Throw);
+  EXPECT_EQ(contract_policy(), ContractPolicy::Throw);
+}
+
+TEST(Contract, KindNames) {
+  EXPECT_EQ(to_string(ContractKind::Precondition), "precondition");
+  EXPECT_EQ(to_string(ContractKind::Postcondition), "postcondition");
+  EXPECT_EQ(to_string(ContractKind::Assertion), "assertion");
+}
+
+TEST(ContractDeathTest, AbortPolicyAborts) {
+  // Default policy: a violated check must terminate loudly, printing
+  // the expression and location to stderr.
+  EXPECT_DEATH(checked_increment(-1), "precondition failed: value >= 0");
+}
+
+}  // namespace
+}  // namespace cbwt::util

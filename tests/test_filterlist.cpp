@@ -279,5 +279,76 @@ TEST(Generate, ListsCoverTheWorldsListedDomains) {
   }
 }
 
+// ------------------------------------------------- parser edge cases
+// Promoted from fuzz/fuzz_rule.cpp and its seed corpus
+// (fuzz/corpus/rule); keep in sync when new crashers are minimized.
+
+TEST(ParseRuleEdgeCases, EmptyAndDegenerateLines) {
+  EXPECT_FALSE(parse_rule("").has_value());
+  EXPECT_FALSE(parse_rule("   \t  ").has_value());
+  // A lone wildcard has no anchors and no literals: nothing to match on.
+  EXPECT_FALSE(parse_rule("*").has_value());
+  EXPECT_FALSE(parse_rule("***").has_value());
+}
+
+TEST(ParseRuleEdgeCases, BareAnchorsStillParse) {
+  // "||" and "|"-only rules are anchored, so they are valid (if broad).
+  const auto domain_only = parse_rule("||");
+  ASSERT_TRUE(domain_only.has_value());
+  EXPECT_EQ(domain_only->anchor, AnchorKind::DomainName);
+  EXPECT_TRUE(domain_only->parts.empty());
+}
+
+TEST(ParseRuleEdgeCases, NonUtf8BytesDoNotCrash) {
+  const std::string_view line("ad\xFFs\x00tracker^", 12);
+  const auto rule = parse_rule(line);
+  ASSERT_TRUE(rule.has_value());
+  RequestContext request;
+  request.url = "http://ads.tracker.com/x";
+  request.host = "ads.tracker.com";
+  request.page_host = "news.example.com";
+  request.third_party = true;
+  EXPECT_FALSE(rule_matches(*rule, request));
+}
+
+TEST(ParseRuleEdgeCases, OversizedRuleLine) {
+  const std::string huge = "||" + std::string(64 * 1024, 'a') + ".com^";
+  const auto rule = parse_rule(huge);
+  ASSERT_TRUE(rule.has_value());
+  RequestContext request;
+  request.url = "http://short.com/";
+  request.host = "short.com";
+  request.page_host = "news.example.com";
+  request.third_party = true;
+  EXPECT_FALSE(rule_matches(*rule, request));
+}
+
+TEST(ParseRuleEdgeCases, DollarOnlyAndTrailingOptionForms) {
+  // '$' at position 0 is part of the pattern (no option split).
+  const auto dollar = parse_rule("$third-party");
+  ASSERT_TRUE(dollar.has_value());
+  ASSERT_EQ(dollar->parts.size(), 1U);
+  EXPECT_EQ(dollar->parts[0], "$third-party");
+  // Empty option list after a real pattern parses cleanly.
+  EXPECT_TRUE(parse_rule("tracker$").has_value());
+  EXPECT_TRUE(parse_rule("tracker$,,").has_value());
+}
+
+TEST(ParseRuleEdgeCases, StoredTextReparsesToSameRule) {
+  for (const std::string_view line :
+       {"@@||cdn.site.org^$third-party",
+        "/banner/*/img^$domain=site.org|~sub.site.org,third-party",
+        "|http://ads.", "||ads.tracker.com^|"}) {
+    const auto rule = parse_rule(line);
+    ASSERT_TRUE(rule.has_value()) << line;
+    const auto reparsed = parse_rule(rule->text);
+    ASSERT_TRUE(reparsed.has_value()) << line;
+    EXPECT_EQ(reparsed->exception, rule->exception);
+    EXPECT_EQ(reparsed->anchor, rule->anchor);
+    EXPECT_EQ(reparsed->end_anchor, rule->end_anchor);
+    EXPECT_EQ(reparsed->parts, rule->parts);
+  }
+}
+
 }  // namespace
 }  // namespace cbwt::filterlist

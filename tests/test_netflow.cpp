@@ -2,6 +2,7 @@
 #include "netflow/generator.h"
 #include "netflow/profile.h"
 #include "netflow/sflow.h"
+#include "netflow/wire.h"
 
 #include <gtest/gtest.h>
 
@@ -255,6 +256,133 @@ TEST_F(NetflowPipeline, IpJoinOutRecallsHostJoin) {
   EXPECT_GT(comparison.host_recall(), 0.20);
   EXPECT_EQ(comparison.false_ip_matches, 0U);
   EXPECT_EQ(comparison.false_host_matches, 0U);
+}
+
+// ------------------------------------------------------ wire format
+// Edge cases mirror fuzz/fuzz_netflow_record.cpp and its seed corpus
+// (fuzz/corpus/netflow); keep in sync when new crashers are minimized.
+
+RawRecord sample_record() {
+  RawRecord record;
+  record.timestamp_s = 3600;
+  record.router = 2;
+  record.interface = 1;
+  record.internal_interface = true;
+  record.protocol = 6;
+  record.src = net::IpAddress::v4(0xC0000201);
+  record.dst = net::IpAddress::v4(0xCB007101);
+  record.src_port = 41234;
+  record.dst_port = 443;
+  record.packets = 12;
+  record.bytes = 9000;
+  record.tos = 0;
+  return record;
+}
+
+TEST(Wire, RecordRoundTripV4) {
+  const RawRecord record = sample_record();
+  const auto bytes = encode_record(record);
+  ASSERT_EQ(bytes.size(), kWireRecordSize);
+  const auto parsed = parse_record(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->timestamp_s, record.timestamp_s);
+  EXPECT_EQ(parsed->router, record.router);
+  EXPECT_EQ(parsed->interface, record.interface);
+  EXPECT_EQ(parsed->internal_interface, record.internal_interface);
+  EXPECT_EQ(parsed->protocol, record.protocol);
+  EXPECT_EQ(parsed->src, record.src);
+  EXPECT_EQ(parsed->dst, record.dst);
+  EXPECT_EQ(parsed->src_port, record.src_port);
+  EXPECT_EQ(parsed->dst_port, record.dst_port);
+  EXPECT_EQ(parsed->packets, record.packets);
+  EXPECT_EQ(parsed->bytes, record.bytes);
+  EXPECT_EQ(encode_record(*parsed), bytes);
+}
+
+TEST(Wire, RecordRoundTripV6) {
+  RawRecord record = sample_record();
+  record.src = net::IpAddress::v6(0x20010DB800000000ULL, 1);
+  record.dst = net::IpAddress::v6(0x20010DB800000000ULL, 2);
+  record.protocol = 17;
+  const auto bytes = encode_record(record);
+  const auto parsed = parse_record(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src, record.src);
+  EXPECT_EQ(parsed->dst, record.dst);
+}
+
+TEST(Wire, EmptyInputRejected) {
+  EXPECT_FALSE(parse_record({}).has_value());
+  EXPECT_FALSE(parse_packet({}).has_value());
+}
+
+TEST(Wire, TruncatedRecordRejected) {
+  const auto bytes = encode_record(sample_record());
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{1}, std::size_t{20},
+                                kWireRecordSize - 1}) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_FALSE(parse_record(prefix).has_value()) << cut;
+  }
+  // One trailing byte is equally malformed.
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(parse_record(padded).has_value());
+}
+
+TEST(Wire, BadAddressFamilyRejected) {
+  auto bytes = encode_record(sample_record());
+  bytes[10] = 9;  // src family tag
+  EXPECT_FALSE(parse_record(bytes).has_value());
+}
+
+TEST(Wire, DirtyHighBitsInV4Rejected) {
+  auto bytes = encode_record(sample_record());
+  bytes[11] = 0xFF;  // hi bits of a v4 source must be zero
+  EXPECT_FALSE(parse_record(bytes).has_value());
+}
+
+TEST(Wire, ReservedFlagBitsRejected) {
+  auto bytes = encode_record(sample_record());
+  bytes[8] |= 0x80;
+  EXPECT_FALSE(parse_record(bytes).has_value());
+}
+
+TEST(Wire, PacketRoundTrip) {
+  std::vector<RawRecord> records{sample_record(), sample_record()};
+  records[1].dst_port = 80;
+  const auto bytes = encode_packet(records);
+  const auto parsed = parse_packet(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2U);
+  EXPECT_EQ((*parsed)[1].dst_port, 80);
+  EXPECT_EQ(encode_packet(*parsed), bytes);
+}
+
+TEST(Wire, EmptyPacketIsValid) {
+  const auto bytes = encode_packet({});
+  ASSERT_EQ(bytes.size(), kWireHeaderSize);
+  const auto parsed = parse_packet(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(Wire, OverstatedCountRejected) {
+  // Header claims 5 records but carries 1: the truncation bug class.
+  auto bytes = encode_packet(std::vector<RawRecord>{sample_record()});
+  bytes[3] = 5;
+  EXPECT_FALSE(parse_packet(bytes).has_value());
+}
+
+TEST(Wire, WrongVersionRejected) {
+  auto bytes = encode_packet(std::vector<RawRecord>{sample_record()});
+  bytes[1] = 5;
+  EXPECT_FALSE(parse_packet(bytes).has_value());
+}
+
+TEST(Wire, TrailingBytesRejected) {
+  auto bytes = encode_packet(std::vector<RawRecord>{sample_record()});
+  bytes.push_back(0);
+  EXPECT_FALSE(parse_packet(bytes).has_value());
 }
 
 }  // namespace

@@ -117,5 +117,63 @@ TEST(Domain, SameSite) {
   EXPECT_FALSE(same_site("a.example.co.uk", "a.other.co.uk"));
 }
 
+// ------------------------------------------------- parser edge cases
+// Promoted from fuzz/fuzz_url.cpp findings and its seed corpus
+// (fuzz/corpus/url); keep in sync when new crashers are minimized.
+
+TEST(UrlEdgeCases, EmptyAndWhitespaceInput) {
+  EXPECT_FALSE(Url::parse("").has_value());
+  EXPECT_FALSE(Url::parse(" ").has_value());
+  EXPECT_FALSE(Url::parse("://").has_value());
+  EXPECT_FALSE(Url::parse("https://").has_value());
+}
+
+TEST(UrlEdgeCases, NonUtf8BytesRejected) {
+  EXPECT_FALSE(Url::parse("http://\xC3\xA9\xFF\xFE.com/").has_value());
+  EXPECT_FALSE(Url::parse(std::string_view("http://a\0b.com/", 15)).has_value());
+}
+
+TEST(UrlEdgeCases, OversizedHostRejected) {
+  // RFC 1035 caps a domain name at 253 octets.
+  const std::string at_limit = "https://" + std::string(249, 'a') + ".com/";
+  EXPECT_TRUE(Url::parse(at_limit).has_value());
+  const std::string over_limit = "https://" + std::string(250, 'a') + ".com/";
+  EXPECT_FALSE(Url::parse(over_limit).has_value());
+}
+
+TEST(UrlEdgeCases, HostCharsetEnforced) {
+  // Fuzzer-found: "[::1]" used to parse but its to_string() did not
+  // re-parse, breaking the canonicalization fixpoint.
+  EXPECT_FALSE(Url::parse("http://[::1]:80/").has_value());
+  EXPECT_FALSE(Url::parse("http://a b/").has_value());
+  EXPECT_FALSE(Url::parse("http://a,b.com/").has_value());
+  EXPECT_TRUE(Url::parse("http://a-b_c.com/").has_value());
+}
+
+TEST(UrlEdgeCases, ToStringReparsesToSameValue) {
+  const auto url = Url::parse("HTTPS://Sync.Tracker.COM:8443/cm?uid=1&flag#frag");
+  ASSERT_TRUE(url.has_value());
+  const auto reparsed = Url::parse(url->to_string());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->host(), url->host());
+  EXPECT_EQ(reparsed->port(), url->port());
+  EXPECT_EQ(reparsed->path(), url->path());
+  EXPECT_EQ(reparsed->query(), url->query());
+}
+
+TEST(UrlEdgeCases, QueryWithoutPath) {
+  // No '/' before '?': the query belongs to the root path, it is not
+  // part of the host (fuzzer-found roundtrip break in the seed parser).
+  const auto url = Url::parse("http://a.com?x=1");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->host(), "a.com");
+  EXPECT_EQ(url->path(), "/");
+  EXPECT_EQ(url->query(), "x=1");
+  const auto reparsed = Url::parse(url->to_string());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->host(), url->host());
+  EXPECT_EQ(reparsed->query(), url->query());
+}
+
 }  // namespace
 }  // namespace cbwt::net
