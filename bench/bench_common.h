@@ -1,16 +1,24 @@
 // Shared plumbing for the reproduction harnesses in bench/: one binary
 // per paper table/figure. Each binary builds a Study (scale overridable
-// via the CBWT_SCALE / CBWT_SEED environment variables), regenerates its
-// table, and prints the paper's reported numbers next to the measured
-// ones. Absolute counts are scaled by design; the *shape* is the claim.
+// via the CBWT_SCALE / CBWT_SEED environment variables, worker threads
+// via --threads / CBWT_THREADS), regenerates its table, and prints the
+// paper's reported numbers next to the measured ones. Absolute counts
+// are scaled by design; the *shape* is the claim. `--json PATH` writes a
+// machine-readable run summary next to the human-readable table.
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/study.h"
+#include "report/json.h"
 #include "util/stats.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -27,6 +35,31 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   return value == nullptr ? fallback : std::strtoull(value, nullptr, 10);
 }
 
+/// Command-line options shared by the harnesses. Threads defaults to the
+/// CBWT_THREADS environment variable (1 = serial; 0 = hardware cores);
+/// the study result is bit-identical for every value.
+struct BenchOptions {
+  unsigned threads = static_cast<unsigned>(env_u64("CBWT_THREADS", 1));
+  std::string json_path;  ///< empty = no machine-readable output
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      options.threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--json" && i + 1 < argc) {
+      options.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument '%s' (supported: --threads N, --json PATH)\n",
+                   argv[i]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
 /// Standard bench config: 8% of the paper's request volume by default.
 inline core::StudyConfig bench_config() {
   core::StudyConfig config;
@@ -35,11 +68,65 @@ inline core::StudyConfig bench_config() {
   return config;
 }
 
+inline core::StudyConfig bench_config(const BenchOptions& options) {
+  auto config = bench_config();
+  config.threads = options.threads;
+  return config;
+}
+
+/// Accumulates key metrics of one harness run and writes them as one
+/// JSON object {name, seed, scale, threads, wall_ms, metrics{...}}.
+/// Wall time runs from construction to write().
+class JsonReport {
+ public:
+  JsonReport(std::string name, const core::StudyConfig& config)
+      : name_(std::move(name)), seed_(config.world.seed), scale_(config.world.scale),
+        threads_(config.threads), start_(std::chrono::steady_clock::now()) {}
+
+  void metric(std::string key, double value) {
+    metrics_.emplace_back(std::move(key), value);
+  }
+
+  /// No-op when `path` is empty (no --json given).
+  void write(const std::string& path) const {
+    if (path.empty()) return;
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count();
+    report::JsonWriter json;
+    json.begin_object();
+    json.key("name").value(name_);
+    json.key("seed").value(seed_);
+    json.key("scale").value(scale_);
+    json.key("threads").value(static_cast<std::uint64_t>(threads_));
+    json.key("wall_ms").value(wall_ms);
+    json.key("metrics").begin_object();
+    for (const auto& [key, value] : metrics_) json.key(key).value(value);
+    json.end_object();
+    json.end_object();
+    std::ofstream out(path);
+    out << json.str() << '\n';
+    if (!out) {
+      std::fprintf(stderr, "failed to write JSON report to '%s'\n", path.c_str());
+      std::exit(1);
+    }
+  }
+
+ private:
+  std::string name_;
+  std::uint64_t seed_;
+  double scale_;
+  unsigned threads_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
 inline void print_header(const char* experiment, const core::StudyConfig& config) {
   std::printf("==================================================================\n");
   std::printf("%s\n", experiment);
-  std::printf("seed=%llu  scale=%.3f (of the paper's dataset volume)\n",
-              static_cast<unsigned long long>(config.world.seed), config.world.scale);
+  std::printf("seed=%llu  scale=%.3f (of the paper's dataset volume)  threads=%u\n",
+              static_cast<unsigned long long>(config.world.seed), config.world.scale,
+              config.threads);
   std::printf("==================================================================\n");
 }
 

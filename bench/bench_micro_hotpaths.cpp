@@ -1,7 +1,18 @@
 // google-benchmark microbenchmarks of the pipeline's hot paths: filter
-// matching, longest-prefix lookup, DNS server selection, and the
-// NetFlow tracker-IP join.
+// matching, longest-prefix lookup, DNS server selection, the NetFlow
+// tracker-IP join, and the cbwt::runtime sharded stages (classification,
+// active-geolocation panels, snapshot generation) swept over pool sizes.
+//
+// Flags beyond google-benchmark's own: `--threads N` sets the largest
+// pool size in the sweep (0 = hardware cores), `--json PATH` is a
+// shorthand for --benchmark_out=PATH --benchmark_out_format=json.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/study.h"
 #include "filterlist/generate.h"
@@ -9,6 +20,8 @@
 #include "netflow/collector.h"
 #include "netflow/generator.h"
 #include "netflow/profile.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
 
 namespace {
 
@@ -128,6 +141,127 @@ void BM_ActiveGeolocate(benchmark::State& state) {
 }
 BENCHMARK(BM_ActiveGeolocate);
 
+// --- cbwt::runtime sharded stages -----------------------------------
+// Each benchmark takes the pool size as its argument (1 = the serial
+// inline path, no pool object at all) and produces bit-identical results
+// at every size; the sweep measures the speedup alone.
+
+/// nullptr for one thread: the serial path must not even construct a pool.
+runtime::ThreadPool* make_pool(std::int64_t threads,
+                               std::unique_ptr<runtime::ThreadPool>& owner) {
+  if (threads <= 1) return nullptr;
+  owner = std::make_unique<runtime::ThreadPool>(static_cast<unsigned>(threads));
+  return owner.get();
+}
+
+core::Study& micro_study() {
+  static core::Study study([] {
+    core::StudyConfig config;
+    config.world.seed = 77;
+    config.world.scale = 0.05;
+    return config;
+  }());
+  return study;
+}
+
+void BM_ClassifyRun(benchmark::State& state) {
+  auto& study = micro_study();
+  const auto& dataset = study.dataset();
+  const auto& classifier = study.classifier();
+  std::unique_ptr<runtime::ThreadPool> owner;
+  runtime::ThreadPool* pool = make_pool(state.range(0), owner);
+  for (auto _ : state) {
+    auto outcomes = classifier.run(dataset, pool);
+    benchmark::DoNotOptimize(outcomes.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dataset.requests.size()));
+}
+
+void BM_GeolocPanel(benchmark::State& state) {
+  const auto& world = micro_world();
+  util::Rng mesh_rng(5);
+  const geoloc::ProbeMesh mesh({}, mesh_rng);
+  const geoloc::ActiveGeolocator locator(world, mesh);
+  std::vector<net::IpAddress> ips;
+  for (const auto& server : world.servers()) {
+    ips.push_back(server.ip);
+    if (ips.size() >= 2048) break;
+  }
+  std::unique_ptr<runtime::ThreadPool> owner;
+  runtime::ThreadPool* pool = make_pool(state.range(0), owner);
+  for (auto _ : state) {
+    // The GeoService::prefetch hot loop without its cache: one derived
+    // RNG per IP, one probe panel per IP.
+    auto countries = runtime::parallel_map<std::string>(
+        pool, ips.size(), {.min_shard_items = 8}, [&](std::size_t i) {
+          auto rng = util::Rng(util::mix64(0xAC7173ULL ^ ips[i].hash()));
+          return locator.locate(ips[i], rng).country;
+        });
+    benchmark::DoNotOptimize(countries.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ips.size()));
+}
+
+void BM_SnapshotSharded(benchmark::State& state) {
+  const auto& world = micro_world();
+  const dns::Resolver resolver(world);
+  netflow::GeneratorConfig config;
+  config.scale = 1e-4;
+  std::unique_ptr<runtime::ThreadPool> owner;
+  runtime::ThreadPool* pool = make_pool(state.range(0), owner);
+  std::int64_t records = 0;
+  for (auto _ : state) {
+    const auto exported = netflow::generate_snapshot_sharded(
+        world, resolver, netflow::default_isps()[0], netflow::default_snapshots()[0],
+        config, /*seed=*/42, pool);
+    records = static_cast<std::int64_t>(exported.records.size());
+    benchmark::DoNotOptimize(exported.records.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * records);
+}
+
+void register_runtime_benchmarks(unsigned max_threads) {
+  for (auto&& [name, fn] :
+       {std::pair{"BM_ClassifyRun", &BM_ClassifyRun},
+        std::pair{"BM_GeolocPanel", &BM_GeolocPanel},
+        std::pair{"BM_SnapshotSharded", &BM_SnapshotSharded}}) {
+    auto* bench = benchmark::RegisterBenchmark(name, fn);
+    bench->Unit(benchmark::kMillisecond)->Arg(1);
+    if (max_threads >= 2) bench->Arg(2);
+    if (max_threads > 2) bench->Arg(static_cast<std::int64_t>(max_threads));
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  unsigned max_threads = static_cast<unsigned>(
+      std::strtoul(std::getenv("CBWT_THREADS") ? std::getenv("CBWT_THREADS") : "0",
+                   nullptr, 10));
+  std::vector<std::string> owned;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      max_threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--json" && i + 1 < argc) {
+      owned.push_back(std::string("--benchmark_out=") + argv[++i]);
+      owned.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  for (auto& flag : owned) args.push_back(flag.data());
+  if (max_threads == 0) max_threads = cbwt::runtime::ThreadPool::hardware_threads();
+  register_runtime_benchmarks(max_threads);
+
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

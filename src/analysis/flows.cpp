@@ -45,7 +45,16 @@ std::string FlowAnalyzer::locate(const net::IpAddress& ip) const {
   return service_->locate(ip, tool_);
 }
 
+void FlowAnalyzer::warm_cache(std::span<const Flow> flows) const {
+  if (tool_ != geoloc::Tool::ActiveIpmap) return;  // other tools are cheap lookups
+  std::vector<net::IpAddress> ips;
+  ips.reserve(flows.size());
+  for (const auto& flow : flows) ips.push_back(flow.destination);
+  service_->prefetch(ips);
+}
+
 RegionBreakdown FlowAnalyzer::destination_regions(std::span<const Flow> flows) const {
+  warm_cache(flows);
   RegionBreakdown breakdown;
   std::map<geo::Region, std::uint64_t> weights;
   for (const auto& flow : flows) {
@@ -66,6 +75,7 @@ RegionBreakdown FlowAnalyzer::destination_regions(std::span<const Flow> flows) c
 
 std::map<std::string, std::map<std::string, std::uint64_t>> FlowAnalyzer::country_matrix(
     std::span<const Flow> flows) const {
+  warm_cache(flows);
   std::map<std::string, std::map<std::string, std::uint64_t>> matrix;
   for (const auto& flow : flows) {
     auto destination = locate(flow.destination);
@@ -77,6 +87,7 @@ std::map<std::string, std::map<std::string, std::uint64_t>> FlowAnalyzer::countr
 
 std::map<std::string, std::map<std::string, std::uint64_t>> FlowAnalyzer::region_matrix(
     std::span<const Flow> flows) const {
+  warm_cache(flows);
   std::map<std::string, std::map<std::string, std::uint64_t>> matrix;
   for (const auto& flow : flows) {
     const auto origin_region = geo::region_of_code(flow.origin_country);
@@ -91,6 +102,7 @@ std::map<std::string, std::map<std::string, std::uint64_t>> FlowAnalyzer::region
 }
 
 Confinement FlowAnalyzer::confinement(std::span<const Flow> flows) const {
+  warm_cache(flows);
   Confinement result;
   std::uint64_t in_country = 0;
   std::uint64_t in_eu28 = 0;
@@ -129,6 +141,7 @@ std::map<std::string, Confinement> FlowAnalyzer::per_origin_confinement(
 
 std::map<std::string, double> FlowAnalyzer::destination_countries(
     std::span<const Flow> flows) const {
+  warm_cache(flows);
   std::map<std::string, std::uint64_t> weights;
   std::uint64_t total = 0;
   for (const auto& flow : flows) {

@@ -83,6 +83,10 @@ class FlowAnalyzer {
 
  private:
   [[nodiscard]] std::string locate(const net::IpAddress& ip) const;
+  /// Batch-measures the flows' destinations up front (active tool only):
+  /// same verdicts as on-demand lookups, but sharded across the
+  /// service's thread pool instead of serialized through the cache.
+  void warm_cache(std::span<const Flow> flows) const;
 
   const geoloc::GeoService* service_;
   geoloc::Tool tool_;

@@ -4,6 +4,7 @@
 
 #include "net/domain.h"
 #include "net/url.h"
+#include "runtime/parallel.h"
 #include "util/contract.h"
 #include "util/prng.h"
 
@@ -51,7 +52,8 @@ std::string_view to_string(Method method) noexcept {
 Classifier::Classifier(filterlist::Engine engine, ClassifierConfig config)
     : engine_(std::move(engine)), config_(std::move(config)) {}
 
-std::vector<Outcome> Classifier::run(const browser::ExtensionDataset& dataset) const {
+std::vector<Outcome> Classifier::run(const browser::ExtensionDataset& dataset,
+                                     runtime::ThreadPool* pool) const {
   const auto& requests = dataset.requests;
   CBWT_EXPECTS(config_.max_iterations > 0 || !config_.enable_referrer_stage);
   std::vector<Outcome> outcomes(requests.size());
@@ -62,23 +64,37 @@ std::vector<Outcome> Classifier::run(const browser::ExtensionDataset& dataset) c
   ltf_urls.reserve(requests.size() / 2);
 
   // ---- Stage 1: filter lists --------------------------------------
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    const auto& request = requests[i];
-    const std::string_view host = host_of(request.url);
-    const std::string_view page_host = host_of(request.referrer).empty()
-                                           ? host  // defensive; referrer always set
-                                           : host_of(request.referrer);
-    filterlist::RequestContext context;
-    context.url = request.url;
-    context.host = host;
-    context.page_host = page_host;
-    context.third_party = true;
-    const auto hit = engine_.match(context);
-    if (hit.matched) {
-      outcomes[i] = {Method::AbpList, std::string(hit.list)};
-      ltf_urls.insert(hash_text(request.url));
-    }
-  }
+  // Request-local: each shard writes its own outcome slots and returns
+  // the URL hashes it classified; hashes land in the LTF set in shard
+  // order (set membership is order-free anyway).
+  ltf_urls = runtime::sharded_reduce<std::unordered_set<std::uint64_t>>(
+      pool, requests.size(), {},
+      /*seed=*/0, /*stage_label=*/0xC1A551F1,
+      [&](runtime::ShardRange range, std::size_t /*shard*/, util::Rng& /*rng*/) {
+        std::unordered_set<std::uint64_t> local;
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          const auto& request = requests[i];
+          const std::string_view host = host_of(request.url);
+          const std::string_view page_host = host_of(request.referrer).empty()
+                                                 ? host  // defensive; referrer always set
+                                                 : host_of(request.referrer);
+          filterlist::RequestContext context;
+          context.url = request.url;
+          context.host = host;
+          context.page_host = page_host;
+          context.third_party = true;
+          const auto hit = engine_.match(context);
+          if (hit.matched) {
+            outcomes[i] = {Method::AbpList, std::string(hit.list)};
+            local.insert(hash_text(request.url));
+          }
+        }
+        return local;
+      },
+      [](std::unordered_set<std::uint64_t>& acc, std::unordered_set<std::uint64_t>&& part) {
+        acc.merge(part);
+      },
+      std::move(ltf_urls));
 
   // ---- Stage 2: referrer chaining to fixpoint ----------------------
   if (config_.enable_referrer_stage) {
@@ -100,28 +116,32 @@ std::vector<Outcome> Classifier::run(const browser::ExtensionDataset& dataset) c
   }
 
   // ---- Stage 3: argument keywords ----------------------------------
+  // Also request-local: nothing downstream reads the LTF set, so shards
+  // only write their own outcome slots.
   if (config_.enable_keyword_stage) {
-    for (std::size_t i = 0; i < requests.size(); ++i) {
-      if (outcomes[i].method != Method::None) continue;
-      const auto& request = requests[i];
-      if (!url_has_arguments(request.url)) continue;
-      const auto url = net::Url::parse(request.url);
-      if (!url) continue;
-      for (const auto& [key, value] : url->arguments()) {
-        bool hit = false;
-        for (const auto& keyword : config_.keywords) {
-          if (key == keyword) {
-            hit = true;
+    runtime::parallel_for(pool, requests.size(), {},
+                          [&](runtime::ShardRange range, std::size_t /*shard*/) {
+      for (std::size_t i = range.begin; i < range.end; ++i) {
+        if (outcomes[i].method != Method::None) continue;
+        const auto& request = requests[i];
+        if (!url_has_arguments(request.url)) continue;
+        const auto url = net::Url::parse(request.url);
+        if (!url) continue;
+        for (const auto& [key, value] : url->arguments()) {
+          bool hit = false;
+          for (const auto& keyword : config_.keywords) {
+            if (key == keyword) {
+              hit = true;
+              break;
+            }
+          }
+          if (hit) {
+            outcomes[i] = {Method::Keyword, {}};
             break;
           }
         }
-        if (hit) {
-          outcomes[i] = {Method::Keyword, {}};
-          ltf_urls.insert(hash_text(request.url));
-          break;
-        }
       }
-    }
+    });
   }
 
   return outcomes;

@@ -21,6 +21,7 @@
 
 #include "browser/extension.h"
 #include "filterlist/engine.h"
+#include "runtime/thread_pool.h"
 
 namespace cbwt::classify {
 
@@ -65,7 +66,13 @@ class Classifier {
 
   /// Classifies every request of the dataset. Output[i] corresponds to
   /// dataset.requests[i].
-  [[nodiscard]] std::vector<Outcome> run(const browser::ExtensionDataset& dataset) const;
+  ///
+  /// Stages 1 and 3 are request-local and shard across `pool` (the
+  /// referrer fixpoint of stage 2 stays serial — its passes are cheap and
+  /// order-sensitive). Results are bit-identical for any pool size,
+  /// including none.
+  [[nodiscard]] std::vector<Outcome> run(const browser::ExtensionDataset& dataset,
+                                         runtime::ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] const filterlist::Engine& engine() const noexcept { return engine_; }
 

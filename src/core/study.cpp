@@ -15,6 +15,14 @@ util::Rng Study::stage_rng(std::uint64_t label) const {
 
 Study::~Study() = default;
 
+runtime::ThreadPool* Study::pool() {
+  if (!pool_created_) {
+    pool_created_ = true;
+    if (config_.threads != 1) pool_ = std::make_unique<runtime::ThreadPool>(config_.threads);
+  }
+  return pool_.get();
+}
+
 const world::World& Study::world() {
   if (!world_) world_ = world::build_world(config_.world);
   return *world_;
@@ -58,7 +66,7 @@ const classify::Classifier& Study::classifier() {
 }
 
 const std::vector<classify::Outcome>& Study::outcomes() {
-  if (!outcomes_) outcomes_ = classifier().run(dataset());
+  if (!outcomes_) outcomes_ = classifier().run(dataset(), pool());
   return *outcomes_;
 }
 
@@ -78,6 +86,19 @@ const std::vector<net::IpAddress>& Study::observed_tracker_ips() {
   return *observed_ips_;
 }
 
+const std::unordered_set<std::string>& Study::tracking_registrables() {
+  if (!tracking_registrables_) {
+    tracking_registrables_.emplace();
+    const auto& data = dataset();
+    const auto& results = outcomes();
+    for (std::size_t i = 0; i < data.requests.size(); ++i) {
+      if (!classify::is_tracking(results[i].method)) continue;
+      tracking_registrables_->insert(world().domain(data.requests[i].domain).registrable);
+    }
+  }
+  return *tracking_registrables_;
+}
+
 const std::vector<net::IpAddress>& Study::completed_tracker_ips() {
   if (!completed_ips_) {
     // Start from the users' observations, then ask pDNS for every other
@@ -86,15 +107,7 @@ const std::vector<net::IpAddress>& Study::completed_tracker_ips() {
     std::unordered_set<net::IpAddress> ips(observed_tracker_ips().begin(),
                                            observed_tracker_ips().end());
     const auto& store = pdns_store();
-    std::unordered_set<std::string> tracking_registrables;
-    const auto& data = dataset();
-    const auto& results = outcomes();
-    for (std::size_t i = 0; i < data.requests.size(); ++i) {
-      if (!classify::is_tracking(results[i].method)) continue;
-      tracking_registrables.insert(
-          world().domain(data.requests[i].domain).registrable);
-    }
-    for (const auto& registrable : tracking_registrables) {
+    for (const auto& registrable : tracking_registrables()) {
       for (const auto& ip : store.ips_of_registrable(registrable)) ips.insert(ip);
     }
     completed_ips_.emplace(ips.begin(), ips.end());
@@ -111,7 +124,7 @@ const geoloc::GeoService& Study::geo() {
     auto maxmind = geoloc::build_maxmind_like(world(), config_.commercial, db_rng);
     auto ipapi = geoloc::build_ipapi_like(world(), maxmind, 0.93, db_rng);
     geo_.emplace(world(), std::move(maxmind), std::move(ipapi), *mesh_,
-                 config_.active, config_.world.seed ^ 0xAC7173ULL);
+                 config_.active, config_.world.seed ^ 0xAC7173ULL, pool());
   }
   return *geo_;
 }
@@ -149,14 +162,7 @@ Study::IspRun Study::run_isp_snapshot(const netflow::IspProfile& isp,
   (void)completed_tracker_ips();
   const auto& store = pdns_store();
   netflow::TrackerIpIndex index;
-  std::unordered_set<std::string> tracking_registrables;
-  const auto& data = dataset();
-  const auto& results = outcomes();
-  for (std::size_t i = 0; i < data.requests.size(); ++i) {
-    if (!classify::is_tracking(results[i].method)) continue;
-    tracking_registrables.insert(world().domain(data.requests[i].domain).registrable);
-  }
-  for (const auto& registrable : tracking_registrables) {
+  for (const auto& registrable : tracking_registrables()) {
     for (const auto& ip : store.ips_of_registrable_at(registrable, snapshot.day)) {
       index.add(ip);
     }
@@ -164,12 +170,14 @@ Study::IspRun Study::run_isp_snapshot(const netflow::IspProfile& isp,
 
   std::uint64_t label = 0x15B0 ^ util::mix64(static_cast<std::uint64_t>(snapshot.day));
   for (const char c : isp.name) label = util::mix64(label ^ static_cast<std::uint64_t>(c));
-  auto rng = stage_rng(label);
-  const auto exported = netflow::generate_snapshot(world(), resolver(), isp, snapshot,
-                                                   config_.netflow, rng);
+  // The sharded generator derives its per-shard streams from this seed;
+  // it matches the old serial stage_rng(label) derivation point.
+  const std::uint64_t seed = util::mix64(config_.world.seed ^ util::mix64(label));
+  const auto exported = netflow::generate_snapshot_sharded(
+      world(), resolver(), isp, snapshot, config_.netflow, seed, pool());
   IspRun run;
   run.exported_records = exported.records.size();
-  run.collection = netflow::collect(exported.records, index, isp);
+  run.collection = netflow::collect_sharded(exported.records, index, isp, pool());
   run.flows = run.collection.flows(std::string(isp.country));
   return run;
 }

@@ -13,6 +13,8 @@
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "analysis/flows.h"
@@ -24,6 +26,7 @@
 #include "netflow/collector.h"
 #include "netflow/generator.h"
 #include "pdns/replication.h"
+#include "runtime/thread_pool.h"
 #include "sensitive/detection.h"
 #include "whatif/localization.h"
 #include "world/world.h"
@@ -41,6 +44,11 @@ struct StudyConfig {
   dns::ResolverOptions resolver;
   netflow::GeneratorConfig netflow;
   sensitive::DetectionConfig sensitive;
+  /// Worker threads for the sharded stages (classification, active
+  /// geolocation, NetFlow generation/collection). 1 = exact serial path
+  /// (no pool is created); 0 = one thread per hardware core. Results are
+  /// bit-identical for every value.
+  unsigned threads = 1;
 };
 
 class Study {
@@ -99,10 +107,21 @@ class Study {
   [[nodiscard]] IspRun run_isp_snapshot(const netflow::IspProfile& isp,
                                         const netflow::Snapshot& snapshot);
 
+  /// The lazily created worker pool; nullptr when config().threads == 1,
+  /// which keeps every stage on the exact inline serial path.
+  [[nodiscard]] runtime::ThreadPool* pool();
+
  private:
   [[nodiscard]] util::Rng stage_rng(std::uint64_t label) const;
 
+  /// Registrable domains of classified tracking requests, shared by pDNS
+  /// completion and the per-day tracker index of run_isp_snapshot.
+  [[nodiscard]] const std::unordered_set<std::string>& tracking_registrables();
+
   StudyConfig config_;
+
+  bool pool_created_ = false;
+  std::unique_ptr<runtime::ThreadPool> pool_;
 
   std::optional<world::World> world_;
   std::optional<dns::Resolver> resolver_;
@@ -112,6 +131,7 @@ class Study {
   std::optional<classify::Classifier> classifier_;
   std::optional<std::vector<classify::Outcome>> outcomes_;
   std::optional<std::vector<net::IpAddress>> observed_ips_;
+  std::optional<std::unordered_set<std::string>> tracking_registrables_;
   std::optional<std::vector<net::IpAddress>> completed_ips_;
   std::optional<geoloc::ProbeMesh> mesh_;
   std::optional<geoloc::GeoService> geo_;

@@ -1,5 +1,8 @@
 #include "geoloc/service.h"
 
+#include <unordered_set>
+
+#include "runtime/parallel.h"
 #include "util/contract.h"
 
 namespace cbwt::geoloc {
@@ -18,10 +21,54 @@ std::string_view to_string(Tool tool) noexcept {
 GeoService::GeoService(const world::World& world, CommercialDb maxmind_like,
                        CommercialDb ipapi_like, const ProbeMesh& mesh,
                        ActiveGeolocatorOptions active_options,
-                       std::uint64_t measurement_seed)
+                       std::uint64_t measurement_seed, runtime::ThreadPool* pool)
     : world_(&world), maxmind_like_(std::move(maxmind_like)),
       ipapi_like_(std::move(ipapi_like)), active_(world, mesh, active_options),
-      measurement_rng_(measurement_seed) {}
+      measurement_seed_(measurement_seed), pool_(pool) {}
+
+util::Rng GeoService::measurement_rng(const net::IpAddress& ip) const noexcept {
+  return util::Rng(util::mix64(measurement_seed_ ^ ip.hash()));
+}
+
+std::string GeoService::locate_active(const net::IpAddress& ip) const {
+  {
+    std::unique_lock lock(cache_mutex_);
+    if (const auto it = active_cache_.find(ip); it != active_cache_.end()) {
+      return it->second;
+    }
+  }
+  auto rng = measurement_rng(ip);
+  const auto estimate = active_.locate(ip, rng);
+  std::unique_lock lock(cache_mutex_);
+  // A racing lookup may have inserted first; both computed the same
+  // per-IP verdict, so either insert wins harmlessly.
+  active_cache_.emplace(ip, estimate.country);
+  return estimate.country;
+}
+
+void GeoService::prefetch(std::span<const net::IpAddress> ips) const {
+  std::vector<net::IpAddress> missing;
+  {
+    std::unique_lock lock(cache_mutex_);
+    std::unordered_set<net::IpAddress> queued;
+    for (const auto& ip : ips) {
+      if (!active_cache_.contains(ip) && queued.insert(ip).second) {
+        missing.push_back(ip);
+      }
+    }
+  }
+  if (missing.empty()) return;
+  const auto countries = runtime::parallel_map<std::string>(
+      pool_, missing.size(), {.min_shard_items = 8},
+      [&](std::size_t i) {
+        auto rng = measurement_rng(missing[i]);
+        return active_.locate(missing[i], rng).country;
+      });
+  std::unique_lock lock(cache_mutex_);
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    active_cache_.emplace(missing[i], countries[i]);
+  }
+}
 
 std::string GeoService::locate(const net::IpAddress& ip, Tool tool) const {
   CBWT_ASSERT(world_ != nullptr);
@@ -32,14 +79,8 @@ std::string GeoService::locate(const net::IpAddress& ip, Tool tool) const {
       return maxmind_like_.locate(ip).value_or(std::string{});
     case Tool::IpApiLike:
       return ipapi_like_.locate(ip).value_or(std::string{});
-    case Tool::ActiveIpmap: {
-      if (const auto it = active_cache_.find(ip); it != active_cache_.end()) {
-        return it->second;
-      }
-      const auto estimate = active_.locate(ip, measurement_rng_);
-      active_cache_.emplace(ip, estimate.country);
-      return estimate.country;
-    }
+    case Tool::ActiveIpmap:
+      return locate_active(ip);
     case Tool::LegalEntity: {
       const world::Server* server = world_->find_server(ip);
       if (server == nullptr) return {};
@@ -66,6 +107,7 @@ Agreement pairwise_agreement(const GeoService& service,
                              const std::vector<net::IpAddress>& ips, Tool a, Tool b) {
   Agreement agreement;
   if (ips.empty()) return agreement;
+  if (a == Tool::ActiveIpmap || b == Tool::ActiveIpmap) service.prefetch(ips);
   std::size_t same_country = 0;
   std::size_t same_continent = 0;
   for (const auto& ip : ips) {

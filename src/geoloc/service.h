@@ -5,13 +5,16 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "geoloc/active.h"
 #include "geoloc/commercial.h"
+#include "runtime/thread_pool.h"
 
 namespace cbwt::geoloc {
 
@@ -30,14 +33,27 @@ enum class Tool : std::uint8_t {
 /// One-stop lookup: country (ISO code) per IP per tool. Active
 /// measurements are lazy and cached (the paper also measures each IP
 /// once and reuses the result).
+///
+/// Each IP's probe panel draws from its own RNG, derived statelessly
+/// from (measurement seed, IP): the verdict for an IP is a pure function
+/// of the seed, independent of lookup order, caching, and — via
+/// prefetch() — of how many threads measured it.
 class GeoService {
  public:
+  /// `pool` (optional, not owned, must outlive the service) parallelizes
+  /// prefetch(); lookups themselves stay single-IP.
   GeoService(const world::World& world, CommercialDb maxmind_like, CommercialDb ipapi_like,
              const ProbeMesh& mesh, ActiveGeolocatorOptions active_options,
-             std::uint64_t measurement_seed);
+             std::uint64_t measurement_seed, runtime::ThreadPool* pool = nullptr);
 
   /// Country code for `ip` under `tool`; empty string when unlocatable.
+  /// Thread-safe (the active cache is internally synchronized).
   [[nodiscard]] std::string locate(const net::IpAddress& ip, Tool tool) const;
+
+  /// Measures every not-yet-cached IP of `ips` with the active tool,
+  /// sharded across the pool. Results are identical to looking each IP
+  /// up on demand — this is purely a throughput lever.
+  void prefetch(std::span<const net::IpAddress> ips) const;
 
   /// Continent/region helpers driven by locate().
   [[nodiscard]] std::optional<geo::Continent> continent(const net::IpAddress& ip,
@@ -48,11 +64,18 @@ class GeoService {
   [[nodiscard]] const world::World& world() const noexcept { return *world_; }
 
  private:
+  /// The per-IP generator: stateless in (seed, ip), the root of the
+  /// order- and thread-count-independence of active verdicts.
+  [[nodiscard]] util::Rng measurement_rng(const net::IpAddress& ip) const noexcept;
+  [[nodiscard]] std::string locate_active(const net::IpAddress& ip) const;
+
   const world::World* world_;
   CommercialDb maxmind_like_;
   CommercialDb ipapi_like_;
   ActiveGeolocator active_;
-  mutable util::Rng measurement_rng_;
+  std::uint64_t measurement_seed_;
+  runtime::ThreadPool* pool_;
+  mutable std::mutex cache_mutex_;
   mutable std::unordered_map<net::IpAddress, std::string> active_cache_;
 };
 

@@ -1,5 +1,6 @@
 #include "netflow/collector.h"
 
+#include "runtime/parallel.h"
 #include "util/contract.h"
 
 namespace cbwt::netflow {
@@ -67,6 +68,27 @@ CollectionResult collect(std::span<const RawRecord> records, const TrackerIpInde
   }
   // Counter funnel: every matched record is internal, every internal
   // record was seen. A violation means a counting branch was skipped.
+  CBWT_ENSURES(result.matched_records <= result.internal_records);
+  CBWT_ENSURES(result.internal_records <= result.records_seen);
+  return result;
+}
+
+CollectionResult collect_sharded(std::span<const RawRecord> records,
+                                 const TrackerIpIndex& trackers, const IspProfile& isp,
+                                 runtime::ThreadPool* pool) {
+  auto result = runtime::sharded_reduce<CollectionResult>(
+      pool, records.size(), {}, /*seed=*/0, /*stage_label=*/0xC011EC7,
+      [&](runtime::ShardRange range, std::size_t /*shard*/, util::Rng& /*rng*/) {
+        return collect(records.subspan(range.begin, range.size()), trackers, isp);
+      },
+      [](CollectionResult& acc, CollectionResult&& part) {
+        acc.records_seen += part.records_seen;
+        acc.internal_records += part.internal_records;
+        acc.matched_records += part.matched_records;
+        acc.https_records += part.https_records;
+        acc.udp_records += part.udp_records;
+        for (const auto& [ip, count] : part.per_ip) acc.per_ip[ip] += count;
+      });
   CBWT_ENSURES(result.matched_records <= result.internal_records);
   CBWT_ENSURES(result.internal_records <= result.records_seen);
   return result;

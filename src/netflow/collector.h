@@ -17,6 +17,7 @@
 #include "netflow/profile.h"
 #include "netflow/record.h"
 #include "pdns/store.h"
+#include "runtime/thread_pool.h"
 
 namespace cbwt::netflow {
 
@@ -57,5 +58,13 @@ struct CollectionResult {
 [[nodiscard]] CollectionResult collect(std::span<const RawRecord> records,
                                        const TrackerIpIndex& trackers,
                                        const IspProfile& isp);
+
+/// Sharded collection: record shards reduce to partial CollectionResults
+/// that merge in shard order (counter sums and per-IP counter merges are
+/// order-free, so the result equals the serial collect() bit for bit).
+[[nodiscard]] CollectionResult collect_sharded(std::span<const RawRecord> records,
+                                               const TrackerIpIndex& trackers,
+                                               const IspProfile& isp,
+                                               runtime::ThreadPool* pool);
 
 }  // namespace cbwt::netflow

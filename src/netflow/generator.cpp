@@ -1,7 +1,9 @@
 #include "netflow/generator.h"
 
 #include <cmath>
+#include <iterator>
 
+#include "runtime/parallel.h"
 #include "util/contract.h"
 
 namespace cbwt::netflow {
@@ -49,66 +51,148 @@ RawRecord base_record(const GeneratorConfig& config, const net::IpAddress& subsc
   return record;
 }
 
+/// Read-only emission state shared by every shard of one snapshot.
+struct EmissionContext {
+  EmissionContext(const world::World& world, const IspProfile& isp_profile,
+                  const GeneratorConfig& generator_config)
+      : isp(isp_profile), config(generator_config),
+        eyeball(world.addresses().eyeball_blocks().at(std::string(isp_profile.country))) {
+    // Popularity-weighted tracking domains (per-domain DNS then applies
+    // the org's policy with the subscriber's resolver situation).
+    tracking = world.tracking_domain_ids();
+    tracking_weights.reserve(tracking.size());
+    for (const auto id : tracking) {
+      tracking_weights.push_back(world.org(world.domain(id).org).popularity);
+    }
+    // Clean third-party services make up the background web flows.
+    for (const auto& domain : world.domains()) {
+      if (world.org(domain.org).role == world::OrgRole::CleanService) {
+        clean.push_back(domain.id);
+        clean_weights.push_back(world.org(domain.org).popularity);
+      }
+    }
+  }
+
+  /// Subscriber addresses come from the ISP country's eyeball block; the
+  /// exact address is irrelevant post-anonymization, so a random offset
+  /// inside the block is enough.
+  [[nodiscard]] net::IpAddress subscriber_ip(util::Rng& rng) const {
+    return eyeball.at(rng.next_below(1ULL << 20));
+  }
+
+  void emit(const dns::Resolver& resolver, world::DomainId domain_id, util::Rng& rng,
+            std::vector<RawRecord>& out) const {
+    const bool third_party_dns = rng.chance(isp.third_party_resolver_share);
+    const auto answer = resolver.resolve_from(domain_id, isp.country, third_party_dns, rng);
+    out.push_back(base_record(config, subscriber_ip(rng), answer.ip, rng));
+  }
+
+  void emit_tracking(const dns::Resolver& resolver, util::Rng& rng,
+                     std::vector<RawRecord>& out) const {
+    emit(resolver, tracking[util::sample_discrete(rng, tracking_weights)], rng, out);
+  }
+
+  void emit_background(const dns::Resolver& resolver, util::Rng& rng,
+                       std::vector<RawRecord>& out) const {
+    if (clean.empty()) return;
+    emit(resolver, clean[util::sample_discrete(rng, clean_weights)], rng, out);
+  }
+
+  const IspProfile& isp;
+  const GeneratorConfig& config;
+  net::IpPrefix eyeball;
+  std::vector<world::DomainId> tracking;
+  std::vector<double> tracking_weights;
+  std::vector<world::DomainId> clean;
+  std::vector<double> clean_weights;
+};
+
+void intended_volumes(const IspProfile& isp, const Snapshot& snapshot,
+                      const GeneratorConfig& config, SnapshotExport& out) {
+  const double tracking_target = config.flows_per_subscriber_m * isp.subscribers_m *
+                                 isp.web_activity * snapshot.volume_factor * config.scale;
+  out.tracking_intended = static_cast<std::uint64_t>(std::llround(tracking_target));
+  out.background_intended = static_cast<std::uint64_t>(
+      std::llround(tracking_target * config.background_ratio));
+}
+
+// Per-stream RNG labels for the sharded path.
+constexpr std::uint64_t kTrackingStream = 0x7F10;
+constexpr std::uint64_t kBackgroundStream = 0x7F11;
+constexpr std::uint64_t kPeeringStream = 0x7F12;
+
 }  // namespace
 
 SnapshotExport generate_snapshot(const world::World& world, const dns::Resolver& resolver,
                                  const IspProfile& isp, const Snapshot& snapshot,
                                  const GeneratorConfig& config, util::Rng& rng) {
   SnapshotExport out;
-
-  const double tracking_target = config.flows_per_subscriber_m * isp.subscribers_m *
-                                 isp.web_activity * snapshot.volume_factor * config.scale;
-  out.tracking_intended = static_cast<std::uint64_t>(std::llround(tracking_target));
-  out.background_intended = static_cast<std::uint64_t>(
-      std::llround(tracking_target * config.background_ratio));
+  intended_volumes(isp, snapshot, config, out);
   out.records.reserve(out.tracking_intended + out.background_intended);
-
-  // Subscriber addresses come from the ISP country's eyeball block; the
-  // exact address is irrelevant post-anonymization, so a random offset
-  // inside the block is enough.
-  const auto eyeball =
-      world.addresses().eyeball_blocks().at(std::string(isp.country));
-
-  // Popularity-weighted tracking domains (per-domain DNS then applies the
-  // org's policy with the subscriber's resolver situation).
-  const auto tracking = world.tracking_domain_ids();
-  std::vector<double> tracking_weights;
-  tracking_weights.reserve(tracking.size());
-  for (const auto id : tracking) {
-    tracking_weights.push_back(world.org(world.domain(id).org).popularity);
-  }
-  // Clean third-party services make up the background web flows.
-  std::vector<world::DomainId> clean;
-  std::vector<double> clean_weights;
-  for (const auto& domain : world.domains()) {
-    if (world.org(domain.org).role == world::OrgRole::CleanService) {
-      clean.push_back(domain.id);
-      clean_weights.push_back(world.org(domain.org).popularity);
-    }
-  }
-
-  const auto subscriber_ip = [&] {
-    return eyeball.at(rng.next_below(1ULL << 20));
-  };
-
-  const auto emit = [&](world::DomainId domain_id) {
-    const bool third_party_dns = rng.chance(isp.third_party_resolver_share);
-    const auto answer = resolver.resolve_from(domain_id, isp.country, third_party_dns, rng);
-    out.records.push_back(base_record(config, subscriber_ip(), answer.ip, rng));
-  };
+  const EmissionContext context(world, isp, config);
 
   for (std::uint64_t i = 0; i < out.tracking_intended; ++i) {
-    emit(tracking[util::sample_discrete(rng, tracking_weights)]);
+    context.emit_tracking(resolver, rng, out.records);
   }
-  for (std::uint64_t i = 0; i < out.background_intended && !clean.empty(); ++i) {
-    emit(clean[util::sample_discrete(rng, clean_weights)]);
+  for (std::uint64_t i = 0; i < out.background_intended; ++i) {
+    context.emit_background(resolver, rng, out.records);
   }
 
   // A sprinkle of peering-link records the collector must filter out
   // (only internal edge routers carry user traffic, §7.2).
   const std::uint64_t peering = out.records.size() / 50;
   for (std::uint64_t i = 0; i < peering; ++i) {
-    RawRecord record = base_record(config, subscriber_ip(), subscriber_ip(), rng);
+    RawRecord record = base_record(config, context.subscriber_ip(rng),
+                                   context.subscriber_ip(rng), rng);
+    record.internal_interface = false;
+    out.records.push_back(record);
+  }
+  return out;
+}
+
+SnapshotExport generate_snapshot_sharded(const world::World& world,
+                                         const dns::Resolver& resolver,
+                                         const IspProfile& isp, const Snapshot& snapshot,
+                                         const GeneratorConfig& config, std::uint64_t seed,
+                                         runtime::ThreadPool* pool) {
+  SnapshotExport out;
+  intended_volumes(isp, snapshot, config, out);
+  out.records.reserve(out.tracking_intended + out.background_intended);
+  const EmissionContext context(world, isp, config);
+
+  // Each stream (tracking, background) shards its record-index space;
+  // shard outputs append in shard order, so the exported vector is the
+  // same for any pool size.
+  using Batch = std::vector<RawRecord>;
+  // The merge appends straight into out.records; it runs in shard order
+  // on the calling thread, so the accumulator itself stays empty.
+  const auto append = [&out](Batch& /*acc*/, Batch&& part) {
+    out.records.insert(out.records.end(), std::make_move_iterator(part.begin()),
+                       std::make_move_iterator(part.end()));
+  };
+  const auto stream = [&](std::uint64_t count, std::uint64_t label, auto emit_one) {
+    runtime::sharded_reduce<Batch>(
+        pool, count, {},
+        seed, label,
+        [&](runtime::ShardRange range, std::size_t /*shard*/, util::Rng& rng) {
+          Batch part;
+          part.reserve(range.size());
+          for (std::size_t i = range.begin; i < range.end; ++i) emit_one(rng, part);
+          return part;
+        },
+        append);
+  };
+  stream(out.tracking_intended, kTrackingStream,
+         [&](util::Rng& rng, Batch& part) { context.emit_tracking(resolver, rng, part); });
+  stream(out.background_intended, kBackgroundStream,
+         [&](util::Rng& rng, Batch& part) { context.emit_background(resolver, rng, part); });
+
+  // Peering-link noise is ~2% of the volume; one serial shard suffices.
+  const std::uint64_t peering = out.records.size() / 50;
+  auto peering_rng = runtime::shard_rng(seed, kPeeringStream, 0);
+  for (std::uint64_t i = 0; i < peering; ++i) {
+    RawRecord record = base_record(config, context.subscriber_ip(peering_rng),
+                                   context.subscriber_ip(peering_rng), peering_rng);
     record.internal_interface = false;
     out.records.push_back(record);
   }

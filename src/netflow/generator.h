@@ -12,6 +12,7 @@
 #include "dns/resolver.h"
 #include "netflow/profile.h"
 #include "netflow/record.h"
+#include "runtime/thread_pool.h"
 #include "util/prng.h"
 #include "world/world.h"
 
@@ -42,12 +43,27 @@ struct SnapshotExport {
   std::uint64_t background_intended = 0;
 };
 
-/// Emits the sampled records of `isp` on snapshot `snapshot`.
+/// Emits the sampled records of `isp` on snapshot `snapshot`, drawing
+/// every record from the single serial `rng` stream (the pre-runtime
+/// code path; kept for ablations that sweep a generator in isolation).
 [[nodiscard]] SnapshotExport generate_snapshot(const world::World& world,
                                                const dns::Resolver& resolver,
                                                const IspProfile& isp,
                                                const Snapshot& snapshot,
                                                const GeneratorConfig& config,
                                                util::Rng& rng);
+
+/// Sharded generation: record index space is split by plan_shards and
+/// every shard draws from its own RNG derived from (seed, stream label,
+/// shard), so the exported records are bit-identical for any pool size
+/// — including pool == nullptr, which is the serial reference. Record
+/// order is shard order (deterministic), not interleaved arrival order.
+[[nodiscard]] SnapshotExport generate_snapshot_sharded(const world::World& world,
+                                                       const dns::Resolver& resolver,
+                                                       const IspProfile& isp,
+                                                       const Snapshot& snapshot,
+                                                       const GeneratorConfig& config,
+                                                       std::uint64_t seed,
+                                                       runtime::ThreadPool* pool);
 
 }  // namespace cbwt::netflow

@@ -1,0 +1,159 @@
+// Bounded MPMC channel with close semantics and backpressure counters.
+//
+// The channel is the runtime's streaming primitive: producers block (or
+// fail fast with try_push) when the buffer is full, consumers block when
+// it is empty, and close() lets producers signal end-of-stream — after
+// which pushes are rejected and pops drain the remaining buffer before
+// reporting exhaustion. Queue-depth high-water and stall counters are
+// recorded for observability; they never feed back into results, so
+// pipelines built on the channel stay deterministic.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/contract.h"
+
+namespace cbwt::runtime {
+
+/// Outcome of a non-blocking push.
+enum class TryPush : std::uint8_t { Ok, Full, Closed };
+
+template <typename T>
+class Channel {
+ public:
+  /// Capacity bounds the buffer; zero-capacity (rendezvous) channels are
+  /// not supported, so a producer can always make progress once a
+  /// consumer drains.
+  explicit Channel(std::size_t capacity) : capacity_(capacity) {
+    CBWT_EXPECTS(capacity >= 1);
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocks while full. Returns false (value dropped) iff the channel
+  /// was closed before space appeared.
+  bool push(T value) {
+    std::unique_lock lock(mutex_);
+    if (buffer_.size() >= capacity_ && !closed_) {
+      ++stats_.producer_stalls;
+      const auto begin = std::chrono::steady_clock::now();
+      not_full_.wait(lock, [this] { return buffer_.size() < capacity_ || closed_; });
+      stats_.producer_stall_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - begin)
+              .count());
+    }
+    if (closed_) return false;
+    enqueue(std::move(value), lock);
+    return true;
+  }
+
+  /// Non-blocking push; Full leaves the value untouched for retry.
+  TryPush try_push(T& value) {
+    std::unique_lock lock(mutex_);
+    if (closed_) return TryPush::Closed;
+    if (buffer_.size() >= capacity_) return TryPush::Full;
+    enqueue(std::move(value), lock);
+    return TryPush::Ok;
+  }
+
+  /// Blocks while empty. Empty optional iff the channel is closed and
+  /// fully drained (end-of-stream).
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    if (buffer_.empty() && !closed_) {
+      ++stats_.consumer_stalls;
+      const auto begin = std::chrono::steady_clock::now();
+      not_empty_.wait(lock, [this] { return !buffer_.empty() || closed_; });
+      stats_.consumer_stall_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - begin)
+              .count());
+    }
+    return dequeue(lock);
+  }
+
+  /// Non-blocking pop; empty optional when nothing is buffered (check
+  /// closed() to distinguish "not yet" from end-of-stream).
+  std::optional<T> try_pop() {
+    std::unique_lock lock(mutex_);
+    return dequeue(lock);
+  }
+
+  /// Idempotent. Wakes every blocked producer (their pushes fail) and
+  /// consumer (they drain the buffer, then see end-of-stream).
+  void close() {
+    {
+      std::unique_lock lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::unique_lock lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::unique_lock lock(mutex_);
+    return buffer_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Backpressure / throughput counters (monotonic).
+  struct Stats {
+    std::uint64_t pushed = 0;
+    std::uint64_t popped = 0;
+    std::size_t high_water = 0;            ///< max queue depth observed
+    std::uint64_t producer_stalls = 0;     ///< pushes that had to block
+    std::uint64_t consumer_stalls = 0;     ///< pops that had to block
+    std::uint64_t producer_stall_ns = 0;   ///< total time producers blocked
+    std::uint64_t consumer_stall_ns = 0;   ///< total time consumers blocked
+  };
+  [[nodiscard]] Stats stats() const {
+    std::unique_lock lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  void enqueue(T&& value, std::unique_lock<std::mutex>& lock) {
+    CBWT_ASSERT(lock.owns_lock() && buffer_.size() < capacity_);
+    buffer_.push_back(std::move(value));
+    ++stats_.pushed;
+    stats_.high_water = std::max(stats_.high_water, buffer_.size());
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  std::optional<T> dequeue(std::unique_lock<std::mutex>& lock) {
+    CBWT_ASSERT(lock.owns_lock());
+    if (buffer_.empty()) return std::nullopt;
+    std::optional<T> value(std::move(buffer_.front()));
+    buffer_.pop_front();
+    ++stats_.popped;
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> buffer_;
+  bool closed_ = false;
+  Stats stats_;
+};
+
+}  // namespace cbwt::runtime

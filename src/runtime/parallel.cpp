@@ -1,0 +1,23 @@
+#include "runtime/parallel.h"
+
+namespace cbwt::runtime {
+
+std::vector<ShardRange> plan_shards(std::size_t n, const ShardOptions& options) {
+  CBWT_EXPECTS(options.min_shard_items >= 1);
+  CBWT_EXPECTS(options.max_shards >= 1);
+  std::vector<ShardRange> plan;
+  if (n == 0) return plan;
+  // Shard size: at least the configured floor, and large enough that at
+  // most max_shards shards exist. Depends only on (n, options) — rule 1.
+  const std::size_t by_cap = (n + options.max_shards - 1) / options.max_shards;
+  const std::size_t shard_size = std::max(options.min_shard_items, by_cap);
+  plan.reserve((n + shard_size - 1) / shard_size);
+  for (std::size_t begin = 0; begin < n; begin += shard_size) {
+    plan.push_back({begin, std::min(begin + shard_size, n)});
+  }
+  CBWT_ENSURES(!plan.empty() && plan.size() <= options.max_shards);
+  CBWT_ENSURES(plan.front().begin == 0 && plan.back().end == n);
+  return plan;
+}
+
+}  // namespace cbwt::runtime

@@ -1,0 +1,252 @@
+// Deterministic data-parallel layer over the ThreadPool.
+//
+// The invariant every helper here upholds: **results are bit-identical
+// to the serial execution at any worker count.** Three rules make that
+// hold:
+//
+//   1. Shard boundaries depend only on the item count and ShardOptions —
+//      never on how many threads happen to exist (plan_shards).
+//   2. Randomized stages draw from one util::Rng *per shard*, derived
+//      statelessly from (seed, stage label, shard index) — never from a
+//      generator shared across shards (shard_rng).
+//   3. Shard outputs merge in shard-index order, re-sequenced through a
+//      reorder buffer when they arrive out of order (sharded_reduce).
+//
+// With those rules, `threads == 1` (run the shards inline, in order, on
+// the calling thread) is the *definition* of the result, and the pool
+// merely computes the same function faster.
+#pragma once
+
+#include <algorithm>
+#include <exception>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "runtime/channel.h"
+#include "runtime/thread_pool.h"
+#include "util/contract.h"
+#include "util/prng.h"
+
+namespace cbwt::runtime {
+
+/// Half-open index range [begin, end) owned by one shard.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+};
+
+struct ShardOptions {
+  /// Floor on items per shard; tiny inputs collapse to one shard rather
+  /// than paying scheduling overhead per handful of items.
+  std::size_t min_shard_items = 1024;
+  /// Cap on the number of shards (bounds reorder-buffer memory and
+  /// keeps the per-shard RNG label space small).
+  std::size_t max_shards = 64;
+};
+
+/// Splits [0, n) into contiguous shards. Pure function of (n, options):
+/// the plan — and therefore every derived RNG stream — is identical no
+/// matter how many workers later execute it.
+[[nodiscard]] std::vector<ShardRange> plan_shards(std::size_t n,
+                                                  const ShardOptions& options = {});
+
+/// The per-shard generator of rule 2: stateless in (seed, label, shard),
+/// so shard streams are independent and reproducible in isolation.
+[[nodiscard]] inline util::Rng shard_rng(std::uint64_t seed, std::uint64_t stage_label,
+                                         std::uint64_t shard) noexcept {
+  return util::Rng(util::mix64(util::mix64(seed ^ util::mix64(stage_label)) ^
+                               util::mix64(shard + 0x5A17ED5EEDULL)));
+}
+
+namespace detail {
+
+/// Runs `task(shard_index)` for every shard index in [0, count).
+/// Serial (pool == nullptr or single worker): in shard order, inline.
+/// Parallel: workers claim indices from a shared cursor; the caller
+/// participates, so progress never depends on pool availability. The
+/// first exception wins and is rethrown on the caller after the batch
+/// drains; remaining shards still run (their task must tolerate that).
+///
+/// Lifetime note: pool tasks may outlive this call by a few
+/// instructions (loop-top re-check after the last shard finishes), so
+/// everything they touch then lives in the shared Batch — the caller's
+/// `task` is only ever entered for a claimed shard, and every claim
+/// happens before the last finish.
+template <typename Task>
+void run_shards(ThreadPool* pool, std::size_t count, Task&& task) {
+  if (count == 0) return;
+  if (pool == nullptr || pool->size() <= 1 || count == 1) {
+    for (std::size_t shard = 0; shard < count; ++shard) task(shard);
+    return;
+  }
+
+  struct Batch {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t count = 0;
+    std::size_t next = 0;       ///< next unclaimed shard
+    std::size_t finished = 0;   ///< shards fully executed
+    std::exception_ptr error;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->count = count;
+
+  const auto drive = [batch, &task] {
+    for (;;) {
+      std::size_t shard = 0;
+      {
+        std::unique_lock lock(batch->mutex);
+        if (batch->next >= batch->count) return;
+        shard = batch->next++;
+      }
+      try {
+        task(shard);
+      } catch (...) {
+        std::unique_lock lock(batch->mutex);
+        if (!batch->error) batch->error = std::current_exception();
+      }
+      std::unique_lock lock(batch->mutex);
+      if (++batch->finished == batch->count) batch->done_cv.notify_all();
+    }
+  };
+
+  const std::size_t helpers =
+      std::min<std::size_t>(pool->size(), count) - 1;  // caller is a driver too
+  for (std::size_t i = 0; i < helpers; ++i) pool->submit(drive);
+  drive();
+
+  std::unique_lock lock(batch->mutex);
+  batch->done_cv.wait(lock, [&] { return batch->finished == batch->count; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace detail
+
+/// Applies `body(range, shard_index)` to every shard of [0, n).
+/// Shards must write disjoint state (typically out[i] for i in range).
+template <typename Body>
+void parallel_for(ThreadPool* pool, std::size_t n, const ShardOptions& options,
+                  Body&& body) {
+  const auto plan = plan_shards(n, options);
+  detail::run_shards(pool, plan.size(),
+                     [&](std::size_t shard) { body(plan[shard], shard); });
+}
+
+/// out[i] = fn(i) for i in [0, n), order-preserving by construction
+/// (every element is written at its own index).
+template <typename T, typename Fn>
+std::vector<T> parallel_map(ThreadPool* pool, std::size_t n, const ShardOptions& options,
+                            Fn&& fn) {
+  std::vector<T> out(n);
+  parallel_for(pool, n, options, [&](ShardRange range, std::size_t /*shard*/) {
+    for (std::size_t i = range.begin; i < range.end; ++i) out[i] = fn(i);
+  });
+  return out;
+}
+
+/// Sharded map-reduce with an order-preserving merge.
+///
+/// `shard_fn(range, shard_index, rng)` produces one Acc per shard with a
+/// shard-local RNG (rule 2); `merge(acc, part)` folds parts together
+/// strictly in shard-index order (rule 3). Parallel shards stream their
+/// parts through a bounded Channel sized to the worker count — the
+/// backpressure keeps at most O(threads) parts in flight — and the
+/// caller re-sequences early arrivals in a reorder buffer.
+template <typename Acc, typename ShardFn, typename Merge>
+Acc sharded_reduce(ThreadPool* pool, std::size_t n, const ShardOptions& options,
+                   std::uint64_t seed, std::uint64_t stage_label, ShardFn&& shard_fn,
+                   Merge&& merge, Acc acc = {}) {
+  const auto plan = plan_shards(n, options);
+  if (plan.empty()) return acc;
+
+  if (pool == nullptr || pool->size() <= 1 || plan.size() == 1) {
+    for (std::size_t shard = 0; shard < plan.size(); ++shard) {
+      auto rng = shard_rng(seed, stage_label, shard);
+      merge(acc, shard_fn(plan[shard], shard, rng));
+    }
+    return acc;
+  }
+
+  using Part = std::pair<std::size_t, Acc>;
+  // Producer tasks can straggle past the caller's return by a loop-top
+  // re-check and the tail of their final push, so the state they touch
+  // there is shared-owned rather than on the caller's stack.
+  struct Stream {
+    explicit Stream(std::size_t channel_capacity, std::size_t shard_count)
+        : parts(channel_capacity), count(shard_count) {}
+    Channel<Part> parts;
+    std::size_t count;
+    std::mutex mutex;
+    std::size_t next = 0;  ///< next unclaimed shard (under mutex)
+    std::exception_ptr error;
+  };
+  auto stream =
+      std::make_shared<Stream>(std::max<std::size_t>(2, pool->size()), plan.size());
+
+  const auto produce = [stream, &plan, &shard_fn, seed, stage_label] {
+    for (;;) {
+      std::size_t shard = 0;
+      {
+        std::unique_lock lock(stream->mutex);
+        if (stream->next >= stream->count) return;
+        shard = stream->next++;
+      }
+      Acc part{};
+      try {
+        auto rng = shard_rng(seed, stage_label, shard);
+        part = shard_fn(plan[shard], shard, rng);
+      } catch (...) {
+        std::unique_lock lock(stream->mutex);
+        if (!stream->error) stream->error = std::current_exception();
+      }
+      // Push even after an error so the consumer's count stays exact;
+      // the error is rethrown once the stream drains.
+      stream->parts.push(Part(shard, std::move(part)));
+    }
+  };
+
+  const std::size_t workers = std::min<std::size_t>(pool->size(), plan.size());
+  for (std::size_t i = 0; i < workers; ++i) pool->submit(produce);
+
+  // Order-preserving merge: fold parts strictly by shard index, parking
+  // early arrivals until their turn comes.
+  std::map<std::size_t, Acc> parked;
+  std::size_t next_to_merge = 0;
+  std::size_t received = 0;
+  try {
+    while (received < plan.size()) {
+      auto part = stream->parts.pop();
+      CBWT_ASSERT(part.has_value());  // producers push exactly one part per shard
+      ++received;
+      if (part->first == next_to_merge) {
+        merge(acc, std::move(part->second));
+        ++next_to_merge;
+        for (auto it = parked.begin();
+             it != parked.end() && it->first == next_to_merge;) {
+          merge(acc, std::move(it->second));
+          it = parked.erase(it);
+          ++next_to_merge;
+        }
+      } else {
+        parked.emplace(part->first, std::move(part->second));
+      }
+    }
+  } catch (...) {
+    // A throwing merge must still drain the stream: a producer blocked
+    // on the full channel would otherwise never finish its pool task.
+    while (received < plan.size()) {
+      if (stream->parts.pop()) ++received;
+    }
+    throw;
+  }
+  CBWT_ASSERT(parked.empty() && next_to_merge == plan.size());
+
+  std::unique_lock lock(stream->mutex);
+  if (stream->error) std::rethrow_exception(stream->error);
+  return acc;
+}
+
+}  // namespace cbwt::runtime

@@ -1,0 +1,111 @@
+#include "runtime/thread_pool.h"
+
+#include "util/contract.h"
+
+namespace cbwt::runtime {
+
+unsigned ThreadPool::hardware_threads() noexcept {
+  const unsigned reported = std::thread::hardware_concurrency();
+  return reported == 0 ? 1U : reported;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned count = threads == 0 ? hardware_threads() : threads;
+  CBWT_EXPECTS(count >= 1);
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(sleep_mutex_);
+    stopping_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+  // The destructor drains before joining: nothing may remain queued.
+  for (const auto& worker : workers_) CBWT_ASSERT(worker->queue.empty());
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  CBWT_EXPECTS(task != nullptr);
+  std::size_t target = 0;
+  {
+    // No !stopping_ check: a task draining during shutdown may submit
+    // follow-up work, and the workers' exit condition (stopping_ &&
+    // pending_ == 0) drains it before the destructor joins. Submitting
+    // from outside the pool once destruction has begun is a data race
+    // the caller owns, as with any object being destroyed.
+    std::unique_lock lock(sleep_mutex_);
+    target = static_cast<std::size_t>(next_queue_++ % workers_.size());
+    ++pending_;
+  }
+  {
+    std::unique_lock lock(workers_[target]->mutex);
+    workers_[target]->queue.push_back(std::move(task));
+  }
+  {
+    std::unique_lock lock(stats_mutex_);
+    ++stats_.submitted;
+  }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::try_run_one(unsigned index) {
+  std::function<void()> task;
+  bool stolen = false;
+  // Own queue first (front: submission order), then steal from the back
+  // of the busiest-looking sibling, scanning round-robin from our right.
+  {
+    auto& own = *workers_[index];
+    std::unique_lock lock(own.mutex);
+    if (!own.queue.empty()) {
+      task = std::move(own.queue.front());
+      own.queue.pop_front();
+    }
+  }
+  if (!task) {
+    for (std::size_t offset = 1; offset < workers_.size() && !task; ++offset) {
+      auto& victim = *workers_[(index + offset) % workers_.size()];
+      std::unique_lock lock(victim.mutex);
+      if (!victim.queue.empty()) {
+        task = std::move(victim.queue.back());
+        victim.queue.pop_back();
+        stolen = true;
+      }
+    }
+  }
+  if (!task) return false;
+  {
+    std::unique_lock lock(sleep_mutex_);
+    CBWT_ASSERT(pending_ > 0);
+    --pending_;
+  }
+  task();
+  {
+    std::unique_lock lock(stats_mutex_);
+    ++stats_.executed;
+    if (stolen) ++stats_.stolen;
+  }
+  return true;
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  for (;;) {
+    if (try_run_one(index)) continue;
+    std::unique_lock lock(sleep_mutex_);
+    sleep_cv_.wait(lock, [this] { return stopping_ || pending_ > 0; });
+    if (stopping_ && pending_ == 0) return;
+  }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  std::unique_lock lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace cbwt::runtime

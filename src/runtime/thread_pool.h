@@ -1,0 +1,80 @@
+// Fixed-size worker pool with per-worker task deques and work stealing.
+//
+// The pool is the execution substrate of cbwt::runtime: callers submit
+// opaque tasks; each worker services its own deque front-to-back and,
+// when empty, steals from the back of a sibling's deque (classic
+// Chase-Lev discipline, here with a per-queue mutex — the tasks this
+// library runs are shard-sized, so queue traffic is never the hot path).
+//
+// The pool executes tasks; it makes no ordering or determinism promises
+// of its own. Determinism is the job of the parallel.h layer above,
+// which fixes shard boundaries and per-shard RNGs independently of the
+// worker count.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cbwt::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 picks hardware_threads().
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Blocks until every submitted task has finished, then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not block waiting for later submissions
+  /// (the pool is fixed-size). Running tasks may submit follow-up work —
+  /// even while the destructor drains; external threads must not submit
+  /// concurrently with destruction.
+  void submit(std::function<void()> task);
+
+  /// Number of worker threads.
+  [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Hardware concurrency with a floor of 1 (the standard may report 0).
+  [[nodiscard]] static unsigned hardware_threads() noexcept;
+
+  /// Lifetime counters (observability; monotonic, racy reads are fine).
+  struct Stats {
+    std::uint64_t submitted = 0;  ///< tasks accepted by submit()
+    std::uint64_t executed = 0;   ///< tasks run to completion
+    std::uint64_t stolen = 0;     ///< tasks run by a worker that stole them
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> queue;
+  };
+
+  void worker_loop(unsigned index);
+  [[nodiscard]] bool try_run_one(unsigned index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::uint64_t pending_ = 0;  ///< queued-but-not-started tasks (under sleep_mutex_)
+  bool stopping_ = false;      ///< set by the destructor (under sleep_mutex_)
+
+  std::uint64_t next_queue_ = 0;  ///< round-robin submit cursor (under sleep_mutex_)
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+}  // namespace cbwt::runtime

@@ -1,0 +1,342 @@
+#include "runtime/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/study.h"
+#include "netflow/profile.h"
+#include "runtime/channel.h"
+#include "runtime/thread_pool.h"
+
+namespace cbwt::runtime {
+namespace {
+
+// --- Channel ---------------------------------------------------------
+
+TEST(Channel, FifoWithinCapacity) {
+  Channel<int> channel(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(channel.push(i));
+  EXPECT_EQ(channel.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(channel.pop(), i);
+  EXPECT_EQ(channel.size(), 0u);
+}
+
+TEST(Channel, TryPushReportsFullAndTryPopReportsEmpty) {
+  Channel<int> channel(1);
+  EXPECT_EQ(channel.try_pop(), std::nullopt);
+  int value = 7;
+  EXPECT_EQ(channel.try_push(value), TryPush::Ok);
+  value = 8;
+  EXPECT_EQ(channel.try_push(value), TryPush::Full);
+  EXPECT_EQ(channel.try_pop(), 7);
+  EXPECT_EQ(channel.try_pop(), std::nullopt);
+}
+
+TEST(Channel, CloseDrainsThenSignalsEnd) {
+  Channel<int> channel(4);
+  EXPECT_TRUE(channel.push(1));
+  EXPECT_TRUE(channel.push(2));
+  channel.close();
+  EXPECT_TRUE(channel.closed());
+  // Pushes after close fail, buffered items still drain in order.
+  EXPECT_FALSE(channel.push(3));
+  int value = 3;
+  EXPECT_EQ(channel.try_push(value), TryPush::Closed);
+  EXPECT_EQ(channel.pop(), 1);
+  EXPECT_EQ(channel.pop(), 2);
+  EXPECT_EQ(channel.pop(), std::nullopt);
+  EXPECT_EQ(channel.try_pop(), std::nullopt);
+  channel.close();  // idempotent
+}
+
+TEST(Channel, CloseWakesBlockedConsumer) {
+  Channel<int> channel(2);
+  std::thread consumer([&] { EXPECT_EQ(channel.pop(), std::nullopt); });
+  channel.close();
+  consumer.join();
+}
+
+TEST(Channel, BackpressureBlocksProducerUntilConsumed) {
+  constexpr int kItems = 256;
+  Channel<int> channel(2);
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) ASSERT_TRUE(channel.push(i));
+    channel.close();
+  });
+  std::vector<int> received;
+  while (auto value = channel.pop()) received.push_back(*value);
+  producer.join();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+  const auto stats = channel.stats();
+  EXPECT_EQ(stats.pushed, static_cast<std::uint64_t>(kItems));
+  EXPECT_EQ(stats.popped, static_cast<std::uint64_t>(kItems));
+  EXPECT_LE(stats.high_water, 2u);
+}
+
+TEST(Channel, ManyProducersManyConsumers) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  Channel<int> channel(8);
+  std::atomic<int> producers_left{kProducers};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(channel.push(p * kPerProducer + i));
+      }
+      if (producers_left.fetch_sub(1) == 1) channel.close();
+    });
+  }
+  std::mutex sink_mutex;
+  std::vector<int> sink;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto value = channel.pop()) {
+        std::scoped_lock lock(sink_mutex);
+        sink.push_back(*value);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_EQ(sink.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  std::sort(sink.begin(), sink.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    EXPECT_EQ(sink[static_cast<std::size_t>(i)], i);
+  }
+}
+
+// --- ThreadPool ------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    for (int i = 0; i < 1000; ++i) {
+      pool.submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor drains the queues
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  EXPECT_EQ(pool.size(), ThreadPool::hardware_threads());
+}
+
+TEST(ThreadPool, TasksMaySubmitMoreTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&counter, &pool] {
+        counter.fetch_add(1, std::memory_order_relaxed);
+        pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+      });
+    }
+  }
+  EXPECT_EQ(counter.load(), 128);
+}
+
+TEST(ThreadPool, StressManySubmitters) {
+  std::atomic<std::uint64_t> sum{0};
+  {
+    ThreadPool pool(4);
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < 4; ++s) {
+      submitters.emplace_back([&] {
+        for (std::uint64_t i = 1; i <= 2000; ++i) {
+          pool.submit([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+        }
+      });
+    }
+    for (auto& thread : submitters) thread.join();
+  }
+  EXPECT_EQ(sum.load(), 4ull * 2000ull * 2001ull / 2ull);
+}
+
+// --- Shard planning and parallel primitives --------------------------
+
+TEST(PlanShards, CoversRangeContiguously) {
+  const auto plan = plan_shards(10000, {.min_shard_items = 128, .max_shards = 16});
+  ASSERT_FALSE(plan.empty());
+  EXPECT_LE(plan.size(), 16u);
+  std::size_t expected_begin = 0;
+  for (const auto& range : plan) {
+    EXPECT_EQ(range.begin, expected_begin);
+    EXPECT_GT(range.end, range.begin);
+    expected_begin = range.end;
+  }
+  EXPECT_EQ(expected_begin, 10000u);
+}
+
+TEST(PlanShards, SmallInputsStaySerial) {
+  EXPECT_TRUE(plan_shards(0, {}).empty());
+  const auto plan = plan_shards(100, {.min_shard_items = 1024, .max_shards = 64});
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].begin, 0u);
+  EXPECT_EQ(plan[0].end, 100u);
+}
+
+TEST(PlanShards, IndependentOfAnyPool) {
+  // The plan is a pure function of (n, options) — this is determinism
+  // rule 1, so spell it out as a regression anchor.
+  const auto a = plan_shards(54321, {});
+  const auto b = plan_shards(54321, {});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].begin, b[i].begin);
+    EXPECT_EQ(a[i].end, b[i].end);
+  }
+}
+
+TEST(ShardRng, StatelessAndDistinctPerShard) {
+  auto a = shard_rng(1, 2, 3);
+  auto b = shard_rng(1, 2, 3);
+  EXPECT_EQ(a(), b());
+  EXPECT_EQ(a(), b());
+  auto c = shard_rng(1, 2, 4);
+  auto d = shard_rng(1, 3, 3);
+  EXPECT_NE(shard_rng(1, 2, 3)(), c());
+  EXPECT_NE(shard_rng(1, 2, 3)(), d());
+}
+
+TEST(ParallelMap, MatchesSerialForEveryPoolSize) {
+  constexpr std::size_t kN = 5000;
+  const auto serial = parallel_map<std::uint64_t>(
+      nullptr, kN, {.min_shard_items = 64}, [](std::size_t i) { return i * i; });
+  for (const unsigned threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    const auto parallel = parallel_map<std::uint64_t>(
+        &pool, kN, {.min_shard_items = 64}, [](std::size_t i) { return i * i; });
+    EXPECT_EQ(parallel, serial);
+  }
+}
+
+TEST(ShardedReduce, MergesInShardOrderForEveryPoolSize) {
+  constexpr std::size_t kN = 20000;
+  const auto run = [](ThreadPool* pool) {
+    return sharded_reduce<std::vector<std::uint64_t>>(
+        pool, kN, {.min_shard_items = 256}, /*seed=*/99, /*stage_label=*/0xABCD,
+        [](ShardRange range, std::size_t, util::Rng& rng) {
+          std::vector<std::uint64_t> part;
+          part.reserve(range.size());
+          for (std::size_t i = range.begin; i < range.end; ++i) part.push_back(rng());
+          return part;
+        },
+        [](std::vector<std::uint64_t>& acc, std::vector<std::uint64_t>&& part) {
+          acc.insert(acc.end(), part.begin(), part.end());
+        });
+  };
+  const auto serial = run(nullptr);
+  ASSERT_EQ(serial.size(), kN);
+  for (const unsigned threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(run(&pool), serial);
+  }
+}
+
+TEST(ShardedReduce, PropagatesShardExceptions) {
+  ThreadPool pool(4);
+  const auto boom = [&] {
+    (void)sharded_reduce<int>(
+        &pool, 10000, {.min_shard_items = 16}, 0, 0,
+        [](ShardRange range, std::size_t shard, util::Rng&) {
+          if (shard == 3) throw std::runtime_error("shard failure");
+          return static_cast<int>(range.size());
+        },
+        [](int& acc, int&& part) { acc += part; });
+  };
+  EXPECT_THROW(boom(), std::runtime_error);
+}
+
+TEST(ParallelFor, WritesDisjointSlots) {
+  constexpr std::size_t kN = 4096;
+  std::vector<std::uint32_t> out(kN, 0);
+  ThreadPool pool(4);
+  parallel_for(&pool, kN, {.min_shard_items = 64},
+               [&](ShardRange range, std::size_t) {
+                 for (std::size_t i = range.begin; i < range.end; ++i) {
+                   out[i] = static_cast<std::uint32_t>(i + 1);
+                 }
+               });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(out[i], i + 1);
+}
+
+// --- End-to-end determinism sweep ------------------------------------
+
+core::StudyConfig sweep_config(unsigned threads) {
+  core::StudyConfig config;
+  config.world.seed = 20180901;
+  // Small but end-to-end: each TEST_P process builds two full studies
+  // (reference + candidate), and the sweep also runs under TSan's
+  // ~15x slowdown in CI, so the scale stays modest. The NetFlow volume
+  // in particular drops to ~20k records per ISP run — still a dozen
+  // generation/collection shards, a tiny fraction of the default cost.
+  config.world.scale = 0.01;
+  config.netflow.scale = 2e-5;
+  config.threads = threads;
+  return config;
+}
+
+/// The tentpole guarantee: a Study's observable results are identical
+/// for every thread count. threads=1 (pure serial, no pool) is the
+/// reference; 2 and 8 must match it bit for bit.
+class StudyDeterminism : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StudyDeterminism, MatchesSerialReference) {
+  core::Study reference(sweep_config(1));
+  core::Study candidate(sweep_config(GetParam()));
+
+  // Classification outcomes, request by request.
+  const auto& ref_outcomes = reference.outcomes();
+  const auto& got_outcomes = candidate.outcomes();
+  ASSERT_EQ(got_outcomes.size(), ref_outcomes.size());
+  for (std::size_t i = 0; i < ref_outcomes.size(); ++i) {
+    ASSERT_EQ(got_outcomes[i].method, ref_outcomes[i].method) << "request " << i;
+    ASSERT_EQ(got_outcomes[i].list, ref_outcomes[i].list) << "request " << i;
+  }
+
+  // Tracker IP completion (sorted vectors -> plain equality).
+  EXPECT_EQ(candidate.completed_tracker_ips(), reference.completed_tracker_ips());
+
+  // Active geolocation verdicts over the completed tracker set (capped:
+  // each verdict runs a full probe panel twice, and the whole set adds
+  // nothing over a prefix). The candidate prefetches in parallel;
+  // verdicts must not depend on it.
+  const auto& ips = reference.completed_tracker_ips();
+  const std::size_t sample = std::min<std::size_t>(ips.size(), 256);
+  for (std::size_t i = 0; i < sample; ++i) {
+    ASSERT_EQ(candidate.geo().locate(ips[i], geoloc::Tool::ActiveIpmap),
+              reference.geo().locate(ips[i], geoloc::Tool::ActiveIpmap));
+  }
+
+  // One full ISP snapshot: sharded generation + sharded collection.
+  const auto isp = netflow::default_isps()[0];
+  const auto snapshot = netflow::default_snapshots()[0];
+  const auto ref_run = reference.run_isp_snapshot(isp, snapshot);
+  const auto got_run = candidate.run_isp_snapshot(isp, snapshot);
+  EXPECT_EQ(got_run.exported_records, ref_run.exported_records);
+  EXPECT_EQ(got_run.collection.records_seen, ref_run.collection.records_seen);
+  EXPECT_EQ(got_run.collection.internal_records, ref_run.collection.internal_records);
+  EXPECT_EQ(got_run.collection.matched_records, ref_run.collection.matched_records);
+  EXPECT_EQ(got_run.collection.https_records, ref_run.collection.https_records);
+  EXPECT_EQ(got_run.collection.udp_records, ref_run.collection.udp_records);
+  EXPECT_EQ(got_run.collection.per_ip, ref_run.collection.per_ip);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadSweep, StudyDeterminism, ::testing::Values(1u, 2u, 8u),
+                         [](const auto& info) {
+                           return "threads_" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace cbwt::runtime
