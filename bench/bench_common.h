@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/study.h"
+#include "obs/metrics.h"
 #include "report/json.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -40,7 +41,8 @@ inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
 /// the study result is bit-identical for every value.
 struct BenchOptions {
   unsigned threads = static_cast<unsigned>(env_u64("CBWT_THREADS", 1));
-  std::string json_path;  ///< empty = no machine-readable output
+  std::string json_path;    ///< empty = no machine-readable output
+  std::string report_path;  ///< empty = no Study::run_report() dump
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -51,8 +53,12 @@ inline BenchOptions parse_options(int argc, char** argv) {
       options.threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--json" && i + 1 < argc) {
       options.json_path = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      options.report_path = argv[++i];
     } else {
-      std::fprintf(stderr, "unknown argument '%s' (supported: --threads N, --json PATH)\n",
+      std::fprintf(stderr,
+                   "unknown argument '%s' (supported: --threads N, --json PATH, "
+                   "--report PATH)\n",
                    argv[i]);
       std::exit(2);
     }
@@ -85,6 +91,16 @@ class JsonReport {
 
   void metric(std::string key, double value) {
     metrics_.emplace_back(std::move(key), value);
+  }
+
+  /// Appends every counter and gauge of `registry` to the metric list
+  /// (under its registry name), so a --json summary carries the run's
+  /// observability state without a separate file.
+  void metrics_from(const obs::Registry& registry) {
+    for (const auto& [name, value] : registry.counters()) {
+      metric(name, static_cast<double>(value));
+    }
+    for (const auto& [name, value] : registry.gauges()) metric(name, value);
   }
 
   /// No-op when `path` is empty (no --json given).
@@ -120,6 +136,19 @@ class JsonReport {
   std::chrono::steady_clock::time_point start_;
   std::vector<std::pair<std::string, double>> metrics_;
 };
+
+/// Writes Study::run_report() to `path`; no-op when path is empty (no
+/// --report given). The report carries one span per executed stage plus
+/// every registry metric.
+inline void write_run_report(core::Study& study, const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  out << study.run_report() << '\n';
+  if (!out) {
+    std::fprintf(stderr, "failed to write run report to '%s'\n", path.c_str());
+    std::exit(1);
+  }
+}
 
 inline void print_header(const char* experiment, const core::StudyConfig& config) {
   std::printf("==================================================================\n");

@@ -3,12 +3,16 @@
 // counts per stage.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cbwt;
-  const auto config = bench::bench_config();
+  const auto options = bench::parse_options(argc, argv);
+  obs::Registry registry;
+  auto config = bench::bench_config(options);
+  config.registry = &registry;
   bench::print_header(
       "Table 2: ABP lists vs semi-automatic third-party classification", config);
   core::Study study(config);
+  bench::JsonReport report("table2_classification", config);
 
   const auto summary = classify::summarize(study.dataset(), study.outcomes());
   util::TextTable table({"", "# FQDN", "# TLD", "# Unique Requests", "# Total Requests"});
@@ -36,5 +40,12 @@ int main() {
       "SEMI adds 3,620 FQDNs / 879 TLDs / 453,457 unique / 1,964,408 total\n"
       "(+80% requests over ABP-only). Reproduced shape: the second stage adds\n"
       "roughly as many tracking flows again as the lists alone.");
+
+  report.metric("abp_requests", static_cast<double>(summary.abp.total_requests));
+  report.metric("semi_requests", static_cast<double>(summary.semi.total_requests));
+  report.metric("untracked_requests", static_cast<double>(summary.untracked_requests));
+  report.metrics_from(registry);
+  report.write(options.json_path);
+  bench::write_run_report(study, options.report_path);
   return 0;
 }

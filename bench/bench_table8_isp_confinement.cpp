@@ -6,7 +6,9 @@
 int main(int argc, char** argv) {
   using namespace cbwt;
   const auto options = bench::parse_options(argc, argv);
+  obs::Registry registry;
   auto config = bench::bench_config(options);
+  config.registry = &registry;
   // NetFlow volume is scaled down 1000x from the paper's Table 8; the
   // destination shares are scale-free.
   bench::print_header(
@@ -58,6 +60,8 @@ int main(int argc, char** argv) {
       "stable across the GDPR implementation date; >83% of matched traffic on\n"
       "443. Reproduced shape: high and stable EU28 confinement, mobile above\n"
       "broadband, PL lowest, N.America the main leak.");
+  report.metrics_from(registry);
   report.write(options.json_path);
+  bench::write_run_report(study, options.report_path);
   return 0;
 }

@@ -4,6 +4,8 @@
 
 #include "net/domain.h"
 #include "net/url.h"
+#include "obs/runtime_metrics.h"
+#include "obs/trace.h"
 #include "runtime/parallel.h"
 #include "util/contract.h"
 #include "util/prng.h"
@@ -53,7 +55,8 @@ Classifier::Classifier(filterlist::Engine engine, ClassifierConfig config)
     : engine_(std::move(engine)), config_(std::move(config)) {}
 
 std::vector<Outcome> Classifier::run(const browser::ExtensionDataset& dataset,
-                                     runtime::ThreadPool* pool) const {
+                                     runtime::ThreadPool* pool,
+                                     obs::Registry* registry) const {
   const auto& requests = dataset.requests;
   CBWT_EXPECTS(config_.max_iterations > 0 || !config_.enable_referrer_stage);
   std::vector<Outcome> outcomes(requests.size());
@@ -63,41 +66,49 @@ std::vector<Outcome> Classifier::run(const browser::ExtensionDataset& dataset,
   std::unordered_set<std::uint64_t> ltf_urls;
   ltf_urls.reserve(requests.size() / 2);
 
+  // Channel throughput of the sharded stages, surfaced after the run.
+  runtime::ChannelStats channel_stats;
+
   // ---- Stage 1: filter lists --------------------------------------
   // Request-local: each shard writes its own outcome slots and returns
   // the URL hashes it classified; hashes land in the LTF set in shard
   // order (set membership is order-free anyway).
-  ltf_urls = runtime::sharded_reduce<std::unordered_set<std::uint64_t>>(
-      pool, requests.size(), {},
-      /*seed=*/0, /*stage_label=*/0xC1A551F1,
-      [&](runtime::ShardRange range, std::size_t /*shard*/, util::Rng& /*rng*/) {
-        std::unordered_set<std::uint64_t> local;
-        for (std::size_t i = range.begin; i < range.end; ++i) {
-          const auto& request = requests[i];
-          const std::string_view host = host_of(request.url);
-          const std::string_view page_host = host_of(request.referrer).empty()
-                                                 ? host  // defensive; referrer always set
-                                                 : host_of(request.referrer);
-          filterlist::RequestContext context;
-          context.url = request.url;
-          context.host = host;
-          context.page_host = page_host;
-          context.third_party = true;
-          const auto hit = engine_.match(context);
-          if (hit.matched) {
-            outcomes[i] = {Method::AbpList, std::string(hit.list)};
-            local.insert(hash_text(request.url));
+  {
+    obs::ScopedSpan span(registry, "classify/stage1_abp");
+    span.set_items(requests.size());
+    ltf_urls = runtime::sharded_reduce<std::unordered_set<std::uint64_t>>(
+        pool, requests.size(), {.channel_stats = &channel_stats},
+        /*seed=*/0, /*stage_label=*/0xC1A551F1,
+        [&](runtime::ShardRange range, std::size_t /*shard*/, util::Rng& /*rng*/) {
+          std::unordered_set<std::uint64_t> local;
+          for (std::size_t i = range.begin; i < range.end; ++i) {
+            const auto& request = requests[i];
+            const std::string_view host = host_of(request.url);
+            const std::string_view page_host = host_of(request.referrer).empty()
+                                                   ? host  // defensive; referrer always set
+                                                   : host_of(request.referrer);
+            filterlist::RequestContext context;
+            context.url = request.url;
+            context.host = host;
+            context.page_host = page_host;
+            context.third_party = true;
+            const auto hit = engine_.match(context);
+            if (hit.matched) {
+              outcomes[i] = {Method::AbpList, std::string(hit.list)};
+              local.insert(hash_text(request.url));
+            }
           }
-        }
-        return local;
-      },
-      [](std::unordered_set<std::uint64_t>& acc, std::unordered_set<std::uint64_t>&& part) {
-        acc.merge(part);
-      },
-      std::move(ltf_urls));
+          return local;
+        },
+        [](std::unordered_set<std::uint64_t>& acc,
+           std::unordered_set<std::uint64_t>&& part) { acc.merge(part); },
+        std::move(ltf_urls));
+  }
 
   // ---- Stage 2: referrer chaining to fixpoint ----------------------
   if (config_.enable_referrer_stage) {
+    obs::ScopedSpan span(registry, "classify/stage2_referrer");
+    span.set_items(requests.size());
     bool changed = true;
     for (std::size_t pass = 0; changed && pass < config_.max_iterations; ++pass) {
       changed = false;
@@ -119,6 +130,8 @@ std::vector<Outcome> Classifier::run(const browser::ExtensionDataset& dataset,
   // Also request-local: nothing downstream reads the LTF set, so shards
   // only write their own outcome slots.
   if (config_.enable_keyword_stage) {
+    obs::ScopedSpan span(registry, "classify/stage3_keyword");
+    span.set_items(requests.size());
     runtime::parallel_for(pool, requests.size(), {},
                           [&](runtime::ShardRange range, std::size_t /*shard*/) {
       for (std::size_t i = range.begin; i < range.end; ++i) {
@@ -142,6 +155,28 @@ std::vector<Outcome> Classifier::run(const browser::ExtensionDataset& dataset,
         }
       }
     });
+  }
+
+  // The Table 2 breakdown, live: one extra O(n) scan, only when someone
+  // is watching. Purely observational — outcomes are already final.
+  if (registry != nullptr) {
+    std::uint64_t rule_hits = 0;
+    std::uint64_t referrer_promotions = 0;
+    std::uint64_t keyword_promotions = 0;
+    for (const auto& outcome : outcomes) {
+      switch (outcome.method) {
+        case Method::AbpList: ++rule_hits; break;
+        case Method::Referrer: ++referrer_promotions; break;
+        case Method::Keyword: ++keyword_promotions; break;
+        case Method::None: break;
+      }
+    }
+    registry->counter("cbwt_classify_requests_total").add(requests.size());
+    registry->counter("cbwt_classify_rule_hits_total").add(rule_hits);
+    registry->counter("cbwt_classify_referrer_promotions_total")
+        .add(referrer_promotions);
+    registry->counter("cbwt_classify_keyword_promotions_total").add(keyword_promotions);
+    obs::record_channel_stats(registry, channel_stats);
   }
 
   return outcomes;

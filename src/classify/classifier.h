@@ -21,6 +21,7 @@
 
 #include "browser/extension.h"
 #include "filterlist/engine.h"
+#include "obs/metrics.h"
 #include "runtime/thread_pool.h"
 
 namespace cbwt::classify {
@@ -71,8 +72,14 @@ class Classifier {
   /// referrer fixpoint of stage 2 stays serial — its passes are cheap and
   /// order-sensitive). Results are bit-identical for any pool size,
   /// including none.
+  ///
+  /// `registry` (optional) records one span per stage plus the Table 2
+  /// breakdown counters (cbwt_classify_rule_hits_total, referrer /
+  /// keyword promotions) and the sharded stages' channel throughput.
+  /// Instrumentation never affects the outcomes.
   [[nodiscard]] std::vector<Outcome> run(const browser::ExtensionDataset& dataset,
-                                         runtime::ThreadPool* pool = nullptr) const;
+                                         runtime::ThreadPool* pool = nullptr,
+                                         obs::Registry* registry = nullptr) const;
 
   [[nodiscard]] const filterlist::Engine& engine() const noexcept { return engine_; }
 

@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/export.h"
+#include "obs/runtime_metrics.h"
+#include "obs/trace.h"
+#include "report/json.h"
+
 namespace cbwt::core {
 
 Study::Study(StudyConfig config) : config_(std::move(config)) {}
@@ -35,10 +40,16 @@ const dns::Resolver& Study::resolver() {
 
 const browser::ExtensionDataset& Study::dataset() {
   if (!dataset_) {
+    // Dependencies resolve before the span opens so lazily-triggered
+    // stages never appear as children of the stage that tripped them.
+    const auto& built_world = world();
+    const auto& dns = resolver();
+    obs::ScopedSpan span(config_.registry, "study/dataset");
     if (!pdns_) pdns_.emplace();
     auto rng = stage_rng(0xDA7A);
-    dataset_ = browser::collect_extension_dataset(world(), resolver(), config_.collector,
+    dataset_ = browser::collect_extension_dataset(built_world, dns, config_.collector,
                                                   rng, &*pdns_);
+    span.set_items(dataset_->requests.size());
   }
   return *dataset_;
 }
@@ -46,9 +57,12 @@ const browser::ExtensionDataset& Study::dataset() {
 const pdns::Store& Study::pdns_store() {
   (void)dataset();  // ensures the store exists and is fed by the users
   if (!pdns_replicated_) {
+    const auto& dns = resolver();
+    obs::ScopedSpan span(config_.registry, "study/pdns_replication");
     auto rng = stage_rng(0x9D45);
-    pdns::replicate_background(*pdns_, resolver(), config_.replication, rng);
+    pdns::replicate_background(*pdns_, dns, config_.replication, rng);
     pdns_replicated_ = true;
+    span.set_items(pdns_->all_ips().size());
   }
   return *pdns_;
 }
@@ -66,7 +80,14 @@ const classify::Classifier& Study::classifier() {
 }
 
 const std::vector<classify::Outcome>& Study::outcomes() {
-  if (!outcomes_) outcomes_ = classifier().run(dataset(), pool());
+  if (!outcomes_) {
+    const auto& clf = classifier();
+    const auto& data = dataset();
+    runtime::ThreadPool* workers = pool();
+    obs::ScopedSpan span(config_.registry, "study/classify");
+    span.set_items(data.requests.size());
+    outcomes_ = clf.run(data, workers, config_.registry);
+  }
   return *outcomes_;
 }
 
@@ -118,19 +139,30 @@ const std::vector<net::IpAddress>& Study::completed_tracker_ips() {
 
 const geoloc::GeoService& Study::geo() {
   if (!geo_) {
+    const auto& built_world = world();
+    runtime::ThreadPool* workers = pool();
+    obs::ScopedSpan span(config_.registry, "study/geoloc_panel");
     auto mesh_rng = stage_rng(0x3E0);
     mesh_.emplace(config_.mesh, mesh_rng);
     auto db_rng = stage_rng(0x3E1);
-    auto maxmind = geoloc::build_maxmind_like(world(), config_.commercial, db_rng);
-    auto ipapi = geoloc::build_ipapi_like(world(), maxmind, 0.93, db_rng);
-    geo_.emplace(world(), std::move(maxmind), std::move(ipapi), *mesh_,
-                 config_.active, config_.world.seed ^ 0xAC7173ULL, pool());
+    auto maxmind = geoloc::build_maxmind_like(built_world, config_.commercial, db_rng);
+    auto ipapi = geoloc::build_ipapi_like(built_world, maxmind, 0.93, db_rng);
+    geo_.emplace(built_world, std::move(maxmind), std::move(ipapi), *mesh_,
+                 config_.active, config_.world.seed ^ 0xAC7173ULL, workers,
+                 config_.registry);
   }
   return *geo_;
 }
 
 const std::vector<analysis::Flow>& Study::flows() {
-  if (!flows_) flows_ = analysis::tracking_flows(world(), dataset(), outcomes());
+  if (!flows_) {
+    const auto& built_world = world();
+    const auto& data = dataset();
+    const auto& results = outcomes();
+    obs::ScopedSpan span(config_.registry, "study/border_analysis");
+    flows_ = analysis::tracking_flows(built_world, data, results);
+    span.set_items(flows_->size());
+  }
   return *flows_;
 }
 
@@ -161,8 +193,14 @@ Study::IspRun Study::run_isp_snapshot(const netflow::IspProfile& isp,
   // pair — never the whole store, which also holds clean-service records.
   (void)completed_tracker_ips();
   const auto& store = pdns_store();
+  const auto& registrables = tracking_registrables();
+  const auto& built_world = world();
+  const auto& dns = resolver();
+  runtime::ThreadPool* workers = pool();
+
+  obs::ScopedSpan span(config_.registry, "study/isp_snapshot");
   netflow::TrackerIpIndex index;
-  for (const auto& registrable : tracking_registrables()) {
+  for (const auto& registrable : registrables) {
     for (const auto& ip : store.ips_of_registrable_at(registrable, snapshot.day)) {
       index.add(ip);
     }
@@ -174,12 +212,37 @@ Study::IspRun Study::run_isp_snapshot(const netflow::IspProfile& isp,
   // it matches the old serial stage_rng(label) derivation point.
   const std::uint64_t seed = util::mix64(config_.world.seed ^ util::mix64(label));
   const auto exported = netflow::generate_snapshot_sharded(
-      world(), resolver(), isp, snapshot, config_.netflow, seed, pool());
+      built_world, dns, isp, snapshot, config_.netflow, seed, workers,
+      config_.registry);
   IspRun run;
   run.exported_records = exported.records.size();
-  run.collection = netflow::collect_sharded(exported.records, index, isp, pool());
+  run.collection = netflow::collect_sharded(exported.records, index, isp, workers,
+                                            config_.registry);
   run.flows = run.collection.flows(std::string(isp.country));
+  span.set_items(run.exported_records);
   return run;
+}
+
+std::string Study::run_report() {
+  // Pool counters are a point-in-time snapshot; refresh them so the
+  // report reflects the pool's state at export.
+  if (pool_ != nullptr) obs::record_pool_stats(config_.registry, *pool_);
+
+  report::JsonWriter json;
+  json.begin_object();
+  json.key("name").value("cbwt_run_report");
+  json.key("seed").value(config_.world.seed);
+  json.key("scale").value(config_.world.scale);
+  json.key("threads").value(static_cast<std::uint64_t>(config_.threads));
+  json.key("obs");
+  if (config_.registry != nullptr) {
+    obs::write_json(*config_.registry, json);
+  } else {
+    const obs::Registry empty;
+    obs::write_json(empty, json);
+  }
+  json.end_object();
+  return json.str();
 }
 
 }  // namespace cbwt::core

@@ -25,6 +25,7 @@
 #include "geoloc/service.h"
 #include "netflow/collector.h"
 #include "netflow/generator.h"
+#include "obs/metrics.h"
 #include "pdns/replication.h"
 #include "runtime/thread_pool.h"
 #include "sensitive/detection.h"
@@ -49,6 +50,12 @@ struct StudyConfig {
   /// (no pool is created); 0 = one thread per hardware core. Results are
   /// bit-identical for every value.
   unsigned threads = 1;
+  /// Optional metrics registry (not owned, must outlive the Study). When
+  /// attached, every pipeline stage records a span and the instrumented
+  /// modules publish their counters into it; results stay bit-identical
+  /// with or without it. nullptr (the default) keeps every instrumented
+  /// path a null-check-only no-op.
+  obs::Registry* registry = nullptr;
 };
 
 class Study {
@@ -110,6 +117,14 @@ class Study {
   /// The lazily created worker pool; nullptr when config().threads == 1,
   /// which keeps every stage on the exact inline serial path.
   [[nodiscard]] runtime::ThreadPool* pool();
+
+  /// Machine-readable run report: seed, scale, threads, and the attached
+  /// registry's full metric state (counters, gauges, histograms, one
+  /// span per executed stage) as a JSON document. With no registry
+  /// attached the report is still valid JSON with empty metric sections.
+  /// Call after the stages of interest have run; pool counters are
+  /// refreshed into the registry on each call.
+  [[nodiscard]] std::string run_report();
 
  private:
   [[nodiscard]] util::Rng stage_rng(std::uint64_t label) const;

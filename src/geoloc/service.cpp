@@ -1,11 +1,22 @@
 #include "geoloc/service.h"
 
+#include <array>
+#include <chrono>
 #include <unordered_set>
 
 #include "runtime/parallel.h"
 #include "util/contract.h"
 
 namespace cbwt::geoloc {
+
+namespace {
+
+/// Latency buckets for one active measurement (seconds). Simulated
+/// probes are microsecond-scale; real RTT panels would fill the tail.
+constexpr std::array<double, 6> kMeasureBounds = {1e-5, 1e-4, 1e-3,
+                                                  1e-2, 1e-1, 1.0};
+
+}  // namespace
 
 std::string_view to_string(Tool tool) noexcept {
   switch (tool) {
@@ -21,10 +32,40 @@ std::string_view to_string(Tool tool) noexcept {
 GeoService::GeoService(const world::World& world, CommercialDb maxmind_like,
                        CommercialDb ipapi_like, const ProbeMesh& mesh,
                        ActiveGeolocatorOptions active_options,
-                       std::uint64_t measurement_seed, runtime::ThreadPool* pool)
+                       std::uint64_t measurement_seed, runtime::ThreadPool* pool,
+                       obs::Registry* registry)
     : world_(&world), maxmind_like_(std::move(maxmind_like)),
       ipapi_like_(std::move(ipapi_like)), active_(world, mesh, active_options),
-      measurement_seed_(measurement_seed), pool_(pool) {}
+      measurement_seed_(measurement_seed), pool_(pool) {
+  if (registry != nullptr) {
+    batches_ = &registry->counter("cbwt_geoloc_probe_batches_total");
+    batch_ips_ = &registry->counter("cbwt_geoloc_probe_batch_ips_total");
+    cache_hits_ = &registry->counter("cbwt_geoloc_cache_hits_total");
+    cache_misses_ = &registry->counter("cbwt_geoloc_cache_misses_total");
+    located_ = &registry->counter("cbwt_geoloc_located_total");
+    unlocated_ = &registry->counter("cbwt_geoloc_unlocated_total");
+    measure_seconds_ =
+        &registry->histogram("cbwt_geoloc_measure_seconds", kMeasureBounds);
+  }
+}
+
+std::string GeoService::measure_active(const net::IpAddress& ip) const {
+  auto rng = measurement_rng(ip);
+  std::string country;
+  if (measure_seconds_ != nullptr) {
+    const auto begin = std::chrono::steady_clock::now();
+    country = active_.locate(ip, rng).country;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - begin;
+    measure_seconds_->observe(elapsed.count());
+  } else {
+    country = active_.locate(ip, rng).country;
+  }
+  if (located_ != nullptr) {
+    (country.empty() ? *unlocated_ : *located_).add(1);
+  }
+  return country;
+}
 
 util::Rng GeoService::measurement_rng(const net::IpAddress& ip) const noexcept {
   return util::Rng(util::mix64(measurement_seed_ ^ ip.hash()));
@@ -34,16 +75,17 @@ std::string GeoService::locate_active(const net::IpAddress& ip) const {
   {
     std::unique_lock lock(cache_mutex_);
     if (const auto it = active_cache_.find(ip); it != active_cache_.end()) {
+      if (cache_hits_ != nullptr) cache_hits_->add(1);
       return it->second;
     }
   }
-  auto rng = measurement_rng(ip);
-  const auto estimate = active_.locate(ip, rng);
+  if (cache_misses_ != nullptr) cache_misses_->add(1);
+  std::string country = measure_active(ip);
   std::unique_lock lock(cache_mutex_);
   // A racing lookup may have inserted first; both computed the same
   // per-IP verdict, so either insert wins harmlessly.
-  active_cache_.emplace(ip, estimate.country);
-  return estimate.country;
+  active_cache_.emplace(ip, country);
+  return country;
 }
 
 void GeoService::prefetch(std::span<const net::IpAddress> ips) const {
@@ -58,12 +100,13 @@ void GeoService::prefetch(std::span<const net::IpAddress> ips) const {
     }
   }
   if (missing.empty()) return;
+  if (batches_ != nullptr) {
+    batches_->add(1);
+    batch_ips_->add(missing.size());
+  }
   const auto countries = runtime::parallel_map<std::string>(
       pool_, missing.size(), {.min_shard_items = 8},
-      [&](std::size_t i) {
-        auto rng = measurement_rng(missing[i]);
-        return active_.locate(missing[i], rng).country;
-      });
+      [&](std::size_t i) { return measure_active(missing[i]); });
   std::unique_lock lock(cache_mutex_);
   for (std::size_t i = 0; i < missing.size(); ++i) {
     active_cache_.emplace(missing[i], countries[i]);

@@ -14,6 +14,7 @@
 
 #include "geoloc/active.h"
 #include "geoloc/commercial.h"
+#include "obs/metrics.h"
 #include "runtime/thread_pool.h"
 
 namespace cbwt::geoloc {
@@ -41,10 +42,15 @@ enum class Tool : std::uint8_t {
 class GeoService {
  public:
   /// `pool` (optional, not owned, must outlive the service) parallelizes
-  /// prefetch(); lookups themselves stay single-IP.
+  /// prefetch(); lookups themselves stay single-IP. `registry` (optional,
+  /// not owned, must outlive the service) counts active-measurement
+  /// traffic: probe batches, cache hits/misses, located/unlocated
+  /// verdicts, and a per-measurement latency histogram. Instrumentation
+  /// never affects verdicts.
   GeoService(const world::World& world, CommercialDb maxmind_like, CommercialDb ipapi_like,
              const ProbeMesh& mesh, ActiveGeolocatorOptions active_options,
-             std::uint64_t measurement_seed, runtime::ThreadPool* pool = nullptr);
+             std::uint64_t measurement_seed, runtime::ThreadPool* pool = nullptr,
+             obs::Registry* registry = nullptr);
 
   /// Country code for `ip` under `tool`; empty string when unlocatable.
   /// Thread-safe (the active cache is internally synchronized).
@@ -69,6 +75,10 @@ class GeoService {
   [[nodiscard]] util::Rng measurement_rng(const net::IpAddress& ip) const noexcept;
   [[nodiscard]] std::string locate_active(const net::IpAddress& ip) const;
 
+  /// Measures `ip` with the active tool, updating the measurement
+  /// metrics when a registry is attached.
+  [[nodiscard]] std::string measure_active(const net::IpAddress& ip) const;
+
   const world::World* world_;
   CommercialDb maxmind_like_;
   CommercialDb ipapi_like_;
@@ -77,6 +87,16 @@ class GeoService {
   runtime::ThreadPool* pool_;
   mutable std::mutex cache_mutex_;
   mutable std::unordered_map<net::IpAddress, std::string> active_cache_;
+
+  // Metric handles, resolved once at construction; all null when no
+  // registry is attached, so the instrumented paths cost one null check.
+  obs::Counter* batches_ = nullptr;
+  obs::Counter* batch_ips_ = nullptr;
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* cache_misses_ = nullptr;
+  obs::Counter* located_ = nullptr;
+  obs::Counter* unlocated_ = nullptr;
+  obs::Histogram* measure_seconds_ = nullptr;
 };
 
 /// Pairwise agreement between two tools over an IP set (Table 3).

@@ -1,5 +1,7 @@
 #include "netflow/collector.h"
 
+#include "obs/runtime_metrics.h"
+#include "obs/trace.h"
 #include "runtime/parallel.h"
 #include "util/contract.h"
 
@@ -75,9 +77,12 @@ CollectionResult collect(std::span<const RawRecord> records, const TrackerIpInde
 
 CollectionResult collect_sharded(std::span<const RawRecord> records,
                                  const TrackerIpIndex& trackers, const IspProfile& isp,
-                                 runtime::ThreadPool* pool) {
+                                 runtime::ThreadPool* pool, obs::Registry* registry) {
+  obs::ScopedSpan span(registry, "netflow/collect");
+  runtime::ChannelStats channel_stats;
   auto result = runtime::sharded_reduce<CollectionResult>(
-      pool, records.size(), {}, /*seed=*/0, /*stage_label=*/0xC011EC7,
+      pool, records.size(), {.channel_stats = &channel_stats},
+      /*seed=*/0, /*stage_label=*/0xC011EC7,
       [&](runtime::ShardRange range, std::size_t /*shard*/, util::Rng& /*rng*/) {
         return collect(records.subspan(range.begin, range.size()), trackers, isp);
       },
@@ -91,6 +96,14 @@ CollectionResult collect_sharded(std::span<const RawRecord> records,
       });
   CBWT_ENSURES(result.matched_records <= result.internal_records);
   CBWT_ENSURES(result.internal_records <= result.records_seen);
+
+  span.set_items(result.records_seen);
+  if (registry != nullptr) {
+    registry->counter("cbwt_netflow_records_collected_total").add(result.records_seen);
+    registry->counter("cbwt_netflow_internal_total").add(result.internal_records);
+    registry->counter("cbwt_netflow_matched_total").add(result.matched_records);
+    obs::record_channel_stats(registry, channel_stats);
+  }
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include "analysis/flows.h"
 #include "netflow/profile.h"
 #include "netflow/record.h"
+#include "obs/metrics.h"
 #include "pdns/store.h"
 #include "runtime/thread_pool.h"
 
@@ -62,9 +63,14 @@ struct CollectionResult {
 /// Sharded collection: record shards reduce to partial CollectionResults
 /// that merge in shard order (counter sums and per-IP counter merges are
 /// order-free, so the result equals the serial collect() bit for bit).
+///
+/// `registry` (optional) records a "netflow/collect" span, the
+/// collected/internal/matched record counters, and the reduce channel's
+/// throughput; never affects the result.
 [[nodiscard]] CollectionResult collect_sharded(std::span<const RawRecord> records,
                                                const TrackerIpIndex& trackers,
                                                const IspProfile& isp,
-                                               runtime::ThreadPool* pool);
+                                               runtime::ThreadPool* pool,
+                                               obs::Registry* registry = nullptr);
 
 }  // namespace cbwt::netflow

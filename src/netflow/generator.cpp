@@ -3,6 +3,8 @@
 #include <cmath>
 #include <iterator>
 
+#include "obs/runtime_metrics.h"
+#include "obs/trace.h"
 #include "runtime/parallel.h"
 #include "util/contract.h"
 
@@ -154,7 +156,9 @@ SnapshotExport generate_snapshot_sharded(const world::World& world,
                                          const dns::Resolver& resolver,
                                          const IspProfile& isp, const Snapshot& snapshot,
                                          const GeneratorConfig& config, std::uint64_t seed,
-                                         runtime::ThreadPool* pool) {
+                                         runtime::ThreadPool* pool,
+                                         obs::Registry* registry) {
+  obs::ScopedSpan span(registry, "netflow/generate");
   SnapshotExport out;
   intended_volumes(isp, snapshot, config, out);
   out.records.reserve(out.tracking_intended + out.background_intended);
@@ -164,6 +168,7 @@ SnapshotExport generate_snapshot_sharded(const world::World& world,
   // shard outputs append in shard order, so the exported vector is the
   // same for any pool size.
   using Batch = std::vector<RawRecord>;
+  runtime::ChannelStats channel_stats;
   // The merge appends straight into out.records; it runs in shard order
   // on the calling thread, so the accumulator itself stays empty.
   const auto append = [&out](Batch& /*acc*/, Batch&& part) {
@@ -172,7 +177,7 @@ SnapshotExport generate_snapshot_sharded(const world::World& world,
   };
   const auto stream = [&](std::uint64_t count, std::uint64_t label, auto emit_one) {
     runtime::sharded_reduce<Batch>(
-        pool, count, {},
+        pool, count, {.channel_stats = &channel_stats},
         seed, label,
         [&](runtime::ShardRange range, std::size_t /*shard*/, util::Rng& rng) {
           Batch part;
@@ -195,6 +200,15 @@ SnapshotExport generate_snapshot_sharded(const world::World& world,
                                    context.subscriber_ip(peering_rng), peering_rng);
     record.internal_interface = false;
     out.records.push_back(record);
+  }
+
+  span.set_items(out.records.size());
+  if (registry != nullptr) {
+    registry->counter("cbwt_netflow_records_generated_total").add(out.records.size());
+    registry->counter("cbwt_netflow_tracking_intended_total").add(out.tracking_intended);
+    registry->counter("cbwt_netflow_background_intended_total")
+        .add(out.background_intended);
+    obs::record_channel_stats(registry, channel_stats);
   }
   return out;
 }

@@ -12,6 +12,7 @@
 #include "dns/resolver.h"
 #include "netflow/profile.h"
 #include "netflow/record.h"
+#include "obs/metrics.h"
 #include "runtime/thread_pool.h"
 #include "util/prng.h"
 #include "world/world.h"
@@ -58,12 +59,17 @@ struct SnapshotExport {
 /// shard), so the exported records are bit-identical for any pool size
 /// — including pool == nullptr, which is the serial reference. Record
 /// order is shard order (deterministic), not interleaved arrival order.
+///
+/// `registry` (optional) records a "netflow/generate" span, the
+/// generated/tracking/background record counters, and the sharded
+/// streams' channel throughput; never affects the exported records.
 [[nodiscard]] SnapshotExport generate_snapshot_sharded(const world::World& world,
                                                        const dns::Resolver& resolver,
                                                        const IspProfile& isp,
                                                        const Snapshot& snapshot,
                                                        const GeneratorConfig& config,
                                                        std::uint64_t seed,
-                                                       runtime::ThreadPool* pool);
+                                                       runtime::ThreadPool* pool,
+                                                       obs::Registry* registry = nullptr);
 
 }  // namespace cbwt::netflow

@@ -1,0 +1,138 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "report/json.h"
+
+namespace cbwt::obs {
+
+namespace {
+
+/// Prometheus sample value: shortest round-trippable-ish decimal, with
+/// the spec's spellings for non-finite values.
+std::string prom_double(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.9g", value);
+  return buffer;
+}
+
+/// Label values escape \, " and newline per the text exposition format.
+std::string prom_label(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_json(const Registry& registry, report::JsonWriter& json) {
+  json.begin_object();
+
+  json.key("counters").begin_object();
+  for (const auto& [name, value] : registry.counters()) json.key(name).value(value);
+  json.end_object();
+
+  json.key("gauges").begin_object();
+  for (const auto& [name, value] : registry.gauges()) json.key(name).value(value);
+  json.end_object();
+
+  json.key("histograms").begin_object();
+  for (const auto& sample : registry.histograms()) {
+    json.key(sample.name).begin_object();
+    json.key("buckets").begin_array();
+    for (std::size_t i = 0; i < sample.buckets.size(); ++i) {
+      json.begin_object();
+      json.key("le");
+      if (i < sample.bounds.size()) {
+        json.value(sample.bounds[i]);
+      } else {
+        json.value("+Inf");
+      }
+      json.key("count").value(sample.buckets[i]);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("count").value(sample.count);
+    json.key("sum").value(sample.sum);
+    json.end_object();
+  }
+  json.end_object();
+
+  json.key("spans").begin_array();
+  for (const auto& span : registry.spans()) {
+    json.begin_object();
+    json.key("name").value(span.name);
+    json.key("parent").value(span.parent);
+    json.key("depth").value(span.depth);
+    json.key("wall_seconds").value(span.wall_seconds);
+    json.key("cpu_seconds").value(span.cpu_seconds);
+    json.key("items").value(span.items);
+    json.end_object();
+  }
+  json.end_array();
+
+  json.end_object();
+}
+
+std::string to_prometheus(const Registry& registry) {
+  std::string out;
+
+  for (const auto& [name, value] : registry.counters()) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(value) + "\n";
+  }
+
+  for (const auto& [name, value] : registry.gauges()) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + prom_double(value) + "\n";
+  }
+
+  for (const auto& sample : registry.histograms()) {
+    out += "# TYPE " + sample.name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < sample.buckets.size(); ++i) {
+      cumulative += sample.buckets[i];
+      const std::string le =
+          i < sample.bounds.size() ? prom_double(sample.bounds[i]) : "+Inf";
+      out += sample.name + "_bucket{le=\"" + le + "\"} " + std::to_string(cumulative) +
+             "\n";
+    }
+    out += sample.name + "_sum " + prom_double(sample.sum) + "\n";
+    out += sample.name + "_count " + std::to_string(sample.count) + "\n";
+  }
+
+  const auto spans = registry.spans();
+  if (!spans.empty()) {
+    out += "# TYPE cbwt_obs_span_wall_seconds gauge\n";
+    out += "# TYPE cbwt_obs_span_cpu_seconds gauge\n";
+    out += "# TYPE cbwt_obs_span_items gauge\n";
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      const auto& span = spans[i];
+      // The index label keeps repeated stages (one span per ISP snapshot
+      // run, say) distinct series.
+      const std::string labels =
+          "{index=\"" + std::to_string(i) + "\",name=\"" + prom_label(span.name) +
+          "\",parent=\"" + prom_label(span.parent) + "\"}";
+      out += "cbwt_obs_span_wall_seconds" + labels + " " +
+             prom_double(span.wall_seconds) + "\n";
+      out += "cbwt_obs_span_cpu_seconds" + labels + " " + prom_double(span.cpu_seconds) +
+             "\n";
+      out += "cbwt_obs_span_items" + labels + " " + std::to_string(span.items) + "\n";
+    }
+  }
+
+  return out;
+}
+
+}  // namespace cbwt::obs

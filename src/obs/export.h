@@ -1,0 +1,33 @@
+// Exporters for the metrics registry: a JSON object (via the report
+// module's streaming JsonWriter) for machine-readable run reports, and a
+// Prometheus-style text exposition dump for scrape-and-diff workflows.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cbwt::report {
+class JsonWriter;
+}  // namespace cbwt::report
+
+namespace cbwt::obs {
+
+/// Writes the registry as one JSON value:
+///   {"counters":{name:value,...},
+///    "gauges":{name:value,...},
+///    "histograms":{name:{"buckets":[{"le":bound|"+Inf","count":n},...],
+///                        "count":n,"sum":x},...},
+///    "spans":[{"name","parent","depth","wall_seconds","cpu_seconds",
+///              "items"},...]}
+/// The caller controls the surrounding structure (typically a key inside
+/// a run-report object). Non-finite doubles export as null.
+void write_json(const Registry& registry, report::JsonWriter& json);
+
+/// Prometheus text format: counters/gauges/histograms with `# TYPE`
+/// headers (histogram buckets cumulative, `le="+Inf"` last); spans
+/// surface as cbwt_obs_span_{wall_seconds,cpu_seconds,items} gauges
+/// labelled by index/name/parent.
+[[nodiscard]] std::string to_prometheus(const Registry& registry);
+
+}  // namespace cbwt::obs

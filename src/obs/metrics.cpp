@@ -1,0 +1,130 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "util/contract.h"
+
+namespace cbwt::obs {
+
+void Gauge::add(double delta) noexcept {
+  double expected = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(expected, expected + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::max_of(double value) noexcept {
+  double expected = value_.load(std::memory_order_relaxed);
+  while (expected < value &&
+         !value_.compare_exchange_weak(expected, value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      buckets_(std::make_unique<std::atomic<std::uint64_t>[]>(bounds.size() + 1)) {
+  CBWT_EXPECTS(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::unique_lock lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::unique_lock lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::span<const double> bounds) {
+  std::unique_lock lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_.emplace(std::string(name), std::make_unique<Histogram>(bounds))
+              .first->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  std::unique_lock lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) out.emplace_back(name, counter->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  std::unique_lock lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) out.emplace_back(name, gauge->value());
+  return out;
+}
+
+std::vector<Registry::HistogramSample> Registry::histograms() const {
+  std::unique_lock lock(mutex_);
+  std::vector<HistogramSample> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSample sample;
+    sample.name = name;
+    sample.bounds = histogram->bounds();
+    sample.buckets = histogram->bucket_counts();
+    sample.count = histogram->count();
+    sample.sum = histogram->sum();
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+std::vector<SpanRecord> Registry::spans() const {
+  std::unique_lock lock(mutex_);
+  return spans_;
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  std::unique_lock lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+Registry::SpanContext Registry::begin_span(std::string_view name) {
+  std::unique_lock lock(mutex_);
+  SpanContext context;
+  if (!span_stack_.empty()) context.parent = span_stack_.back();
+  context.depth = span_stack_.size();
+  span_stack_.emplace_back(name);
+  return context;
+}
+
+void Registry::end_span(SpanRecord record) {
+  std::unique_lock lock(mutex_);
+  CBWT_ASSERT(!span_stack_.empty() && span_stack_.back() == record.name);
+  span_stack_.pop_back();
+  spans_.push_back(std::move(record));
+}
+
+}  // namespace cbwt::obs

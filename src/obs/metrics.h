@@ -1,0 +1,151 @@
+// Low-overhead observability registry for the measurement pipeline:
+// named counters, gauges, and fixed-bucket histograms, plus the span log
+// the stage tracer (trace.h) records into.
+//
+// Concurrency model: metric handles (`Counter&` etc.) are created under
+// the registry mutex but updated with per-metric atomics, so the hot
+// path of an instrumented stage is one relaxed atomic op. Instrumented
+// modules resolve their handles once (construction or stage entry) and
+// keep a null pointer when no registry is attached — the uninstrumented
+// cost is a single predicted-false null check.
+//
+// Metrics are observational only: nothing here feeds back into pipeline
+// results, so attaching a registry never perturbs determinism.
+//
+// Naming convention: `cbwt_<module>_<name>`, with `_total` for monotonic
+// counters and `_seconds` for durations (README "Observability").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cbwt::obs {
+
+/// Monotonic counter (events, items).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Settable level (queue depths, pool sizes, accumulated seconds).
+class Gauge {
+ public:
+  void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  /// Accumulates (CAS loop; fetch_add on atomic<double> is not yet
+  /// universally available).
+  void add(double delta) noexcept;
+  /// Raises the gauge to `value` if it is higher (high-water marks).
+  void max_of(double value) noexcept;
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper edges
+/// (Prometheus `le` semantics); one implicit overflow bucket catches the
+/// rest. Bucket counts are per-bucket, not cumulative.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One completed pipeline stage, as recorded by obs::ScopedSpan.
+struct SpanRecord {
+  std::string name;
+  std::string parent;        ///< empty for top-level stages
+  std::uint64_t depth = 0;   ///< nesting depth at open time
+  double wall_seconds = 0.0; ///< steady_clock elapsed
+  double cpu_seconds = 0.0;  ///< process CPU elapsed (> wall under parallelism)
+  std::uint64_t items = 0;   ///< stage-defined item count (requests, records, ...)
+};
+
+/// The registry: owns every metric and the span log. Metric references
+/// stay valid for the registry's lifetime. One registry typically spans
+/// one Study / one run.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Finds or creates; thread-safe. Resolve once, update via the handle.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  /// `bounds` is consulted on first creation only; later calls with the
+  /// same name return the existing histogram.
+  [[nodiscard]] Histogram& histogram(std::string_view name, std::span<const double> bounds);
+
+  // --- snapshots (name-sorted, for the exporters and tests) -----------
+  struct HistogramSample {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1, last = overflow
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  [[nodiscard]] std::vector<std::pair<std::string, double>> gauges() const;
+  [[nodiscard]] std::vector<HistogramSample> histograms() const;
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+
+  /// Convenience for tests/benches: current counter value, 0 if absent.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  // --- span bookkeeping (driven by ScopedSpan) ------------------------
+  /// Spans nest per registry: open/close must be LIFO, which holds when
+  /// stages open spans on the pipeline-driving thread (workers never do).
+  struct SpanContext {
+    std::string parent;
+    std::uint64_t depth = 0;
+  };
+  [[nodiscard]] SpanContext begin_span(std::string_view name);
+  void end_span(SpanRecord record);
+
+ private:
+  mutable std::mutex mutex_;
+  // Node-based maps: handles must stay stable across later insertions.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::vector<std::string> span_stack_;
+  std::vector<SpanRecord> spans_;
+};
+
+}  // namespace cbwt::obs

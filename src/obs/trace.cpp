@@ -1,0 +1,30 @@
+#include "obs/trace.h"
+
+namespace cbwt::obs {
+
+ScopedSpan::ScopedSpan(Registry* registry, std::string_view name) : registry_(registry) {
+  if (registry_ == nullptr) return;
+  name_ = name;
+  auto context = registry_->begin_span(name_);
+  parent_ = std::move(context.parent);
+  depth_ = context.depth;
+  wall_begin_ = std::chrono::steady_clock::now();
+  cpu_begin_ = std::clock();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (registry_ == nullptr) return;
+  SpanRecord record;
+  record.name = std::move(name_);
+  record.parent = std::move(parent_);
+  record.depth = depth_;
+  record.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_begin_)
+          .count();
+  record.cpu_seconds = static_cast<double>(std::clock() - cpu_begin_) /
+                       static_cast<double>(CLOCKS_PER_SEC);
+  record.items = items_;
+  registry_->end_span(std::move(record));
+}
+
+}  // namespace cbwt::obs

@@ -1,5 +1,6 @@
 #include "report/json.h"
 
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
@@ -15,6 +16,8 @@ std::string JsonWriter::escape(std::string_view text) {
       case '\n': out += "\\n"; break;
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buffer[8];
@@ -104,9 +107,15 @@ JsonWriter& JsonWriter::value(std::string_view text) {
 
 JsonWriter& JsonWriter::value(double number) {
   before_value();
-  char buffer[64];
-  std::snprintf(buffer, sizeof buffer, "%.6g", number);
-  out_ += buffer;
+  // JSON has no NaN/Infinity literals; null is the conventional carrier
+  // (metrics exporters hit this with empty-histogram means and the like).
+  if (!std::isfinite(number)) {
+    out_ += "null";
+  } else {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.6g", number);
+    out_ += buffer;
+  }
   if (stack_.empty()) done_ = true;
   return *this;
 }

@@ -23,6 +23,8 @@ class JsonWriter {
 
   JsonWriter& value(std::string_view text);
   JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  /// Non-finite doubles (NaN, ±Inf) emit null — JSON has no literal for
+  /// them and a run report must stay machine-parseable.
   JsonWriter& value(double number);
   JsonWriter& value(std::int64_t number);
   JsonWriter& value(std::uint64_t number);

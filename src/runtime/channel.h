@@ -25,6 +25,31 @@ namespace cbwt::runtime {
 /// Outcome of a non-blocking push.
 enum class TryPush : std::uint8_t { Ok, Full, Closed };
 
+/// Backpressure / throughput counters of one channel (monotonic).
+/// Hoisted out of Channel<T> so observers (ShardOptions::channel_stats,
+/// obs::record_channel_stats) can handle stats without knowing T.
+struct ChannelStats {
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+  std::size_t high_water = 0;            ///< max queue depth observed
+  std::uint64_t producer_stalls = 0;     ///< pushes that had to block
+  std::uint64_t consumer_stalls = 0;     ///< pops that had to block
+  std::uint64_t producer_stall_ns = 0;   ///< total time producers blocked
+  std::uint64_t consumer_stall_ns = 0;   ///< total time consumers blocked
+
+  /// Folds another channel's counters in (sums; high_water takes max),
+  /// for accumulating across a pipeline's many short-lived channels.
+  void accumulate(const ChannelStats& other) noexcept {
+    pushed += other.pushed;
+    popped += other.popped;
+    high_water = std::max(high_water, other.high_water);
+    producer_stalls += other.producer_stalls;
+    consumer_stalls += other.consumer_stalls;
+    producer_stall_ns += other.producer_stall_ns;
+    consumer_stall_ns += other.consumer_stall_ns;
+  }
+};
+
 template <typename T>
 class Channel {
  public:
@@ -112,15 +137,7 @@ class Channel {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
   /// Backpressure / throughput counters (monotonic).
-  struct Stats {
-    std::uint64_t pushed = 0;
-    std::uint64_t popped = 0;
-    std::size_t high_water = 0;            ///< max queue depth observed
-    std::uint64_t producer_stalls = 0;     ///< pushes that had to block
-    std::uint64_t consumer_stalls = 0;     ///< pops that had to block
-    std::uint64_t producer_stall_ns = 0;   ///< total time producers blocked
-    std::uint64_t consumer_stall_ns = 0;   ///< total time consumers blocked
-  };
+  using Stats = ChannelStats;
   [[nodiscard]] Stats stats() const {
     std::unique_lock lock(mutex_);
     return stats_;

@@ -45,6 +45,12 @@ struct ShardOptions {
   /// Cap on the number of shards (bounds reorder-buffer memory and
   /// keeps the per-shard RNG label space small).
   std::size_t max_shards = 64;
+  /// When non-null, sharded_reduce folds its streaming channel's
+  /// counters in here after the stream drains (observability hook; the
+  /// serial path uses no channel and leaves the sink untouched). Not
+  /// consulted by plan_shards, so the shard plan — and determinism —
+  /// is unaffected.
+  ChannelStats* channel_stats = nullptr;
 };
 
 /// Splits [0, n) into contiguous shards. Pure function of (n, options):
@@ -243,6 +249,13 @@ Acc sharded_reduce(ThreadPool* pool, std::size_t n, const ShardOptions& options,
     throw;
   }
   CBWT_ASSERT(parked.empty() && next_to_merge == plan.size());
+
+  // Every part has been popped, so no producer touches the channel
+  // again (stragglers only re-check the claim cursor and return) — the
+  // stats are final here.
+  if (options.channel_stats != nullptr) {
+    options.channel_stats->accumulate(stream->parts.stats());
+  }
 
   std::unique_lock lock(stream->mutex);
   if (stream->error) std::rethrow_exception(stream->error);

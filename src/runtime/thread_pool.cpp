@@ -103,6 +103,11 @@ void ThreadPool::worker_loop(unsigned index) {
   }
 }
 
+std::uint64_t ThreadPool::pending() const {
+  std::unique_lock lock(sleep_mutex_);
+  return pending_;
+}
+
 ThreadPool::Stats ThreadPool::stats() const {
   std::unique_lock lock(stats_mutex_);
   return stats_;

@@ -43,6 +43,9 @@ class ThreadPool {
   /// Number of worker threads.
   [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
+  /// Tasks queued but not yet started (instantaneous queue depth).
+  [[nodiscard]] std::uint64_t pending() const;
+
   /// Hardware concurrency with a floor of 1 (the standard may report 0).
   [[nodiscard]] static unsigned hardware_threads() noexcept;
 
@@ -66,7 +69,7 @@ class ThreadPool {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex sleep_mutex_;
+  mutable std::mutex sleep_mutex_;
   std::condition_variable sleep_cv_;
   std::uint64_t pending_ = 0;  ///< queued-but-not-started tasks (under sleep_mutex_)
   bool stopping_ = false;      ///< set by the destructor (under sleep_mutex_)

@@ -1,0 +1,138 @@
+// Minimal recursive-descent JSON validator for tests: checks that a
+// string is one complete, well-formed JSON value (RFC 8259 grammar; no
+// object/array materialization). Shared by the report/obs/core suites to
+// assert exported documents stay machine-parseable.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+
+namespace cbwt::testing {
+
+class JsonChecker {
+ public:
+  /// True iff `text` is exactly one valid JSON value (plus whitespace).
+  [[nodiscard]] static bool valid(std::string_view text) {
+    JsonChecker checker(text);
+    checker.skip_ws();
+    if (!checker.value()) return false;
+    checker.skip_ws();
+    return checker.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  [[nodiscard]] bool consume(char c) {
+    if (at_end() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+  void skip_ws() {
+    while (!at_end() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                         peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool value() {
+    if (at_end()) return false;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  [[nodiscard]] bool object() {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  [[nodiscard]] bool array() {
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  [[nodiscard]] bool string() {
+    if (!consume('"')) return false;
+    while (!at_end()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control char
+      if (c == '\\') {
+        if (at_end()) return false;
+        const char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (at_end() || std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  [[nodiscard]] bool number() {
+    const std::size_t start = pos_;
+    (void)consume('-');
+    if (at_end() || std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+    if (!consume('0')) {
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (consume('.')) {
+      if (at_end() || std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!consume('+')) (void)consume('-');
+      if (at_end() || std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cbwt::testing

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "analysis/jurisdiction.h"
+#include "json_check.h"
+#include "netflow/profile.h"
+#include "obs/metrics.h"
 #include "util/stats.h"
 
 namespace cbwt::core {
@@ -194,6 +197,70 @@ TEST_F(StudyTest, StudyIsDeterministic) {
     EXPECT_EQ(flows_a[i].origin_country, flows_b[i].origin_country);
   }
   EXPECT_EQ(a.observed_tracker_ips(), b.observed_tracker_ips());
+}
+
+TEST(StudyRunReport, RecordsEveryStageAndStaysValidJson) {
+  obs::Registry registry;
+  StudyConfig config;
+  config.world.seed = 20180901;
+  config.world.scale = 0.01;
+  config.netflow.scale = 2e-5;
+  config.threads = 2;  // exercise the pool/channel metrics too
+  config.registry = &registry;
+  Study study(config);
+
+  // Drive every instrumented stage once.
+  (void)study.pdns_store();
+  (void)study.outcomes();
+  (void)study.completed_tracker_ips();
+  const auto& flows = study.flows();
+  (void)study.analyzer().confinement(flows);
+  (void)study.run_isp_snapshot(netflow::default_isps()[0],
+                               netflow::default_snapshots()[0]);
+
+  const std::string report = study.run_report();
+  EXPECT_TRUE(testing::JsonChecker::valid(report)) << report;
+  for (const char* needle :
+       {"\"name\":\"cbwt_run_report\"", "\"seed\"", "\"threads\":2", "\"obs\"",
+        // One span per pipeline stage.
+        "\"study/dataset\"", "\"study/pdns_replication\"", "\"study/classify\"",
+        "\"classify/stage1_abp\"", "\"classify/stage2_referrer\"",
+        "\"classify/stage3_keyword\"", "\"study/geoloc_panel\"",
+        "\"study/border_analysis\"", "\"study/isp_snapshot\"",
+        "\"netflow/generate\"", "\"netflow/collect\"",
+        // Module counters from every instrumented subsystem.
+        "cbwt_classify_requests_total", "cbwt_classify_rule_hits_total",
+        "cbwt_geoloc_cache_misses_total", "cbwt_geoloc_measure_seconds",
+        "cbwt_netflow_records_generated_total", "cbwt_netflow_matched_total",
+        "cbwt_runtime_channel_pushed_total", "cbwt_runtime_pool_size"}) {
+    EXPECT_NE(report.find(needle), std::string::npos) << "missing " << needle;
+  }
+
+  // Child spans carry their parents.
+  EXPECT_NE(report.find("\"name\":\"classify/stage1_abp\",\"parent\":\"study/classify\""),
+            std::string::npos);
+
+  // Attaching the registry must not change the classification: the
+  // counter breakdown equals an uninstrumented recount.
+  std::uint64_t rule_hits = 0;
+  for (const auto& outcome : study.outcomes()) {
+    rule_hits += outcome.method == classify::Method::AbpList ? 1 : 0;
+  }
+  EXPECT_EQ(registry.counter_value("cbwt_classify_rule_hits_total"), rule_hits);
+  EXPECT_EQ(registry.counter_value("cbwt_classify_requests_total"),
+            study.dataset().requests.size());
+}
+
+TEST(StudyRunReport, NoRegistryStillProducesValidEmptyReport) {
+  StudyConfig config;
+  config.world.seed = 7;
+  config.world.scale = 0.005;
+  Study study(config);
+  (void)study.outcomes();
+  const std::string report = study.run_report();
+  EXPECT_TRUE(testing::JsonChecker::valid(report)) << report;
+  EXPECT_NE(report.find("\"counters\":{}"), std::string::npos);
+  EXPECT_NE(report.find("\"spans\":[]"), std::string::npos);
 }
 
 }  // namespace

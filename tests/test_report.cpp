@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
+
+#include "json_check.h"
 
 namespace cbwt::report {
 namespace {
@@ -40,6 +44,35 @@ TEST(JsonWriter, NestedArrays) {
 TEST(JsonWriter, Escaping) {
   EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
   EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, EscapesEveryControlCharacter) {
+  // All of 0x00..0x1F must leave the document parseable: named escapes
+  // for the common ones, \u00XX for the rest.
+  EXPECT_EQ(JsonWriter::escape("\b"), "\\b");
+  EXPECT_EQ(JsonWriter::escape("\f"), "\\f");
+  EXPECT_EQ(JsonWriter::escape("\r"), "\\r");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x1f", 1)), "\\u001f");
+  for (int c = 0; c < 0x20; ++c) {
+    const std::string raw(1, static_cast<char>(c));
+    JsonWriter json;
+    json.value(std::string_view(raw));
+    EXPECT_TRUE(cbwt::testing::JsonChecker::valid(json.str()))
+        << "control char " << c << " -> " << json.str();
+  }
+}
+
+TEST(JsonWriter, NonFiniteDoublesEmitNull) {
+  // JSON has no NaN/Infinity literals; a run report must never emit one.
+  JsonWriter json;
+  json.begin_object()
+      .key("nan").value(std::nan(""))
+      .key("pinf").value(std::numeric_limits<double>::infinity())
+      .key("ninf").value(-std::numeric_limits<double>::infinity())
+      .key("ok").value(1.5)
+      .end_object();
+  EXPECT_EQ(json.str(), R"({"nan":null,"pinf":null,"ninf":null,"ok":1.5})");
+  EXPECT_TRUE(cbwt::testing::JsonChecker::valid(json.str()));
 }
 
 TEST(JsonWriter, MisuseThrows) {

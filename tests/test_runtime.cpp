@@ -10,6 +10,7 @@
 
 #include "core/study.h"
 #include "netflow/profile.h"
+#include "obs/metrics.h"
 #include "runtime/channel.h"
 #include "runtime/thread_pool.h"
 
@@ -244,6 +245,38 @@ TEST(ShardedReduce, MergesInShardOrderForEveryPoolSize) {
   }
 }
 
+TEST(ShardedReduce, ChannelStatsSinkSeesEveryPart) {
+  constexpr std::size_t kN = 20000;
+  ThreadPool pool(4);
+  ChannelStats stats;
+  const auto plan = plan_shards(kN, {.min_shard_items = 256});
+  ASSERT_GT(plan.size(), 1u);
+  (void)sharded_reduce<std::uint64_t>(
+      &pool, kN, {.min_shard_items = 256, .channel_stats = &stats},
+      /*seed=*/7, /*stage_label=*/0x57A75,
+      [](ShardRange range, std::size_t, util::Rng&) {
+        return static_cast<std::uint64_t>(range.size());
+      },
+      [](std::uint64_t& acc, std::uint64_t&& part) { acc += part; });
+  // One part per shard flows through the channel; the sink sees all of
+  // them, and the bounded capacity keeps the high-water finite.
+  EXPECT_EQ(stats.pushed, plan.size());
+  EXPECT_EQ(stats.popped, plan.size());
+  EXPECT_GE(stats.high_water, 1u);
+
+  // The serial path uses no channel and leaves the sink untouched.
+  ChannelStats serial_stats;
+  (void)sharded_reduce<std::uint64_t>(
+      nullptr, kN, {.min_shard_items = 256, .channel_stats = &serial_stats},
+      /*seed=*/7, /*stage_label=*/0x57A75,
+      [](ShardRange range, std::size_t, util::Rng&) {
+        return static_cast<std::uint64_t>(range.size());
+      },
+      [](std::uint64_t& acc, std::uint64_t&& part) { acc += part; });
+  EXPECT_EQ(serial_stats.pushed, 0u);
+  EXPECT_EQ(serial_stats.popped, 0u);
+}
+
 TEST(ShardedReduce, PropagatesShardExceptions) {
   ThreadPool pool(4);
   const auto boom = [&] {
@@ -293,8 +326,16 @@ core::StudyConfig sweep_config(unsigned threads) {
 class StudyDeterminism : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(StudyDeterminism, MatchesSerialReference) {
-  core::Study reference(sweep_config(1));
-  core::Study candidate(sweep_config(GetParam()));
+  // Both studies run fully instrumented: attaching a registry must not
+  // perturb any result (instrumentation is observational only).
+  obs::Registry ref_registry;
+  obs::Registry got_registry;
+  auto ref_config = sweep_config(1);
+  ref_config.registry = &ref_registry;
+  auto got_config = sweep_config(GetParam());
+  got_config.registry = &got_registry;
+  core::Study reference(ref_config);
+  core::Study candidate(got_config);
 
   // Classification outcomes, request by request.
   const auto& ref_outcomes = reference.outcomes();
@@ -331,6 +372,25 @@ TEST_P(StudyDeterminism, MatchesSerialReference) {
   EXPECT_EQ(got_run.collection.https_records, ref_run.collection.https_records);
   EXPECT_EQ(got_run.collection.udp_records, ref_run.collection.udp_records);
   EXPECT_EQ(got_run.collection.per_ip, ref_run.collection.per_ip);
+
+  // Identical work on both sides -> identical logical counters, even
+  // though the candidate computed them across threads.
+  for (const char* name :
+       {"cbwt_classify_requests_total", "cbwt_classify_rule_hits_total",
+        "cbwt_netflow_records_generated_total", "cbwt_netflow_matched_total"}) {
+    EXPECT_EQ(got_registry.counter_value(name), ref_registry.counter_value(name))
+        << name;
+  }
+  if (GetParam() > 1) {
+    // The sharded stages streamed their parts through bounded channels;
+    // the registry must have seen that throughput.
+    EXPECT_GT(got_registry.counter_value("cbwt_runtime_channel_pushed_total"), 0u);
+    EXPECT_EQ(got_registry.counter_value("cbwt_runtime_channel_pushed_total"),
+              got_registry.counter_value("cbwt_runtime_channel_popped_total"));
+  } else {
+    // Serial studies never touch a channel.
+    EXPECT_EQ(got_registry.counter_value("cbwt_runtime_channel_pushed_total"), 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(ThreadSweep, StudyDeterminism, ::testing::Values(1u, 2u, 8u),
