@@ -67,10 +67,14 @@ inline BenchOptions parse_options(int argc, char** argv) {
 }
 
 /// Standard bench config: 8% of the paper's request volume by default.
+/// CBWT_FAULT_RATE / CBWT_FAULT_SEED additionally arm the deterministic
+/// fault-injection plan (unset = the zero-cost fault-free path), which
+/// is how the EXPERIMENTS.md fault-rate sweeps drive any figure.
 inline core::StudyConfig bench_config() {
   core::StudyConfig config;
   config.world.seed = env_u64("CBWT_SEED", 20180901);
   config.world.scale = env_double("CBWT_SCALE", 0.08);
+  config.fault_plan = fault::FaultPlan::from_env();
   return config;
 }
 

@@ -27,11 +27,20 @@ int main(int argc, char** argv) {
   config.threads = 2;             // exercise the parallel path (results are
                                   // bit-identical to threads=1)
   config.registry = &registry;
+  // Chaos knob: CBWT_FAULT_RATE / CBWT_FAULT_SEED turn on deterministic
+  // fault injection at every external-facing service (unset = zero-cost
+  // fault-free run). See README "Fault injection".
+  config.fault_plan = fault::FaultPlan::from_env();
   core::Study study(config);
 
   std::printf("cbwt run inspector (seed %llu, scale %.2f, threads %u)\n",
               static_cast<unsigned long long>(config.world.seed), config.world.scale,
               config.threads);
+  if (config.fault_plan.enabled()) {
+    std::printf("fault injection on: rate %.2f, seed %llu\n",
+                config.fault_plan.default_rates.total(),
+                static_cast<unsigned long long>(config.fault_plan.seed));
+  }
 
   // Drive the pipeline end to end: dataset -> pDNS -> classify -> geoloc
   // -> border analysis -> one ISP NetFlow day.

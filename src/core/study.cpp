@@ -18,6 +18,10 @@ util::Rng Study::stage_rng(std::uint64_t label) const {
   return util::Rng(util::mix64(config_.world.seed ^ util::mix64(label)));
 }
 
+const fault::FaultPlan* Study::fault_plan() const noexcept {
+  return config_.fault_plan.enabled() ? &config_.fault_plan : nullptr;
+}
+
 Study::~Study() = default;
 
 runtime::ThreadPool* Study::pool() {
@@ -60,7 +64,8 @@ const pdns::Store& Study::pdns_store() {
     const auto& dns = resolver();
     obs::ScopedSpan span(config_.registry, "study/pdns_replication");
     auto rng = stage_rng(0x9D45);
-    pdns::replicate_background(*pdns_, dns, config_.replication, rng);
+    pdns::replicate_background(*pdns_, dns, config_.replication, rng, fault_plan(),
+                               config_.registry);
     pdns_replicated_ = true;
     span.set_items(pdns_->all_ips().size());
   }
@@ -149,7 +154,7 @@ const geoloc::GeoService& Study::geo() {
     auto ipapi = geoloc::build_ipapi_like(built_world, maxmind, 0.93, db_rng);
     geo_.emplace(built_world, std::move(maxmind), std::move(ipapi), *mesh_,
                  config_.active, config_.world.seed ^ 0xAC7173ULL, workers,
-                 config_.registry);
+                 config_.registry, fault_plan());
   }
   return *geo_;
 }
@@ -213,11 +218,11 @@ Study::IspRun Study::run_isp_snapshot(const netflow::IspProfile& isp,
   const std::uint64_t seed = util::mix64(config_.world.seed ^ util::mix64(label));
   const auto exported = netflow::generate_snapshot_sharded(
       built_world, dns, isp, snapshot, config_.netflow, seed, workers,
-      config_.registry);
+      config_.registry, fault_plan());
   IspRun run;
   run.exported_records = exported.records.size();
   run.collection = netflow::collect_sharded(exported.records, index, isp, workers,
-                                            config_.registry);
+                                            config_.registry, fault_plan());
   run.flows = run.collection.flows(std::string(isp.country));
   span.set_items(run.exported_records);
   return run;
@@ -234,6 +239,31 @@ std::string Study::run_report() {
   json.key("seed").value(config_.world.seed);
   json.key("scale").value(config_.world.scale);
   json.key("threads").value(static_cast<std::uint64_t>(config_.threads));
+  json.key("fault");
+  json.begin_object();
+  const bool fault_enabled = config_.fault_plan.enabled();
+  json.key("enabled").value(fault_enabled);
+  if (fault_enabled) {
+    json.key("seed").value(config_.fault_plan.seed);
+    // Degradation per stage: every cbwt_fault_<site>_degraded_total the
+    // run's stages published, keyed by injection site. Counters are read
+    // from the snapshot, never created here.
+    json.key("degraded");
+    json.begin_object();
+    if (config_.registry != nullptr) {
+      constexpr std::string_view kPrefix = "cbwt_fault_";
+      constexpr std::string_view kSuffix = "_degraded_total";
+      for (const auto& [name, count] : config_.registry->counters()) {
+        if (name.starts_with(kPrefix) && name.ends_with(kSuffix)) {
+          json.key(name.substr(kPrefix.size(),
+                               name.size() - kPrefix.size() - kSuffix.size()))
+              .value(count);
+        }
+      }
+    }
+    json.end_object();
+  }
+  json.end_object();
   json.key("obs");
   if (config_.registry != nullptr) {
     obs::write_json(*config_.registry, json);

@@ -21,6 +21,7 @@
 #include "browser/extension.h"
 #include "classify/classifier.h"
 #include "dns/resolver.h"
+#include "fault/fault.h"
 #include "filterlist/generate.h"
 #include "geoloc/service.h"
 #include "netflow/collector.h"
@@ -56,6 +57,13 @@ struct StudyConfig {
   /// with or without it. nullptr (the default) keeps every instrumented
   /// path a null-check-only no-op.
   obs::Registry* registry = nullptr;
+  /// Fault-injection plan for the external-facing services (DNS, pDNS
+  /// replication, geolocation probes/measurements, NetFlow export). The
+  /// default (all rates zero) is the zero-cost path: stage outputs and
+  /// the registry's contents are byte-identical to a build without the
+  /// fault layer. Any enabled plan stays deterministic in (seed, plan)
+  /// across thread counts.
+  fault::FaultPlan fault_plan;
 };
 
 class Study {
@@ -128,6 +136,10 @@ class Study {
 
  private:
   [[nodiscard]] util::Rng stage_rng(std::uint64_t label) const;
+
+  /// The plan handed to the fault-aware stages: null unless enabled, so
+  /// the default config takes every stage's fault-free branch.
+  [[nodiscard]] const fault::FaultPlan* fault_plan() const noexcept;
 
   /// Registrable domains of classified tracking requests, shared by pDNS
   /// completion and the per-day tracker index of run_isp_snapshot.

@@ -1,0 +1,94 @@
+#include "fault/fault.h"
+
+#include <cstdlib>
+
+#include "util/contract.h"
+#include "util/prng.h"
+
+namespace cbwt::fault {
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::None: return "none";
+    case FaultKind::Timeout: return "timeout";
+    case FaultKind::Error: return "error";
+    case FaultKind::SlowResponse: return "slow";
+    case FaultKind::StaleData: return "stale";
+  }
+  return "?";
+}
+
+bool FaultPlan::enabled() const noexcept {
+  if (default_rates.any()) return true;
+  for (const auto& [label, rates] : site_rates) {
+    if (rates.any()) return true;
+  }
+  return false;
+}
+
+const SiteRates& FaultPlan::rates_for(std::string_view label) const noexcept {
+  const auto it = site_rates.find(label);
+  return it != site_rates.end() ? it->second : default_rates;
+}
+
+Site FaultPlan::site(std::string_view label) const noexcept {
+  return Site{site_hash(label), rates_for(label)};
+}
+
+FaultPlan FaultPlan::uniform(std::uint64_t seed, double rate) {
+  CBWT_EXPECTS(rate >= 0.0 && rate <= 1.0);
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.default_rates = {rate / 4.0, rate / 4.0, rate / 4.0, rate / 4.0};
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  FaultPlan plan;  // default: disabled (all rates zero)
+  const char* rate_env = std::getenv("CBWT_FAULT_RATE");
+  if (rate_env == nullptr) return plan;
+  const double rate = std::atof(rate_env);
+  if (rate <= 0.0) return plan;
+  std::uint64_t seed = plan.seed;
+  if (const char* seed_env = std::getenv("CBWT_FAULT_SEED")) {
+    seed = std::strtoull(seed_env, nullptr, 10);
+  }
+  return uniform(seed, rate < 1.0 ? rate : 1.0);
+}
+
+std::uint64_t site_hash(std::string_view label) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  for (const char c : label) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return util::mix64(h);
+}
+
+double stateless_uniform(std::uint64_t seed, std::uint64_t site_hash,
+                         std::uint64_t key, std::uint64_t salt) noexcept {
+  const std::uint64_t mixed = util::mix64(
+      util::mix64(seed ^ site_hash) ^ util::mix64(key ^ util::mix64(salt)));
+  // Top 53 bits -> [0, 1), the standard double construction.
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+FaultKind decide(std::uint64_t plan_seed, const Site& site, std::uint64_t key,
+                 std::uint32_t attempt) noexcept {
+  const SiteRates& rates = site.rates;
+  if (!rates.any()) return FaultKind::None;
+  const double u = stateless_uniform(plan_seed, site.hash, key, attempt);
+  // Cumulative thresholds: u is rate-independent, so growing any rate
+  // only widens the faulted interval (the nesting property).
+  double edge = rates.timeout;
+  if (u < edge) return FaultKind::Timeout;
+  edge += rates.error;
+  if (u < edge) return FaultKind::Error;
+  edge += rates.slow;
+  if (u < edge) return FaultKind::SlowResponse;
+  edge += rates.stale;
+  if (u < edge) return FaultKind::StaleData;
+  return FaultKind::None;
+}
+
+}  // namespace cbwt::fault

@@ -1,0 +1,207 @@
+#include "fault/retry.h"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+#include "util/contract.h"
+
+namespace cbwt::fault {
+
+namespace {
+
+/// Salt space for backoff jitter, disjoint from attempt indices (which
+/// are small) so the jitter stream never aliases a decision stream.
+constexpr std::uint64_t kJitterSalt = 0x4A177E5000000000ULL;
+
+/// Buckets for the per-call virtual latency histogram (milliseconds).
+constexpr std::array<double, 8> kLatencyBoundsMs = {1,   5,   10,   25,
+                                                    50,  100, 500,  2500};
+
+}  // namespace
+
+CallFate fate_of(const FaultPlan& plan, const Site& site, std::uint64_t key,
+                 const RetryPolicy& policy) noexcept {
+  CallFate fate;
+  if (!site.rates.any()) return fate;  // zero-cost default: 1 attempt, success
+
+  CBWT_EXPECTS(policy.max_attempts >= 1);
+  fate.attempts = 0;
+  double backoff = policy.base_backoff_ms;
+  for (std::uint32_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    ++fate.attempts;
+    const FaultKind kind = decide(plan.seed, site, key, attempt);
+    switch (kind) {
+      case FaultKind::None:
+        fate.latency_ms += policy.base_latency_ms;
+        fate.failure = FaultKind::None;
+        return fate;
+      case FaultKind::SlowResponse:
+        fate.latency_ms += policy.base_latency_ms + policy.slow_penalty_ms;
+        ++fate.injected;
+        if (policy.deadline_ms > 0.0 && fate.latency_ms >= policy.deadline_ms) {
+          // The late answer arrived after the caller's budget: a timeout
+          // from the caller's point of view.
+          fate.failure = FaultKind::Timeout;
+          return fate;
+        }
+        fate.failure = FaultKind::None;
+        return fate;
+      case FaultKind::StaleData:
+        fate.latency_ms += policy.base_latency_ms;
+        ++fate.injected;
+        fate.stale = true;
+        fate.failure = FaultKind::None;
+        return fate;
+      case FaultKind::Timeout:
+        fate.latency_ms += policy.attempt_timeout_ms;
+        ++fate.injected;
+        break;
+      case FaultKind::Error:
+        fate.latency_ms += policy.base_latency_ms;
+        ++fate.injected;
+        break;
+    }
+    fate.failure = kind;  // provisional: stands if this was the last chance
+    if (policy.deadline_ms > 0.0 && fate.latency_ms >= policy.deadline_ms) {
+      fate.failure = FaultKind::Timeout;
+      return fate;
+    }
+    if (attempt + 1 < policy.max_attempts) {
+      const double u =
+          stateless_uniform(plan.seed, site.hash, key, kJitterSalt | attempt);
+      const double factor = 1.0 + policy.jitter * (2.0 * u - 1.0);
+      fate.latency_ms += std::min(backoff, policy.max_backoff_ms) * factor;
+      backoff *= policy.backoff_multiplier;
+      if (policy.deadline_ms > 0.0 && fate.latency_ms >= policy.deadline_ms) {
+        fate.failure = FaultKind::Timeout;
+        return fate;
+      }
+    }
+  }
+  return fate;  // exhausted: failure holds the last attempt's kind
+}
+
+bool CircuitBreaker::allow() noexcept {
+  switch (state_) {
+    case State::Closed:
+    case State::HalfOpen:
+      return true;
+    case State::Open:
+      if (++rejected_while_open_ >= policy_.open_calls) {
+        // Cooldown served: arm the half-open probe for the next call.
+        state_ = State::HalfOpen;
+        rejected_while_open_ = 0;
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_success() noexcept {
+  consecutive_failures_ = 0;
+  state_ = State::Closed;
+}
+
+void CircuitBreaker::on_failure() noexcept {
+  if (state_ == State::HalfOpen) {
+    // The probe failed: straight back to open for another cooldown.
+    state_ = State::Open;
+    rejected_while_open_ = 0;
+    return;
+  }
+  if (++consecutive_failures_ >= policy_.failure_threshold) {
+    state_ = State::Open;
+    rejected_while_open_ = 0;
+  }
+}
+
+std::string_view to_string(CircuitBreaker::State state) noexcept {
+  switch (state) {
+    case CircuitBreaker::State::Closed: return "closed";
+    case CircuitBreaker::State::Open: return "open";
+    case CircuitBreaker::State::HalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+SiteMetrics SiteMetrics::resolve(obs::Registry* registry, std::string_view site) {
+  SiteMetrics metrics;
+  if (registry == nullptr) return metrics;
+  const std::string prefix = "cbwt_fault_" + std::string(site);
+  metrics.injected = &registry->counter(prefix + "_injected_total");
+  metrics.retried = &registry->counter(prefix + "_retried_total");
+  metrics.exhausted = &registry->counter(prefix + "_exhausted_total");
+  metrics.degraded = &registry->counter(prefix + "_degraded_total");
+  metrics.breaker_rejected = &registry->counter(prefix + "_breaker_rejected_total");
+  metrics.retry_latency_ms =
+      &registry->histogram(prefix + "_retry_latency_ms", kLatencyBoundsMs);
+  return metrics;
+}
+
+void SiteMetrics::count(const CallFate& fate) const noexcept {
+  if (injected == nullptr) return;
+  if (fate.breaker_rejected) {
+    breaker_rejected->add(1);
+    return;
+  }
+  if (fate.injected > 0) injected->add(fate.injected);
+  if (fate.attempts > 1) retried->add(fate.attempts - 1);
+  if (!fate.ok()) exhausted->add(1);
+  if (fate.attempts > 1) retry_latency_ms->observe(fate.latency_ms);
+}
+
+void SiteMetrics::count_degraded(std::uint64_t n) const noexcept {
+  if (degraded != nullptr && n > 0) degraded->add(n);
+}
+
+Retrier::Retrier(const FaultPlan* plan, std::string_view site_label, RetryPolicy retry,
+                 BreakerPolicy breaker, obs::Registry* registry)
+    : plan_(plan), retry_(retry), breaker_policy_(breaker) {
+  if (plan_ != nullptr) {
+    site_ = plan_->site(site_label);
+    // Handles resolve only for a live site: a zero-rate plan must leave
+    // the registry's name set untouched (byte-identical contract).
+    if (site_.rates.any()) metrics_ = SiteMetrics::resolve(registry, site_label);
+  }
+}
+
+CallFate Retrier::call(std::uint64_t endpoint, std::uint64_t key) {
+  CallFate fate;
+  if (!enabled()) return fate;
+  ++stats_.calls;
+  CircuitBreaker& endpoint_breaker = breaker(endpoint);
+  if (!endpoint_breaker.allow()) {
+    fate.breaker_rejected = true;
+    fate.failure = FaultKind::Error;
+    fate.attempts = 0;
+    ++stats_.breaker_rejected;
+    metrics_.count(fate);
+    return fate;
+  }
+  fate = fate_of(*plan_, site_, key, retry_);
+  if (fate.ok()) {
+    endpoint_breaker.on_success();
+  } else {
+    endpoint_breaker.on_failure();
+    ++stats_.exhausted;
+  }
+  stats_.injected += fate.injected;
+  stats_.retried += fate.attempts > 1 ? fate.attempts - 1 : 0;
+  stats_.latency_ms += fate.latency_ms;
+  metrics_.count(fate);
+  return fate;
+}
+
+void Retrier::count_degraded(std::uint64_t n) noexcept {
+  stats_.degraded += n;
+  metrics_.count_degraded(n);
+}
+
+CircuitBreaker& Retrier::breaker(std::uint64_t endpoint) {
+  const auto it = breakers_.find(endpoint);
+  if (it != breakers_.end()) return it->second;
+  return breakers_.emplace(endpoint, CircuitBreaker(breaker_policy_)).first->second;
+}
+
+}  // namespace cbwt::fault

@@ -43,7 +43,8 @@ double ActiveGeolocator::measure_rtt(const Probe& probe, const geo::LatLon& targ
   return propagation + last_mile + queueing;
 }
 
-GeoEstimate ActiveGeolocator::locate(const net::IpAddress& ip, util::Rng& rng) const {
+GeoEstimate ActiveGeolocator::locate(const net::IpAddress& ip, util::Rng& rng,
+                                     const fault::FaultPlan* fault_plan) const {
   const world::Server* server = world_->find_server(ip);
   if (server == nullptr) return {};
   const auto& dc = world_->datacenter(server->datacenter);
@@ -80,6 +81,37 @@ GeoEstimate ActiveGeolocator::locate(const net::IpAddress& ip, util::Rng& rng) c
     const auto& probe = probes[util::sample_discrete(rng, refine_weights)];
     samples.push_back({measure_rtt(probe, dc.location, rng), &probe});
   }
+  GeoEstimate estimate;
+  const fault::Site probe_site = fault_plan != nullptr
+                                     ? fault_plan->site(fault::sites::kGeoProbe)
+                                     : fault::Site{};
+  if (probe_site.rates.any()) {
+    // Faults are applied to the *collected* dataset: every probe above
+    // was measured exactly as in the fault-free run (same rng draws),
+    // and the loss decision per panel slot is stateless, so the
+    // surviving samples at a low loss rate are a superset of those at
+    // any higher rate. Located-or-not then depends only on whether the
+    // survivors clear the quorum — the nesting that makes the located
+    // count monotone in the loss rate.
+    std::size_t kept = 0;
+    for (std::size_t slot = 0; slot < samples.size(); ++slot) {
+      const fault::FaultKind kind =
+          fault::decide(fault_plan->seed, probe_site, ip.hash(),
+                        static_cast<std::uint32_t>(slot));
+      if (kind == fault::FaultKind::Timeout || kind == fault::FaultKind::Error) {
+        ++estimate.lost_probes;
+        continue;  // no response: the slot never enters the voting set
+      }
+      if (kind == fault::FaultKind::SlowResponse) {
+        samples[slot].rtt += options_.slow_probe_penalty_ms;
+      }
+      samples[kept++] = samples[slot];
+    }
+    samples.resize(kept);
+    if (samples.size() < options_.quorum) {
+      return estimate;  // below quorum: refuse to locate, report the losses
+    }
+  }
   std::sort(samples.begin(), samples.end(),
             [](const Sample& a, const Sample& b) { return a.rtt < b.rtt; });
 
@@ -95,7 +127,6 @@ GeoEstimate ActiveGeolocator::locate(const net::IpAddress& ip, util::Rng& rng) c
     ++headcount[samples[i].probe->country];
   }
 
-  GeoEstimate estimate;
   double best = 0.0;
   for (const auto& [country, weight] : votes) {
     if (weight > best) {

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "geo/country.h"
 #include "geo/location.h"
 #include "net/ip.h"
@@ -45,6 +46,7 @@ struct GeoEstimate {
   geo::Continent continent = geo::Continent::Europe;
   double country_agreement = 0; ///< share of voters backing the winner
   double min_rtt_ms = 0;
+  std::uint32_t lost_probes = 0; ///< panel probes lost to injected faults
 };
 
 struct ActiveGeolocatorOptions {
@@ -57,6 +59,14 @@ struct ActiveGeolocatorOptions {
   /// Votes are weighted by rtt^-vote_falloff: the probes closest to the
   /// target dominate, as in delay-based multilateration.
   double vote_falloff = 4.0;
+  /// Minimum surviving panel for a verdict under fault injection: fewer
+  /// than `quorum` responsive probes means the engine refuses to locate
+  /// the IP (empty estimate). Only enforced when a live fault plan is
+  /// passed to locate(), so the fault-free path is untouched.
+  std::uint32_t quorum = 5;
+  /// RTT penalty of a SlowResponse-faulted probe (congested path): the
+  /// sample survives but drops down the low-RTT voter ranking.
+  double slow_probe_penalty_ms = 150.0;
 };
 
 /// Measurement-driven geolocator over a World (the World provides the
@@ -69,7 +79,18 @@ class ActiveGeolocator {
 
   /// Locates a server IP. Unknown IPs (not in the world) return an empty
   /// estimate. Deterministic given the Rng.
-  [[nodiscard]] GeoEstimate locate(const net::IpAddress& ip, util::Rng& rng) const;
+  ///
+  /// `fault_plan` (optional) subjects each panel slot to the
+  /// `geoloc_probe` injection site: lost probes (Timeout/Error) are
+  /// discarded from the voting set, slow probes are penalised down the
+  /// RTT ranking, and a surviving panel below `quorum` yields an empty
+  /// (unlocated) estimate. Probes are measured first and losses applied
+  /// to the collected dataset, so the rng stream matches the fault-free
+  /// run draw for draw and the surviving sample set at rate r is a
+  /// superset of the one at any higher rate (nested-loss monotonicity,
+  /// checked by tests/test_fault.cpp).
+  [[nodiscard]] GeoEstimate locate(const net::IpAddress& ip, util::Rng& rng,
+                                   const fault::FaultPlan* fault_plan = nullptr) const;
 
  private:
   [[nodiscard]] double measure_rtt(const Probe& probe, const geo::LatLon& target,

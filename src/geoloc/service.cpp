@@ -33,10 +33,20 @@ GeoService::GeoService(const world::World& world, CommercialDb maxmind_like,
                        CommercialDb ipapi_like, const ProbeMesh& mesh,
                        ActiveGeolocatorOptions active_options,
                        std::uint64_t measurement_seed, runtime::ThreadPool* pool,
-                       obs::Registry* registry)
+                       obs::Registry* registry, const fault::FaultPlan* fault_plan)
     : world_(&world), maxmind_like_(std::move(maxmind_like)),
       ipapi_like_(std::move(ipapi_like)), active_(world, mesh, active_options),
       measurement_seed_(measurement_seed), pool_(pool) {
+  if (fault_plan != nullptr && fault_plan->enabled()) {
+    fault_plan_ = fault_plan;
+    measure_site_ = fault_plan->site(fault::sites::kGeoMeasure);
+    if (measure_site_.rates.any()) {
+      measure_metrics_ = fault::SiteMetrics::resolve(registry, fault::sites::kGeoMeasure);
+    }
+    if (fault_plan->site(fault::sites::kGeoProbe).rates.any()) {
+      probe_metrics_ = fault::SiteMetrics::resolve(registry, fault::sites::kGeoProbe);
+    }
+  }
   if (registry != nullptr) {
     batches_ = &registry->counter("cbwt_geoloc_probe_batches_total");
     batch_ips_ = &registry->counter("cbwt_geoloc_probe_batch_ips_total");
@@ -50,25 +60,53 @@ GeoService::GeoService(const world::World& world, CommercialDb maxmind_like,
 }
 
 std::string GeoService::measure_active(const net::IpAddress& ip) const {
-  auto rng = measurement_rng(ip);
-  std::string country;
+  std::uint32_t attempt = 0;
+  if (fault_plan_ != nullptr && measure_site_.rates.any()) {
+    // Whole-measurement fate: pure in (plan, ip), so concurrent and
+    // repeated measurements of the same IP agree without coordination.
+    const fault::CallFate fate =
+        fault::fate_of(*fault_plan_, measure_site_, ip.hash(), measure_retry_);
+    measure_metrics_.count(fate);
+    if (!fate.ok()) {
+      // The engine never returned a verdict: cache the IP as unlocated
+      // and let the analysis tables degrade gracefully.
+      measure_metrics_.count_degraded();
+      if (located_ != nullptr) unlocated_->add(1);
+      return {};
+    }
+    attempt = fate.attempts - 1;
+  }
+  auto rng = measurement_rng(ip, attempt);
+  GeoEstimate estimate;
   if (measure_seconds_ != nullptr) {
     const auto begin = std::chrono::steady_clock::now();
-    country = active_.locate(ip, rng).country;
+    estimate = active_.locate(ip, rng, fault_plan_);
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - begin;
     measure_seconds_->observe(elapsed.count());
   } else {
-    country = active_.locate(ip, rng).country;
+    estimate = active_.locate(ip, rng, fault_plan_);
+  }
+  if (estimate.lost_probes > 0 && probe_metrics_.injected != nullptr) {
+    probe_metrics_.injected->add(estimate.lost_probes);
+    // An empty verdict here means the surviving panel missed quorum.
+    if (estimate.country.empty()) probe_metrics_.count_degraded();
   }
   if (located_ != nullptr) {
-    (country.empty() ? *unlocated_ : *located_).add(1);
+    (estimate.country.empty() ? *unlocated_ : *located_).add(1);
   }
-  return country;
+  return estimate.country;
 }
 
-util::Rng GeoService::measurement_rng(const net::IpAddress& ip) const noexcept {
-  return util::Rng(util::mix64(measurement_seed_ ^ ip.hash()));
+util::Rng GeoService::measurement_rng(const net::IpAddress& ip,
+                                      std::uint32_t attempt) const noexcept {
+  std::uint64_t stream = util::mix64(measurement_seed_ ^ ip.hash());
+  if (attempt > 0) {
+    // Retried measurements schedule a fresh panel: salt the stream, but
+    // keep attempt 0 on the legacy stream byte for byte.
+    stream = util::mix64(stream + 0x9E3779B97F4A7C15ULL * attempt);
+  }
+  return util::Rng(stream);
 }
 
 std::string GeoService::locate_active(const net::IpAddress& ip) const {

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/retry.h"
 #include "geoloc/active.h"
 #include "geoloc/commercial.h"
 #include "obs/metrics.h"
@@ -47,10 +48,21 @@ class GeoService {
   /// traffic: probe batches, cache hits/misses, located/unlocated
   /// verdicts, and a per-measurement latency histogram. Instrumentation
   /// never affects verdicts.
+  ///
+  /// `fault_plan` (optional, not owned, must outlive the service)
+  /// subjects active measurements to injection: whole-measurement faults
+  /// (`geoloc_measure` site, retried with the default policy; an
+  /// exhausted measurement caches an empty = unlocated verdict) and
+  /// per-probe loss inside the panel (`geoloc_probe` site, handled by
+  /// ActiveGeolocator: survivors below quorum -> unlocated). Fates are
+  /// pure functions of (plan, ip), never of lookup order or thread
+  /// count, so the thread-invariance contract of the cache holds under
+  /// injection too.
   GeoService(const world::World& world, CommercialDb maxmind_like, CommercialDb ipapi_like,
              const ProbeMesh& mesh, ActiveGeolocatorOptions active_options,
              std::uint64_t measurement_seed, runtime::ThreadPool* pool = nullptr,
-             obs::Registry* registry = nullptr);
+             obs::Registry* registry = nullptr,
+             const fault::FaultPlan* fault_plan = nullptr);
 
   /// Country code for `ip` under `tool`; empty string when unlocatable.
   /// Thread-safe (the active cache is internally synchronized).
@@ -71,8 +83,12 @@ class GeoService {
 
  private:
   /// The per-IP generator: stateless in (seed, ip), the root of the
-  /// order- and thread-count-independence of active verdicts.
-  [[nodiscard]] util::Rng measurement_rng(const net::IpAddress& ip) const noexcept;
+  /// order- and thread-count-independence of active verdicts. Attempt 0
+  /// is the legacy stream (fault-free runs are byte-identical); retried
+  /// measurements re-draw their panel from an attempt-salted stream, as
+  /// a re-scheduled panel would.
+  [[nodiscard]] util::Rng measurement_rng(const net::IpAddress& ip,
+                                          std::uint32_t attempt) const noexcept;
   [[nodiscard]] std::string locate_active(const net::IpAddress& ip) const;
 
   /// Measures `ip` with the active tool, updating the measurement
@@ -85,6 +101,15 @@ class GeoService {
   ActiveGeolocator active_;
   std::uint64_t measurement_seed_;
   runtime::ThreadPool* pool_;
+  /// Null unless a live (enabled) plan was attached — one branch on the
+  /// fault-free path. Fates use fate_of directly (no Retrier): lookups
+  /// run concurrently and a per-IP fate must not depend on any shared
+  /// breaker state.
+  const fault::FaultPlan* fault_plan_ = nullptr;
+  fault::Site measure_site_;
+  fault::RetryPolicy measure_retry_;
+  fault::SiteMetrics measure_metrics_;
+  fault::SiteMetrics probe_metrics_;
   mutable std::mutex cache_mutex_;
   mutable std::unordered_map<net::IpAddress, std::string> active_cache_;
 

@@ -46,9 +46,27 @@ std::vector<analysis::Flow> CollectionResult::flows(std::string origin_country) 
 }
 
 CollectionResult collect(std::span<const RawRecord> records, const TrackerIpIndex& trackers,
-                         const IspProfile& isp) {
+                         const IspProfile& isp, const CollectOptions& options) {
   CollectionResult result;
-  for (const auto& record : records) {
+  const fault::Site export_site =
+      options.fault_plan != nullptr
+          ? options.fault_plan->site(fault::sites::kNetflowExport)
+          : fault::Site{};
+  const bool inject = export_site.rates.any();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& record = records[i];
+    if (inject) {
+      // One export datagram, one stateless drop decision on its absolute
+      // index. Slow/stale exports still arrive (the collector is not
+      // latency-sensitive); only Timeout/Error lose the record.
+      const fault::FaultKind kind =
+          fault::decide(options.fault_plan->seed, export_site,
+                        options.base_index + i, /*attempt=*/0);
+      if (kind == fault::FaultKind::Timeout || kind == fault::FaultKind::Error) {
+        ++result.dropped_records;
+        continue;
+      }
+    }
     ++result.records_seen;
     if (!record.internal_interface) continue;  // peering links carry no user edge
     ++result.internal_records;
@@ -77,14 +95,18 @@ CollectionResult collect(std::span<const RawRecord> records, const TrackerIpInde
 
 CollectionResult collect_sharded(std::span<const RawRecord> records,
                                  const TrackerIpIndex& trackers, const IspProfile& isp,
-                                 runtime::ThreadPool* pool, obs::Registry* registry) {
+                                 runtime::ThreadPool* pool, obs::Registry* registry,
+                                 const fault::FaultPlan* fault_plan) {
   obs::ScopedSpan span(registry, "netflow/collect");
   runtime::ChannelStats channel_stats;
   auto result = runtime::sharded_reduce<CollectionResult>(
       pool, records.size(), {.channel_stats = &channel_stats},
       /*seed=*/0, /*stage_label=*/0xC011EC7,
       [&](runtime::ShardRange range, std::size_t /*shard*/, util::Rng& /*rng*/) {
-        return collect(records.subspan(range.begin, range.size()), trackers, isp);
+        // base_index anchors the shard's drop decisions to the absolute
+        // record index, keeping them shard-plan-independent.
+        return collect(records.subspan(range.begin, range.size()), trackers, isp,
+                       {.fault_plan = fault_plan, .base_index = range.begin});
       },
       [](CollectionResult& acc, CollectionResult&& part) {
         acc.records_seen += part.records_seen;
@@ -92,10 +114,12 @@ CollectionResult collect_sharded(std::span<const RawRecord> records,
         acc.matched_records += part.matched_records;
         acc.https_records += part.https_records;
         acc.udp_records += part.udp_records;
+        acc.dropped_records += part.dropped_records;
         for (const auto& [ip, count] : part.per_ip) acc.per_ip[ip] += count;
       });
   CBWT_ENSURES(result.matched_records <= result.internal_records);
   CBWT_ENSURES(result.internal_records <= result.records_seen);
+  CBWT_ENSURES(result.records_seen + result.dropped_records == records.size());
 
   span.set_items(result.records_seen);
   if (registry != nullptr) {
@@ -103,6 +127,15 @@ CollectionResult collect_sharded(std::span<const RawRecord> records,
     registry->counter("cbwt_netflow_internal_total").add(result.internal_records);
     registry->counter("cbwt_netflow_matched_total").add(result.matched_records);
     obs::record_channel_stats(registry, channel_stats);
+  }
+  if (fault_plan != nullptr &&
+      fault_plan->site(fault::sites::kNetflowExport).rates.any()) {
+    const auto metrics =
+        fault::SiteMetrics::resolve(registry, fault::sites::kNetflowExport);
+    if (metrics.injected != nullptr && result.dropped_records > 0) {
+      metrics.injected->add(result.dropped_records);
+    }
+    metrics.count_degraded(result.dropped_records);
   }
   return result;
 }

@@ -83,21 +83,34 @@ struct EmissionContext {
   }
 
   void emit(const dns::Resolver& resolver, world::DomainId domain_id, util::Rng& rng,
-            std::vector<RawRecord>& out) const {
+            std::vector<RawRecord>& out, fault::Retrier* retrier = nullptr,
+            std::uint64_t key = 0) const {
     const bool third_party_dns = rng.chance(isp.third_party_resolver_share);
+    if (retrier != nullptr && retrier->enabled()) {
+      const auto origin = resolver.origin_for(isp.country, third_party_dns);
+      const auto answer =
+          resolver.resolve_with_faults(domain_id, origin, rng, *retrier, key);
+      if (!answer) return;  // the subscriber's fetch failed: no flow exported
+      out.push_back(base_record(config, subscriber_ip(rng), answer->ip, rng));
+      return;
+    }
     const auto answer = resolver.resolve_from(domain_id, isp.country, third_party_dns, rng);
     out.push_back(base_record(config, subscriber_ip(rng), answer.ip, rng));
   }
 
   void emit_tracking(const dns::Resolver& resolver, util::Rng& rng,
-                     std::vector<RawRecord>& out) const {
-    emit(resolver, tracking[util::sample_discrete(rng, tracking_weights)], rng, out);
+                     std::vector<RawRecord>& out, fault::Retrier* retrier = nullptr,
+                     std::uint64_t key = 0) const {
+    emit(resolver, tracking[util::sample_discrete(rng, tracking_weights)], rng, out,
+         retrier, key);
   }
 
   void emit_background(const dns::Resolver& resolver, util::Rng& rng,
-                       std::vector<RawRecord>& out) const {
+                       std::vector<RawRecord>& out, fault::Retrier* retrier = nullptr,
+                       std::uint64_t key = 0) const {
     if (clean.empty()) return;
-    emit(resolver, clean[util::sample_discrete(rng, clean_weights)], rng, out);
+    emit(resolver, clean[util::sample_discrete(rng, clean_weights)], rng, out, retrier,
+         key);
   }
 
   const IspProfile& isp;
@@ -157,7 +170,8 @@ SnapshotExport generate_snapshot_sharded(const world::World& world,
                                          const IspProfile& isp, const Snapshot& snapshot,
                                          const GeneratorConfig& config, std::uint64_t seed,
                                          runtime::ThreadPool* pool,
-                                         obs::Registry* registry) {
+                                         obs::Registry* registry,
+                                         const fault::FaultPlan* fault_plan) {
   obs::ScopedSpan span(registry, "netflow/generate");
   SnapshotExport out;
   intended_volumes(isp, snapshot, config, out);
@@ -182,15 +196,26 @@ SnapshotExport generate_snapshot_sharded(const world::World& world,
         [&](runtime::ShardRange range, std::size_t /*shard*/, util::Rng& rng) {
           Batch part;
           part.reserve(range.size());
-          for (std::size_t i = range.begin; i < range.end; ++i) emit_one(rng, part);
+          // One Retrier per shard: the breaker's call order follows the
+          // stable shard plan, which the serial path replays inline in
+          // shard order — identical trajectories at any pool size.
+          fault::Retrier retrier(fault_plan, fault::sites::kDns, fault::RetryPolicy{},
+                                 fault::BreakerPolicy{}, registry);
+          for (std::size_t i = range.begin; i < range.end; ++i) {
+            emit_one(rng, part, &retrier, util::mix64(label ^ i));
+          }
           return part;
         },
         append);
   };
   stream(out.tracking_intended, kTrackingStream,
-         [&](util::Rng& rng, Batch& part) { context.emit_tracking(resolver, rng, part); });
+         [&](util::Rng& rng, Batch& part, fault::Retrier* retrier, std::uint64_t key) {
+           context.emit_tracking(resolver, rng, part, retrier, key);
+         });
   stream(out.background_intended, kBackgroundStream,
-         [&](util::Rng& rng, Batch& part) { context.emit_background(resolver, rng, part); });
+         [&](util::Rng& rng, Batch& part, fault::Retrier* retrier, std::uint64_t key) {
+           context.emit_background(resolver, rng, part, retrier, key);
+         });
 
   // Peering-link noise is ~2% of the volume; one serial shard suffices.
   const std::uint64_t peering = out.records.size() / 50;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "dns/resolver.h"
+#include "fault/retry.h"
 #include "netflow/profile.h"
 #include "netflow/record.h"
 #include "obs/metrics.h"
@@ -63,6 +64,13 @@ struct SnapshotExport {
 /// `registry` (optional) records a "netflow/generate" span, the
 /// generated/tracking/background record counters, and the sharded
 /// streams' channel throughput; never affects the exported records.
+///
+/// `fault_plan` (optional) subjects each record's subscriber DNS lookup
+/// to the `dns` injection site: a lookup that exhausts its retries (or
+/// hits an open per-domain circuit breaker) emits no flow — the
+/// subscriber's fetch simply failed. Each shard owns its own Retrier,
+/// so breaker trajectories follow the stable shard plan and the export
+/// stays bit-identical across pool sizes.
 [[nodiscard]] SnapshotExport generate_snapshot_sharded(const world::World& world,
                                                        const dns::Resolver& resolver,
                                                        const IspProfile& isp,
@@ -70,6 +78,7 @@ struct SnapshotExport {
                                                        const GeneratorConfig& config,
                                                        std::uint64_t seed,
                                                        runtime::ThreadPool* pool,
-                                                       obs::Registry* registry = nullptr);
+                                                       obs::Registry* registry = nullptr,
+                                                       const fault::FaultPlan* fault_plan = nullptr);
 
 }  // namespace cbwt::netflow

@@ -6,9 +6,30 @@
 
 namespace cbwt::pdns {
 
+namespace {
+
+/// Stale-window lag in days for a stale-data fault: 30..119, derived
+/// statelessly from the query key so it is stable across runs.
+Day stale_lag_days(const fault::FaultPlan& plan, const fault::Site& site,
+                   std::uint64_t key) noexcept {
+  const double u = fault::stateless_uniform(plan.seed, site.hash, key,
+                                            /*salt=*/0x57A1E0000000000ULL);
+  return 30 + static_cast<Day>(u * 90.0);
+}
+
+}  // namespace
+
 void replicate_background(Store& store, const dns::Resolver& resolver,
-                          const ReplicationConfig& config, util::Rng& rng) {
+                          const ReplicationConfig& config, util::Rng& rng,
+                          const fault::FaultPlan* fault_plan, obs::Registry* registry) {
   const world::World& world = resolver.world();
+
+  // Replication is one serial stage, so a single Retrier legitimately
+  // owns the site's breaker state for the whole window.
+  fault::Retrier retrier(fault_plan, fault::sites::kPdns, fault::RetryPolicy{},
+                         fault::BreakerPolicy{}, registry);
+  const fault::Site fault_site =
+      fault_plan != nullptr ? fault_plan->site(fault::sites::kPdns) : fault::Site{};
 
   // Query origins: any country, weighted by population (pDNS collectors
   // sit in production networks around the world).
@@ -30,10 +51,30 @@ void replicate_background(Store& store, const dns::Resolver& resolver,
       const auto& country = countries[util::sample_discrete(rng, country_weights)];
       const auto domain_id = tracking[util::sample_discrete(rng, domain_weights)];
       const bool third_party = rng.chance(0.25);
+      // Resolve unconditionally — the rng consumption must not depend on
+      // the fault decision, or surviving observations would diverge from
+      // the fault-free stream.
       const auto answer =
           resolver.resolve_from(domain_id, country.code, third_party, rng);
       const auto& domain = world.domain(domain_id);
-      store.observe(domain.fqdn, domain.registrable, answer.ip, day);
+      Day observed_day = day;
+      if (retrier.enabled()) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(day)) << 32) | q;
+        const fault::CallFate fate = retrier.call(/*endpoint=*/domain_id, key);
+        if (!fate.ok()) {
+          // The feed never delivered this observation to the collector.
+          retrier.count_degraded();
+          continue;
+        }
+        if (fate.stale) {
+          // Stale-window fallback: the pair is real but its observation
+          // timestamp lags, the churn failure mode validity windows absorb.
+          observed_day = day - stale_lag_days(*fault_plan, fault_site, key);
+          retrier.count_degraded();
+        }
+      }
+      store.observe(domain.fqdn, domain.registrable, answer.ip, observed_day);
     }
   }
 

@@ -8,6 +8,8 @@
 #include <cstdint>
 
 #include "dns/resolver.h"
+#include "fault/retry.h"
+#include "obs/metrics.h"
 #include "pdns/store.h"
 #include "util/prng.h"
 #include "world/world.h"
@@ -29,7 +31,18 @@ struct ReplicationConfig {
 };
 
 /// Runs the background population against the resolver, filling `store`.
+///
+/// `fault_plan` (optional) subjects each replication query to the
+/// `pdns` injection site: a query that exhausts its retries is dropped
+/// from the feed (the collector never saw it), and a query answered
+/// with stale data is recorded with its observation day pushed back by
+/// a deterministic stale window — the dynamic-IP-churn failure mode of
+/// §3.3 that validity-window filtering is meant to absorb. The query's
+/// rng draws happen either way, so the surviving observations are
+/// bit-identical to the fault-free run's.
 void replicate_background(Store& store, const dns::Resolver& resolver,
-                          const ReplicationConfig& config, util::Rng& rng);
+                          const ReplicationConfig& config, util::Rng& rng,
+                          const fault::FaultPlan* fault_plan = nullptr,
+                          obs::Registry* registry = nullptr);
 
 }  // namespace cbwt::pdns

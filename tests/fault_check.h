@@ -1,0 +1,176 @@
+// Property-style harness for the fault-injection layer: chaos scenarios
+// are (study seed, thread count, fault plan) triples, and the helpers
+// here run them end to end and hand the observable outcome to invariant
+// predicates. The three invariants the suite leans on:
+//
+//   * determinism — a fixed (seed, plan) yields the same outcome at any
+//     thread count, fault counters included;
+//   * zero-cost default — a rate-0 plan is indistinguishable from no
+//     plan, down to the registry's metric name set;
+//   * monotone degradation — raising a loss rate never locates more IPs
+//     (nested fault sets, see src/fault/fault.h).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/study.h"
+#include "fault/fault.h"
+#include "geoloc/active.h"
+#include "netflow/profile.h"
+#include "obs/metrics.h"
+
+namespace cbwt::fault_check {
+
+/// Everything the invariants compare about one chaos study run. All
+/// fields are logical results — no wall-clock quantities — so equality
+/// is meaningful across thread counts and repeated runs.
+struct StudyOutcome {
+  std::size_t pdns_ips = 0;
+  std::vector<net::IpAddress> completed_tracker_ips;
+  std::vector<std::string> geo_verdicts;  ///< sampled active verdicts, in IP order
+  std::size_t located = 0;                ///< non-empty verdicts in the sample
+  std::uint64_t exported_records = 0;
+  std::uint64_t records_seen = 0;
+  std::uint64_t internal_records = 0;
+  std::uint64_t matched_records = 0;
+  std::uint64_t dropped_records = 0;
+  std::unordered_map<net::IpAddress, std::uint64_t> per_ip;
+  /// Name-sorted snapshot of every cbwt_fault_* counter (empty when the
+  /// plan is disabled — the zero-cost-default contract).
+  std::vector<std::pair<std::string, std::uint64_t>> fault_counters;
+  std::string run_report;
+};
+
+/// The scaled-down chaos pipeline config (mirrors the determinism
+/// sweep's sizing in test_runtime.cpp; see that file for the rationale).
+inline core::StudyConfig chaos_config(std::uint64_t seed, unsigned threads,
+                                      const fault::FaultPlan& plan) {
+  core::StudyConfig config;
+  config.world.seed = seed;
+  config.world.scale = 0.01;
+  config.netflow.scale = 2e-5;
+  config.threads = threads;
+  config.fault_plan = plan;
+  return config;
+}
+
+/// Runs the pipeline end to end — pDNS completion, a sample of active
+/// geolocation verdicts, one full ISP NetFlow snapshot — and snapshots
+/// the outcome. Each call builds its own Study and Registry.
+inline StudyOutcome run_chaos_study(std::uint64_t seed, unsigned threads,
+                                    const fault::FaultPlan& plan,
+                                    std::size_t geo_sample = 128) {
+  obs::Registry registry;
+  auto config = chaos_config(seed, threads, plan);
+  config.registry = &registry;
+  core::Study study(config);
+
+  StudyOutcome out;
+  out.pdns_ips = study.pdns_store().all_ips().size();
+  out.completed_tracker_ips = study.completed_tracker_ips();
+  const auto& ips = out.completed_tracker_ips;
+  const std::size_t sample = std::min(geo_sample, ips.size());
+  out.geo_verdicts.reserve(sample);
+  for (std::size_t i = 0; i < sample; ++i) {
+    out.geo_verdicts.push_back(study.geo().locate(ips[i], geoloc::Tool::ActiveIpmap));
+    if (!out.geo_verdicts.back().empty()) ++out.located;
+  }
+
+  const auto isp = netflow::default_isps()[0];
+  const auto snapshot = netflow::default_snapshots()[0];
+  const auto run = study.run_isp_snapshot(isp, snapshot);
+  out.exported_records = run.exported_records;
+  out.records_seen = run.collection.records_seen;
+  out.internal_records = run.collection.internal_records;
+  out.matched_records = run.collection.matched_records;
+  out.dropped_records = run.collection.dropped_records;
+  out.per_ip = run.collection.per_ip;
+
+  for (const auto& [name, value] : registry.counters()) {
+    if (name.starts_with("cbwt_fault_")) out.fault_counters.emplace_back(name, value);
+  }
+  out.run_report = study.run_report();
+  return out;
+}
+
+/// Asserts two outcomes are identical — the determinism invariant. The
+/// run_report strings are deliberately excluded (they embed the thread
+/// count and wall-clock span timings).
+inline void expect_same_outcome(const StudyOutcome& got, const StudyOutcome& want,
+                                const char* context) {
+  EXPECT_EQ(got.pdns_ips, want.pdns_ips) << context;
+  EXPECT_EQ(got.completed_tracker_ips, want.completed_tracker_ips) << context;
+  EXPECT_EQ(got.geo_verdicts, want.geo_verdicts) << context;
+  EXPECT_EQ(got.located, want.located) << context;
+  EXPECT_EQ(got.exported_records, want.exported_records) << context;
+  EXPECT_EQ(got.records_seen, want.records_seen) << context;
+  EXPECT_EQ(got.internal_records, want.internal_records) << context;
+  EXPECT_EQ(got.matched_records, want.matched_records) << context;
+  EXPECT_EQ(got.dropped_records, want.dropped_records) << context;
+  EXPECT_EQ(got.per_ip, want.per_ip) << context;
+  EXPECT_EQ(got.fault_counters, want.fault_counters) << context;
+}
+
+/// A loss-only plan (timeout + error in equal shares, no slow/stale):
+/// the shape whose fault sets nest exactly, used by the monotonicity
+/// properties.
+inline fault::FaultPlan loss_plan(std::uint64_t seed, double loss_rate) {
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.default_rates.timeout = loss_rate / 2.0;
+  plan.default_rates.error = loss_rate / 2.0;
+  return plan;
+}
+
+/// Located-IP count over the first `n_ips` servers of `world` under a
+/// probe-loss plan, measured with the bare ActiveGeolocator (no Study)
+/// so rate sweeps stay cheap. Each IP draws from its own stateless rng
+/// stream, so the measured samples are identical across rates and only
+/// the loss decisions differ.
+inline std::size_t located_count(const world::World& world, const geoloc::ProbeMesh& mesh,
+                                 const fault::FaultPlan& plan, std::size_t n_ips,
+                                 std::uint64_t measurement_seed) {
+  const geoloc::ActiveGeolocator locator(world, mesh);
+  const fault::FaultPlan* live = plan.enabled() ? &plan : nullptr;
+  std::size_t located = 0;
+  std::size_t checked = 0;
+  for (const auto& server : world.servers()) {
+    if (checked++ >= n_ips) break;
+    util::Rng rng(util::mix64(measurement_seed ^ server.ip.hash()));
+    if (!locator.locate(server.ip, rng, live).country.empty()) ++located;
+  }
+  return located;
+}
+
+/// Asserts `values` (indexed by ascending fault rate) never increase —
+/// the monotone-degradation invariant.
+template <typename T>
+void expect_monotone_non_increasing(std::span<const T> values,
+                                    std::span<const double> rates) {
+  ASSERT_EQ(values.size(), rates.size());
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    EXPECT_LE(values[i], values[i - 1])
+        << "degradation not monotone between rate " << rates[i - 1] << " and "
+        << rates[i];
+  }
+}
+
+/// Sweeps `fn(seed, rate)` over the scenario grid — the harness shape
+/// for properties that must hold pointwise on every (seed, rate) pair.
+template <typename Fn>
+void for_each_scenario(std::span<const std::uint64_t> seeds,
+                       std::span<const double> rates, Fn&& fn) {
+  for (const auto seed : seeds) {
+    for (const auto rate : rates) fn(seed, rate);
+  }
+}
+
+}  // namespace cbwt::fault_check

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/fault.h"
+#include "obs/metrics.h"
+
 namespace cbwt::geoloc {
 namespace {
 
@@ -189,6 +192,85 @@ TEST_F(GeolocTest, MoreVotersNeverHurtMuch) {
   const double one = accuracy_with(1);
   const double ten = accuracy_with(10);
   EXPECT_GT(ten, one - 0.02);
+}
+
+TEST_F(GeolocTest, QuorumEnforcedExactlyAtThreshold) {
+  // Edge case: a surviving panel of exactly `quorum` probes still votes;
+  // one more required probe and the engine refuses to locate.
+  fault::FaultPlan plan;
+  plan.seed = 0xFA017;
+  plan.default_rates.timeout = 0.15;
+  plan.default_rates.error = 0.15;
+  const auto& ip = world_->servers().front().ip;
+  ActiveGeolocatorOptions options;
+  options.quorum = 1;  // relaxed first, to learn the surviving panel size
+  const auto measure = [&](const ActiveGeolocatorOptions& opts) {
+    const ActiveGeolocator locator(*world_, *mesh_, opts);
+    util::Rng rng(util::mix64(1234 ^ ip.hash()));
+    return locator.locate(ip, rng, &plan);
+  };
+  const auto baseline = measure(options);
+  ASSERT_FALSE(baseline.country.empty());
+  ASSERT_GT(baseline.lost_probes, 0u);
+  const std::uint32_t survivors =
+      options.probes_per_measurement - baseline.lost_probes;
+
+  options.quorum = survivors;  // exactly at threshold: the verdict stands
+  const auto at_quorum = measure(options);
+  EXPECT_EQ(at_quorum.country, baseline.country);
+  EXPECT_EQ(at_quorum.lost_probes, baseline.lost_probes);
+
+  options.quorum = survivors + 1;  // one short: unlocated, losses reported
+  const auto below_quorum = measure(options);
+  EXPECT_TRUE(below_quorum.country.empty());
+  EXPECT_EQ(below_quorum.lost_probes, baseline.lost_probes);
+}
+
+TEST_F(GeolocTest, AllProbesLostYieldsUnlocated) {
+  fault::FaultPlan plan;
+  plan.default_rates.error = 1.0;
+  const ActiveGeolocator locator(*world_, *mesh_);
+  const auto& ip = world_->servers().front().ip;
+  util::Rng rng(5);
+  const auto estimate = locator.locate(ip, rng, &plan);
+  EXPECT_TRUE(estimate.country.empty());
+  EXPECT_EQ(estimate.lost_probes, ActiveGeolocatorOptions{}.probes_per_measurement);
+}
+
+TEST_F(GeolocTest, PrefetchUnderFaultsCountsEachMissOnce) {
+  // Regression: a measurement exhausted by injected faults is cached as
+  // unlocated like any other verdict, so repeated prefetches and lookups
+  // must never re-measure it or count a second cache miss.
+  obs::Registry registry;
+  fault::FaultPlan plan;
+  plan.seed = 77;
+  plan.site_rates["geoloc_measure"] = {.error = 0.8};
+  util::Rng db_rng(2);
+  auto maxmind = build_maxmind_like(*world_, CommercialDbOptions{}, db_rng);
+  auto ipapi = build_ipapi_like(*world_, maxmind, 0.93, db_rng);
+  const GeoService service(*world_, std::move(maxmind), std::move(ipapi), *mesh_,
+                           ActiveGeolocatorOptions{}, 1234, nullptr, &registry, &plan);
+  std::vector<net::IpAddress> ips;
+  for (const auto& server : world_->servers()) {
+    ips.push_back(server.ip);
+    if (ips.size() >= 40) break;
+  }
+  service.prefetch(ips);
+  // The plan exhausted some measurements and each one degraded to an
+  // unlocated verdict — and only those did.
+  const auto degraded =
+      registry.counter_value("cbwt_fault_geoloc_measure_degraded_total");
+  EXPECT_GT(degraded, 0u);
+  EXPECT_EQ(registry.counter_value("cbwt_geoloc_unlocated_total"), degraded);
+
+  const auto misses = registry.counter_value("cbwt_geoloc_cache_misses_total");
+  const auto batches = registry.counter_value("cbwt_geoloc_probe_batches_total");
+  service.prefetch(ips);
+  for (const auto& ip : ips) (void)service.locate(ip, Tool::ActiveIpmap);
+  EXPECT_EQ(registry.counter_value("cbwt_geoloc_cache_misses_total"), misses);
+  EXPECT_EQ(registry.counter_value("cbwt_geoloc_probe_batches_total"), batches);
+  EXPECT_EQ(registry.counter_value("cbwt_geoloc_unlocated_total"), degraded);
+  EXPECT_EQ(registry.counter_value("cbwt_geoloc_cache_hits_total"), ips.size());
 }
 
 TEST(CommercialDb, EmptyLocatesNothing) {

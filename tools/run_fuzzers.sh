@@ -28,10 +28,18 @@ for harness in fuzz_url fuzz_rule fuzz_netflow_record; do
     exit 1
   fi
   echo "=== $harness (${seconds}s on ${corpus[$harness]}) ==="
+  # Capture the replay status explicitly: `set -e` is silently disabled
+  # when this script runs inside an if/|| context (CI wrappers do), which
+  # would swallow a crashing gcc-driver replay.
+  status=0
   if "$bin" -help=1 2>/dev/null | grep -q libFuzzer; then
-    "$bin" -max_total_time="$seconds" -timeout=10 "${corpus[$harness]}"
+    "$bin" -max_total_time="$seconds" -timeout=10 "${corpus[$harness]}" || status=$?
   else
-    CBWT_FUZZ_SECONDS="$seconds" "$bin" "${corpus[$harness]}"
+    CBWT_FUZZ_SECONDS="$seconds" "$bin" "${corpus[$harness]}" || status=$?
+  fi
+  if [ "$status" -ne 0 ]; then
+    echo "run_fuzzers: $harness failed with exit status $status" >&2
+    exit "$status"
   fi
 done
 echo "run_fuzzers: all harnesses completed without a crash"
