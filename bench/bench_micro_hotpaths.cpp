@@ -14,8 +14,10 @@
 #include <string_view>
 #include <vector>
 
+#include "classify/match_cache.h"
 #include "core/study.h"
 #include "filterlist/generate.h"
+#include "filterlist/reference.h"
 #include "net/prefix_trie.h"
 #include "netflow/collector.h"
 #include "netflow/generator.h"
@@ -65,6 +67,135 @@ void BM_FilterEngineMatch(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_FilterEngineMatch);
+
+// --- engine variants over one shared corpus --------------------------
+// Naive = ReferenceEngine (the pre-optimization matcher, kept as the
+// executable spec), Indexed = the token-indexed Engine, Cached = the
+// Engine behind the classifier's sharded LRU. Same lists, same probe
+// mix, so the three are directly comparable.
+
+struct EngineCorpus {
+  filterlist::Engine indexed;
+  filterlist::ReferenceEngine naive;
+  std::vector<std::string> urls;
+  std::vector<std::string> hosts;
+};
+
+/// Generic (non-host-anchored) path/substring rules at roughly real
+/// easylist's generic share. The world's generated lists are almost
+/// entirely ||host^ rules, which the old engine already indexed — the
+/// linear-scan pressure real lists put on it comes from rules like
+/// these, so the engine comparison must include them.
+std::vector<std::string> generic_rules() {
+  static constexpr std::string_view kWords[] = {
+      "widget", "player", "render", "metrics", "social",   "video",
+      "embed",  "chat",   "badge",  "share",   "button",   "icon",
+      "menu",   "layer",  "popup",  "modal",   "theme",    "font",
+      "style",  "script", "frame",  "slide",   "gallery",  "carousel",
+      "signup", "login",  "avatar", "emoji",   "sticker",  "poll",
+      "quiz",   "vote"};
+  util::Rng rng(9);
+  const auto word = [&] { return std::string(kWords[rng.next_below(std::size(kWords))]); };
+  std::vector<std::string> rules;
+  for (int i = 0; i < 1024; ++i) {
+    switch (rng.next_below(4)) {
+      case 0: rules.push_back("/" + word() + "/" + word() + "/"); break;
+      case 1: rules.push_back("-" + word() + "-" + word() + "."); break;
+      case 2: rules.push_back("&" + word() + "_" + word() + "="); break;
+      default: rules.push_back("_" + word() + "-" + word() + "."); break;
+    }
+  }
+  for (int i = 0; i < 64; ++i) {
+    rules.push_back("@@/" + word() + "/" + word() + "?");
+  }
+  return rules;
+}
+
+const EngineCorpus& engine_corpus() {
+  static const EngineCorpus corpus = [] {
+    EngineCorpus built;
+    const auto& world = micro_world();
+    util::Rng rng(1);
+    const auto lists = filterlist::generate_lists(world, rng);
+    const auto generic = generic_rules();
+    built.indexed.add_list(filterlist::FilterList("easylist", lists.easylist));
+    built.indexed.add_list(filterlist::FilterList("easyprivacy", lists.easyprivacy));
+    built.indexed.add_list(filterlist::FilterList("generic", generic));
+    built.naive.add_list(filterlist::FilterList("easylist", lists.easylist));
+    built.naive.add_list(filterlist::FilterList("easyprivacy", lists.easyprivacy));
+    built.naive.add_list(filterlist::FilterList("generic", generic));
+    // Mixed probes: listed trackers, chained endpoints, clean hosts —
+    // alternating URL shapes so hits and misses both stay represented.
+    for (const auto& domain : world.domains()) {
+      const bool query = built.urls.size() % 2 == 0;
+      built.urls.push_back("https://" + domain.fqdn +
+                           (query ? "/ads/display/1?pub=x.com&ad_slot=2"
+                                  : "/assets/app.js"));
+      built.hosts.push_back(domain.fqdn);
+      if (built.urls.size() >= 512) break;
+    }
+    return built;
+  }();
+  return corpus;
+}
+
+filterlist::RequestContext corpus_context(const EngineCorpus& corpus, std::size_t i) {
+  filterlist::RequestContext context;
+  context.url = corpus.urls[i];
+  context.host = corpus.hosts[i];
+  context.page_host = "news.example.com";
+  context.third_party = true;
+  return context;
+}
+
+void BM_EngineMatchNaive(benchmark::State& state) {
+  const auto& corpus = engine_corpus();
+  std::size_t i = 0;
+  std::size_t matched = 0;
+  for (auto _ : state) {
+    const auto context = corpus_context(corpus, i++ % corpus.urls.size());
+    matched += corpus.naive.match(context).matched ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(matched);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineMatchNaive);
+
+void BM_EngineMatchIndexed(benchmark::State& state) {
+  const auto& corpus = engine_corpus();
+  std::size_t i = 0;
+  std::size_t matched = 0;
+  for (auto _ : state) {
+    const auto context = corpus_context(corpus, i++ % corpus.urls.size());
+    matched += corpus.indexed.match(context).matched ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(matched);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineMatchIndexed);
+
+void BM_EngineMatchCached(benchmark::State& state) {
+  const auto& corpus = engine_corpus();
+  classify::MatchCache cache(/*capacity=*/4096, /*shards=*/8);
+  std::size_t i = 0;
+  std::size_t matched = 0;
+  for (auto _ : state) {
+    const auto context = corpus_context(corpus, i++ % corpus.urls.size());
+    std::uint64_t key = util::fnv1a(context.url);
+    key = util::mix64(key ^ util::fnv1a(context.page_host));
+    filterlist::MatchResult hit;
+    if (const auto cached = cache.lookup(key)) {
+      hit = *cached;
+    } else {
+      hit = corpus.indexed.match(context);
+      cache.insert(key, hit);
+    }
+    matched += hit.matched ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(matched);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineMatchCached);
 
 void BM_PrefixTrieLookup(benchmark::State& state) {
   net::PrefixTrie<int> trie;

@@ -50,13 +50,21 @@ struct ClassifierConfig {
                                        "idsync",    "cm",         "rtb"};
   /// Maximum fixpoint iterations of the referrer stage.
   std::size_t max_iterations = 6;
+  /// Stage-1 match-cache entry budget; 0 disables the cache. Off by
+  /// default so determinism sweeps exercise the raw engine path (the
+  /// cache's hit/miss *counter split* is timing-dependent across
+  /// threads, though outcomes are identical either way).
+  std::size_t match_cache_capacity = 0;
+  /// Lock shards of the match cache (concurrency knob, not semantics).
+  std::size_t match_cache_shards = 8;
 };
 
-/// Per-request classification outcome, parallel to the dataset.
-/// Owns its list name so outcomes may outlive the classifier.
+/// Per-request classification outcome, parallel to the dataset. `list`
+/// views the engine-owned list name (no per-request allocation), so
+/// outcomes must not outlive the classifier that produced them.
 struct Outcome {
   Method method = Method::None;
-  std::string list;  ///< matching list name for Method::AbpList
+  std::string_view list;  ///< matching list name for Method::AbpList
 };
 
 /// The classifier owns its engine (matching is the hot path, so the

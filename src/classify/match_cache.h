@@ -1,0 +1,113 @@
+// Sharded LRU cache for filter-engine verdicts. The extension dataset
+// repeats URLs heavily (the same tracker endpoints fire on every page),
+// so Classifier::run can skip most Engine::match calls once a verdict
+// for the same (url, host, page_host, third_party) tuple is cached.
+//
+// Cached values hold pointers/views into engine-owned storage
+// (MatchResult::rule / ::list), so a cache must not outlive its engine
+// or span an add_list(); Classifier::run creates one per run.
+//
+// Sharding: the key's top bits pick a shard, each with its own mutex,
+// map and LRU list, so stage-1 worker threads rarely contend. Hit and
+// miss totals are per-shard and aggregated on demand; with multiple
+// threads the split between hits and misses is timing-dependent (two
+// shards may race to insert the same key), which is why the cache is
+// off by default wherever determinism sweeps compare metric values.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "filterlist/engine.h"
+#include "util/contract.h"
+
+namespace cbwt::classify {
+
+class MatchCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across `shards`
+  /// (each shard holds at least one entry).
+  MatchCache(std::size_t capacity, std::size_t shards)
+      : shards_(shards == 0 ? 1 : shards) {
+    CBWT_EXPECTS(capacity > 0);
+    const std::size_t per_shard = (capacity + shards_.size() - 1) / shards_.size();
+    for (auto& shard : shards_) {
+      shard.capacity = per_shard > 0 ? per_shard : 1;
+    }
+  }
+
+  /// Returns the cached verdict for `key`, refreshing its LRU position.
+  [[nodiscard]] std::optional<filterlist::MatchResult> lookup(std::uint64_t key) {
+    Shard& shard = shard_of(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      ++shard.misses;
+      return std::nullopt;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.hits;
+    return it->second->second;
+  }
+
+  /// Inserts (or refreshes) a verdict, evicting the shard's least
+  /// recently used entry when full.
+  void insert(std::uint64_t key, const filterlist::MatchResult& result) {
+    Shard& shard = shard_of(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (const auto it = shard.index.find(key); it != shard.index.end()) {
+      it->second->second = result;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    if (shard.lru.size() >= shard.capacity) {
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+    }
+    shard.lru.emplace_front(key, result);
+    shard.index.emplace(key, shard.lru.begin());
+  }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return sum(&Shard::hits); }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return sum(&Shard::misses); }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::list<std::pair<std::uint64_t, filterlist::MatchResult>> lru;
+    std::unordered_map<
+        std::uint64_t,
+        std::list<std::pair<std::uint64_t, filterlist::MatchResult>>::iterator>
+        index;
+    std::size_t capacity = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  [[nodiscard]] Shard& shard_of(std::uint64_t key) noexcept {
+    // Keys are already well-mixed hashes; the top bits are independent
+    // of unordered_map's use of the low bits.
+    return shards_[(key >> 56) % shards_.size()];
+  }
+
+  [[nodiscard]] std::uint64_t sum(std::uint64_t Shard::* field) const noexcept {
+    std::uint64_t total = 0;
+    for (auto& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      total += shard.*field;
+    }
+    return total;
+  }
+
+  // Never resized after construction (Shard is immovable: it holds a
+  // mutex); mutable so hits()/misses() can lock shards from const.
+  mutable std::vector<Shard> shards_;
+};
+
+}  // namespace cbwt::classify

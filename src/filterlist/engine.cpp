@@ -1,9 +1,123 @@
 #include "filterlist/engine.h"
 
-#include "net/domain.h"
+#include <array>
+#include <limits>
+#include <optional>
+#include <span>
+
 #include "util/contract.h"
 
 namespace cbwt::filterlist {
+
+namespace {
+
+/// Token alphabet: lower-case alphanumerics. URLs entering match() are
+/// lower-case by contract and rule literals are lowered by the parser,
+/// so both sides tokenize identically; every other byte (including '^',
+/// '%', '_', '-', '.') is a token boundary on both sides.
+[[nodiscard]] constexpr bool is_token_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+}
+
+/// True when `host` is `domain` or a subdomain of it.
+[[nodiscard]] bool host_under(std::string_view host, std::string_view domain) noexcept {
+  if (host == domain) return true;
+  return host.size() > domain.size() && host.ends_with(domain) &&
+         host[host.size() - domain.size() - 1] == '.';
+}
+
+// --- pattern matching over compiled literal spans --------------------
+// Byte-for-byte ports of the reference matcher in rule.cpp; the
+// equivalence suite (test_filterlist_equivalence) pins them together.
+
+/// Attempts to match one literal (which may contain '^' class chars) at
+/// position `pos`; returns the end position on success. A single '^' at
+/// the end of the literal may also match the end of the URL.
+std::optional<std::size_t> match_literal_at(std::string_view url, std::size_t pos,
+                                            std::string_view literal) {
+  std::size_t cursor = pos;
+  for (std::size_t i = 0; i < literal.size(); ++i) {
+    const char pattern_char = literal[i];
+    if (cursor < url.size()) {
+      const char url_char = url[cursor];
+      const bool ok =
+          pattern_char == '^' ? is_separator_char(url_char) : url_char == pattern_char;
+      if (!ok) return std::nullopt;
+      ++cursor;
+    } else {
+      if (pattern_char == '^' && i + 1 == literal.size()) return cursor;
+      return std::nullopt;
+    }
+  }
+  return cursor;
+}
+
+/// Matches all parts in order starting at `pos`. When `first_exact`, the
+/// first part must match exactly at `pos`; otherwise it may float.
+std::optional<std::size_t> match_parts_from(std::string_view url, std::size_t pos,
+                                            std::span<const std::string_view> parts,
+                                            bool first_exact) {
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i == 0 && first_exact) {
+      const auto end = match_literal_at(url, pos, parts[0]);
+      if (!end) return std::nullopt;
+      pos = *end;
+      continue;
+    }
+    bool found = false;
+    for (std::size_t p = pos; p <= url.size(); ++p) {
+      if (const auto end = match_literal_at(url, p, parts[i])) {
+        pos = *end;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;
+  }
+  return pos;
+}
+
+// --- compile-time token selection ------------------------------------
+
+struct TokenCandidate {
+  std::uint64_t hash = 0;
+  std::uint32_t length = 0;
+};
+
+/// Collects the boundary-safe tokens of a rule's literals. A token is
+/// safe when every URL the rule can match must contain it as a *whole*
+/// URL token (maximal alphanumeric run): its left edge is interior to
+/// the literal (the preceding literal byte is a token boundary) or sits
+/// at an anchored match position (URL start for '|', a host-label
+/// boundary for '||'), and its right edge is interior or covered by a
+/// trailing end anchor. Tokens touching an open literal edge may be
+/// extended by URL bytes ("ads" matching inside "loads"), so they are
+/// not usable as index keys.
+void collect_safe_tokens(const Rule& rule, std::vector<TokenCandidate>& out) {
+  out.clear();
+  for (std::size_t j = 0; j < rule.parts.size(); ++j) {
+    const std::string_view part = rule.parts[j];
+    std::size_t i = 0;
+    while (i < part.size()) {
+      if (!is_token_char(part[i])) {
+        ++i;
+        continue;
+      }
+      std::size_t end = i;
+      while (end < part.size() && is_token_char(part[end])) ++end;
+      const bool left_safe = i > 0 || (j == 0 && rule.anchor != AnchorKind::None);
+      const bool right_safe =
+          end < part.size() || (j + 1 == rule.parts.size() && rule.end_anchor);
+      if (left_safe && right_safe) {
+        out.push_back({util::fnv1a(part.substr(i, end - i)),
+                       static_cast<std::uint32_t>(end - i)});
+      }
+      i = end;
+    }
+  }
+}
+
+}  // namespace
 
 FilterList::FilterList(std::string name, const std::vector<std::string>& lines)
     : name_(std::move(name)) {
@@ -17,55 +131,336 @@ FilterList::FilterList(std::string name, const std::vector<std::string>& lines)
   }
 }
 
-std::string Engine::anchor_key(const Rule& rule) {
+std::string_view anchor_index_key(const Rule& rule) noexcept {
   if (rule.anchor != AnchorKind::DomainName || rule.parts.empty()) return {};
-  const std::string& head = rule.parts.front();
+  const std::string_view head = rule.parts.front();
   // The key is the host portion of the first literal: letters, digits,
-  // dots and dashes up to the first separator-ish char.
-  std::string key;
-  for (const char c : head) {
-    const bool host_char = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '.' ||
-                           c == '-';
+  // dots, dashes and underscores up to the first separator-ish char.
+  std::size_t len = 0;
+  while (len < head.size()) {
+    const char c = head[len];
+    const bool host_char = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                           c == '.' || c == '-' || c == '_';
     if (!host_char) break;
-    key += c;
+    ++len;
   }
-  // Only index when the whole host was a clean literal and forms at least
-  // a registrable-domain-looking key.
-  if (key.size() < 3 || key.find('.') == std::string::npos) return {};
+  const std::string_view key = head.substr(0, len);
+  // Only index when the host head forms at least a
+  // registrable-domain-looking key.
+  if (key.size() < 3 || key.find('.') == std::string_view::npos) return {};
   return key;
 }
 
-void Engine::index_rule(const Rule& rule, std::string_view list_name) {
-  // parse_rule() guarantees this; an unanchored, literal-free rule would
-  // otherwise match every request from the scan bucket.
-  CBWT_EXPECTS(!rule.parts.empty() || rule.anchor != AnchorKind::None || rule.end_anchor);
-  if (rule.exception) {
-    exceptions_.push_back({&rule, list_name});
-    return;
+// --- per-match scratch (stack only) ----------------------------------
+
+/// Lazily computed per-request state: the URL's token hashes and the
+/// $domain= ids covering the page host. Lives on match()'s stack; no
+/// member allocates. Oversized inputs overflow gracefully — tokens
+/// beyond the buffer are re-streamed from the URL, page hosts with more
+/// labels than the id buffer fall back to direct suffix comparison — so
+/// correctness never depends on the caps.
+struct Engine::MatchScratch {
+  static constexpr std::size_t kTokenCap = 128;
+  static constexpr std::size_t kDomainCap = 128;
+  static constexpr std::size_t kNpos = std::string_view::npos;
+
+  explicit MatchScratch(const RequestContext& request_in) noexcept
+      : request(request_in) {}
+
+  const RequestContext& request;
+
+  std::array<std::uint64_t, kTokenCap> tokens;
+  std::size_t token_count = 0;
+  std::size_t token_resume = kNpos;  ///< URL offset of the first unbuffered token
+  bool tokens_filled = false;
+
+  std::array<std::uint32_t, kDomainCap> domain_ids;
+  std::size_t domain_count = 0;
+  bool domains_overflowed = false;
+  bool domains_filled = false;
+
+  /// Hash of the next token at/after `pos`; advances `pos` past it.
+  /// Returns false when the text is exhausted.
+  static bool next_token(std::string_view text, std::size_t& pos,
+                         std::uint64_t& hash) noexcept {
+    while (pos < text.size() && !is_token_char(text[pos])) ++pos;
+    if (pos >= text.size()) return false;
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    while (pos < text.size() && is_token_char(text[pos])) {
+      h ^= static_cast<unsigned char>(text[pos]);
+      h *= 0x100000001B3ULL;
+      ++pos;
+    }
+    hash = h;
+    return true;
   }
-  const std::string key = anchor_key(rule);
-  if (key.empty()) {
-    scan_rules_.push_back({&rule, list_name});
-  } else {
-    by_anchor_[key].push_back({&rule, list_name});
+
+  /// Tokenizes the URL once into the stack buffer (overflow streams).
+  void fill_tokens() noexcept {
+    tokens_filled = true;
+    const std::string_view url = request.url;
+    std::size_t pos = 0;
+    std::uint64_t hash = 0;
+    while (next_token(url, pos, hash)) {
+      if (token_count == kTokenCap) {
+        // Rewind to the start of the token that did not fit.
+        std::size_t start = pos;
+        while (start > 0 && is_token_char(url[start - 1])) --start;
+        token_resume = start;
+        return;
+      }
+      tokens[token_count++] = hash;
+    }
   }
-}
+
+  /// Applies `fn` to every URL token hash; `fn` returning false stops
+  /// the walk early. Returns false iff stopped.
+  template <typename Fn>
+  bool for_each_token(Fn&& fn) noexcept {
+    if (!tokens_filled) fill_tokens();
+    for (std::size_t i = 0; i < token_count; ++i) {
+      if (!fn(tokens[i])) return false;
+    }
+    if (token_resume != kNpos) {
+      std::size_t pos = token_resume;
+      std::uint64_t hash = 0;
+      while (next_token(request.url, pos, hash)) {
+        if (!fn(hash)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Resolves the page host's label suffixes against the engine's
+  /// $domain= table: afterwards `domain_ids[0..domain_count)` holds the
+  /// ids of every configured domain the page host is under.
+  void fill_domains(const util::StringMap<std::uint32_t>& ids) noexcept {
+    domains_filled = true;
+    if (ids.empty()) return;
+    std::string_view host = request.page_host;
+    while (!host.empty()) {
+      if (const auto it = ids.find(host); it != ids.end()) {
+        if (domain_count == kDomainCap) {
+          domains_overflowed = true;
+          return;
+        }
+        domain_ids[domain_count++] = it->second;
+      }
+      const std::size_t dot = host.find('.');
+      if (dot == kNpos) break;
+      host.remove_prefix(dot + 1);
+    }
+  }
+};
+
+// --- compilation -----------------------------------------------------
 
 void Engine::add_list(FilterList list) {
   lists_.push_back(std::move(list));
-  // Rebuild the whole index: rule storage is stable from here on, so all
-  // pointers taken now stay valid.
-  by_anchor_.clear();
-  scan_rules_.clear();
-  exceptions_.clear();
-  for (const auto& stored : lists_) {
-    for (const auto& rule : stored.rules()) index_rule(rule, stored.name());
-  }
+  compile();
 }
 
-bool Engine::exception_matches(const RequestContext& request) const {
-  for (const auto& entry : exceptions_) {
-    if (rule_matches(*entry.rule, request)) return true;
+void Engine::compile() {
+  arena_.clear();
+  part_pool_.clear();
+  domain_pool_.clear();
+  domain_names_.clear();
+  domain_ids_.clear();
+  compiled_.clear();
+  by_anchor_.clear();
+  token_rules_.clear();
+  token_exceptions_.clear();
+  fallback_rules_.clear();
+  fallback_exceptions_.clear();
+  stats_ = {};
+
+  // Pass 1: candidate tokens per rule and corpus-wide token frequency;
+  // each rule is then indexed under its rarest token, which keeps the
+  // buckets probed at match time small (uBlock's heuristic).
+  std::vector<std::vector<TokenCandidate>> candidates;
+  std::unordered_map<std::uint64_t, std::uint32_t> frequency;
+  std::vector<TokenCandidate> scratch;
+  for (const auto& stored : lists_) {
+    for (const auto& rule : stored.rules()) {
+      collect_safe_tokens(rule, scratch);
+      for (const auto& candidate : scratch) ++frequency[candidate.hash];
+      candidates.push_back(scratch);
+    }
+  }
+
+  // Pass 2: lower every rule into the arena-backed compiled form and
+  // route it to its index bucket.
+  const auto intern_domains = [&](const std::vector<std::string>& domains,
+                                  std::uint32_t& first, std::uint32_t& count) {
+    first = static_cast<std::uint32_t>(domain_pool_.size());
+    count = static_cast<std::uint32_t>(domains.size());
+    for (const auto& domain : domains) {
+      const auto it = domain_ids_.find(std::string_view(domain));
+      if (it != domain_ids_.end()) {
+        domain_pool_.push_back(it->second);
+        continue;
+      }
+      const auto id = static_cast<std::uint32_t>(domain_names_.size());
+      domain_names_.push_back(arena_.intern(domain));
+      domain_ids_.emplace(domain, id);
+      domain_pool_.push_back(id);
+    }
+  };
+
+  std::size_t traversal = 0;
+  std::uint32_t scan_order = 0;
+  for (const auto& stored : lists_) {
+    const std::string_view list_name = stored.name();
+    for (const auto& rule : stored.rules()) {
+      // parse_rule() guarantees this; an unanchored, literal-free rule
+      // would otherwise match every request from the fallback bucket.
+      CBWT_EXPECTS(!rule.parts.empty() || rule.anchor != AnchorKind::None ||
+                   rule.end_anchor);
+      CompiledRule compiled;
+      compiled.source = &rule;
+      compiled.list = list_name;
+      compiled.first_part = static_cast<std::uint32_t>(part_pool_.size());
+      compiled.part_count = static_cast<std::uint32_t>(rule.parts.size());
+      for (const auto& part : rule.parts) part_pool_.push_back(arena_.intern(part));
+      compiled.anchor = rule.anchor;
+      compiled.end_anchor = rule.end_anchor;
+      compiled.third_party = !rule.options.third_party.has_value()
+                                 ? kAnyParty
+                                 : static_cast<std::int8_t>(*rule.options.third_party);
+      intern_domains(rule.options.include_domains, compiled.first_include,
+                     compiled.include_count);
+      intern_domains(rule.options.exclude_domains, compiled.first_exclude,
+                     compiled.exclude_count);
+
+      const auto& rule_tokens = candidates[traversal++];
+      const TokenCandidate* best = nullptr;
+      for (const auto& candidate : rule_tokens) {
+        if (best == nullptr) {
+          best = &candidate;
+          continue;
+        }
+        const auto freq = frequency[candidate.hash];
+        const auto best_freq = frequency[best->hash];
+        if (freq < best_freq || (freq == best_freq && candidate.length > best->length)) {
+          best = &candidate;
+        }
+      }
+
+      const std::string_view anchor = anchor_index_key(rule);
+      if (!rule.exception && !anchor.empty()) {
+        const auto index = static_cast<std::uint32_t>(compiled_.size());
+        compiled_.push_back(compiled);
+        auto it = by_anchor_.find(anchor);
+        if (it == by_anchor_.end()) {
+          it = by_anchor_.emplace(std::string(anchor), std::vector<std::uint32_t>{})
+                   .first;
+        }
+        it->second.push_back(index);
+        ++stats_.anchored_rules;
+        continue;
+      }
+      if (!rule.exception) compiled.order = scan_order++;
+      const auto index = static_cast<std::uint32_t>(compiled_.size());
+      compiled_.push_back(compiled);
+      if (rule.exception) {
+        if (best != nullptr) {
+          token_exceptions_[best->hash].push_back(index);
+          ++stats_.tokenized_exceptions;
+        } else {
+          fallback_exceptions_.push_back(index);
+          ++stats_.fallback_exceptions;
+        }
+      } else {
+        if (best != nullptr) {
+          token_rules_[best->hash].push_back(index);
+          ++stats_.tokenized_rules;
+        } else {
+          fallback_rules_.push_back(index);
+          ++stats_.fallback_rules;
+        }
+      }
+    }
+  }
+  stats_.literal_bytes = arena_.bytes_used();
+}
+
+// --- matching --------------------------------------------------------
+
+bool Engine::evaluate(const CompiledRule& rule, const RequestContext& request,
+                      MatchScratch& scratch) const {
+  // Options first: they are one branch / a couple of id probes, and the
+  // reference path (options_allow) checks them first as well.
+  if (rule.third_party != kAnyParty &&
+      (rule.third_party != 0) != request.third_party) {
+    return false;
+  }
+  if (rule.include_count != 0 || rule.exclude_count != 0) {
+    if (!scratch.domains_filled) scratch.fill_domains(domain_ids_);
+    const auto page_under = [&](std::uint32_t id) {
+      if (scratch.domains_overflowed) {
+        return host_under(request.page_host, domain_names_[id]);
+      }
+      for (std::size_t i = 0; i < scratch.domain_count; ++i) {
+        if (scratch.domain_ids[i] == id) return true;
+      }
+      return false;
+    };
+    for (std::uint32_t k = 0; k < rule.exclude_count; ++k) {
+      if (page_under(domain_pool_[rule.first_exclude + k])) return false;
+    }
+    if (rule.include_count != 0) {
+      bool included = false;
+      for (std::uint32_t k = 0; k < rule.include_count && !included; ++k) {
+        included = page_under(domain_pool_[rule.first_include + k]);
+      }
+      if (!included) return false;
+    }
+  }
+
+  const std::string_view url = request.url;
+  const std::span<const std::string_view> parts(part_pool_.data() + rule.first_part,
+                                                rule.part_count);
+  const auto finish = [&](std::optional<std::size_t> end) {
+    if (!end) return false;
+    return !rule.end_anchor || *end == url.size();
+  };
+
+  if (parts.empty()) {
+    // Pure-anchor rules ("||", "|"): match anything (subject to options).
+    return true;
+  }
+
+  switch (rule.anchor) {
+    case AnchorKind::Start:
+      return finish(match_parts_from(url, 0, parts, /*first_exact=*/true));
+    case AnchorKind::DomainName: {
+      // Candidate positions: start of the host, and after each '.' label
+      // boundary inside the host.
+      const std::size_t scheme_end = url.find("://");
+      if (scheme_end == std::string_view::npos) return false;
+      const std::size_t host_start = scheme_end + 3;
+      std::size_t host_end = url.find('/', host_start);
+      if (host_end == std::string_view::npos) host_end = url.size();
+      for (std::size_t pos = host_start; pos < host_end;) {
+        if (finish(match_parts_from(url, pos, parts, /*first_exact=*/true))) {
+          return true;
+        }
+        const std::size_t dot = url.find('.', pos);
+        if (dot == std::string_view::npos || dot >= host_end) break;
+        pos = dot + 1;
+      }
+      return false;
+    }
+    case AnchorKind::None: {
+      for (std::size_t pos = 0; pos <= url.size(); ++pos) {
+        if (match_literal_at(url, pos, parts[0])) {
+          if (finish(match_parts_from(url, pos, parts, /*first_exact=*/true))) {
+            return true;
+          }
+        }
+      }
+      return false;
+    }
   }
   return false;
 }
@@ -74,30 +469,70 @@ MatchResult Engine::match(const RequestContext& request) const {
   // The host must be a bare host name (no scheme, no path): the anchor
   // index keys on host suffixes and would silently miss otherwise.
   CBWT_EXPECTS(request.host.find('/') == std::string_view::npos);
-  const auto try_rules = [&](const std::vector<IndexedRule>& rules) -> MatchResult {
-    for (const auto& entry : rules) {
-      if (rule_matches(*entry.rule, request)) {
-        return {true, entry.rule, entry.list};
-      }
-    }
-    return {};
-  };
+  MatchScratch scratch(request);
 
-  MatchResult hit;
-  // Walk host suffixes: "a.b.c.com" probes a.b.c.com, b.c.com, c.com, com.
+  // 1. Anchored rules: walk host suffixes ("a.b.c.com" probes
+  //    a.b.c.com, b.c.com, c.com, com); first bucket hit wins, exactly
+  //    like the reference walk.
+  const CompiledRule* hit = nullptr;
   std::string_view host = request.host;
-  while (!hit.matched && !host.empty()) {
-    if (const auto it = by_anchor_.find(std::string(host)); it != by_anchor_.end()) {
-      hit = try_rules(it->second);
+  while (hit == nullptr && !host.empty()) {
+    if (const auto it = by_anchor_.find(host); it != by_anchor_.end()) {
+      for (const auto index : it->second) {
+        if (evaluate(compiled_[index], request, scratch)) {
+          hit = &compiled_[index];
+          break;
+        }
+      }
     }
     const std::size_t dot = host.find('.');
     if (dot == std::string_view::npos) break;
-    host = host.substr(dot + 1);
+    host.remove_prefix(dot + 1);
   }
-  if (!hit.matched) hit = try_rules(scan_rules_);
-  if (!hit.matched) return {};
-  if (exception_matches(request)) return {};
-  return hit;
+
+  // 2. The reference engine's linear-scan bucket, collapsed to token
+  //    probes: only rules bucketed under a token occurring in the URL
+  //    (plus the short no-safe-token fallback list) are evaluated. The
+  //    lowest scan order among the matches wins, which is exactly the
+  //    first hit of the reference scan.
+  if (hit == nullptr) {
+    std::uint32_t best_order = std::numeric_limits<std::uint32_t>::max();
+    for (const auto index : fallback_rules_) {
+      const CompiledRule& rule = compiled_[index];
+      if (rule.order < best_order && evaluate(rule, request, scratch)) {
+        best_order = rule.order;
+        hit = &rule;
+      }
+    }
+    scratch.for_each_token([&](std::uint64_t token) {
+      if (const auto it = token_rules_.find(token); it != token_rules_.end()) {
+        for (const auto index : it->second) {
+          const CompiledRule& rule = compiled_[index];
+          if (rule.order < best_order && evaluate(rule, request, scratch)) {
+            best_order = rule.order;
+            hit = &rule;
+          }
+        }
+      }
+      return true;  // keep walking: the *minimum* order must win
+    });
+  }
+  if (hit == nullptr) return {};
+
+  // 3. Exceptions, same token treatment; any match suppresses the hit.
+  for (const auto index : fallback_exceptions_) {
+    if (evaluate(compiled_[index], request, scratch)) return {};
+  }
+  const bool no_exception = scratch.for_each_token([&](std::uint64_t token) {
+    if (const auto it = token_exceptions_.find(token); it != token_exceptions_.end()) {
+      for (const auto index : it->second) {
+        if (evaluate(compiled_[index], request, scratch)) return false;
+      }
+    }
+    return true;
+  });
+  if (!no_exception) return {};
+  return {true, hit->source, hit->list};
 }
 
 std::size_t Engine::total_rules() const noexcept {

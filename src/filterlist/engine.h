@@ -1,14 +1,37 @@
 // Filter-list engine: parses whole lists (easylist / easyprivacy) and
-// matches requests against all of them with exception-rule semantics and
-// a domain-anchor index for speed.
+// matches requests against all of them with exception-rule semantics.
+//
+// The engine is compile-once / match-many: add_list() lowers every
+// parsed Rule into a flat CompiledRule (literals interned contiguously
+// in an arena, option bitflags, $domain= lists pre-bucketed to integer
+// ids) and builds two reverse indexes over the compiled set —
+//
+//   * a host-anchor index: ||host^ rules keyed by their host literal,
+//     probed by walking the request host's label suffixes (heterogeneous
+//     string hashing, so the walk never materializes a std::string);
+//   * a token index (uBlock-style): every other rule — blocking *and*
+//     exception — is keyed by the rarest alphanumeric token of its
+//     literals that is guaranteed to appear as a whole token in any URL
+//     the rule can match. At match time the URL is tokenized once into a
+//     stack buffer and only the rules bucketed under one of its tokens
+//     are evaluated; rules with no boundary-safe token fall back to a
+//     (short) always-evaluated list.
+//
+// Engine::match is allocation-free and the verdict — including *which*
+// rule wins — is bit-identical to ReferenceEngine (reference.h), the
+// naive matcher kept as the executable specification; the equivalence is
+// pinned by property tests and the fuzz harness.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "filterlist/rule.h"
+#include "util/arena.h"
+#include "util/transparent_hash.h"
 
 namespace cbwt::filterlist {
 
@@ -28,45 +51,98 @@ class FilterList {
   std::size_t skipped_ = 0;
 };
 
-/// Result of matching one request against the engine.
+/// Result of matching one request against the engine. `rule` and `list`
+/// point into engine-owned storage and stay valid until the next
+/// add_list() (or the engine's destruction).
 struct MatchResult {
   bool matched = false;         ///< blocked by some rule, no exception won
   const Rule* rule = nullptr;   ///< the blocking rule (when matched)
   std::string_view list;        ///< name of the list the rule came from
 };
 
+/// Pure-hostname head of a domain-anchored rule, usable as an anchor
+/// index key (a view into the rule's first literal); empty when the rule
+/// cannot be host-indexed. Shared by Engine and ReferenceEngine so both
+/// sort exactly the same rules into the anchor index. Underscores are
+/// host characters here: real easylist carries rules like
+/// ||ad_server.example^.
+[[nodiscard]] std::string_view anchor_index_key(const Rule& rule) noexcept;
+
+/// Shape of the compiled index; introspection for tests, benches and
+/// docs. Every blocking rule lands in exactly one of the first three
+/// buckets, every exception in one of the next two.
+struct IndexStats {
+  std::size_t anchored_rules = 0;         ///< host-keyed ||host^ blocking rules
+  std::size_t tokenized_rules = 0;        ///< token-bucketed blocking rules
+  std::size_t fallback_rules = 0;         ///< blocking rules always evaluated
+  std::size_t tokenized_exceptions = 0;   ///< token-bucketed @@ rules
+  std::size_t fallback_exceptions = 0;    ///< @@ rules always evaluated
+  std::size_t literal_bytes = 0;          ///< arena bytes of compiled literals
+};
+
 /// Multi-list matcher. Blocking rules win unless an exception rule from
 /// any list also matches (ABP semantics).
 class Engine {
  public:
-  /// Adds a list; the engine keeps its own copy and indexes it.
+  /// Adds a list; the engine keeps its own copy and recompiles the
+  /// whole index (rule storage is stable from then on).
   void add_list(FilterList list);
 
   /// Matches a request; `url` must be lower-case (tracker URLs in this
-  /// model always are).
+  /// model always are). Performs no heap allocation.
   [[nodiscard]] MatchResult match(const RequestContext& request) const;
 
   [[nodiscard]] std::size_t total_rules() const noexcept;
+  [[nodiscard]] const IndexStats& index_stats() const noexcept { return stats_; }
 
  private:
-  struct IndexedRule {
-    const Rule* rule;
-    std::string_view list;
+  /// Unset third-party constraint ($third-party absent).
+  static constexpr std::int8_t kAnyParty = -1;
+
+  /// One rule lowered to flat, cache-friendly form: literal views into
+  /// the arena, options as plain fields, $domain= entries as ids into
+  /// the engine's domain table.
+  struct CompiledRule {
+    const Rule* source = nullptr;  ///< original rule (for MatchResult)
+    std::string_view list;         ///< engine-owned list name
+    std::uint32_t first_part = 0;  ///< span into part_pool_
+    std::uint32_t part_count = 0;
+    std::uint32_t first_include = 0;  ///< span into domain_pool_
+    std::uint32_t include_count = 0;
+    std::uint32_t first_exclude = 0;
+    std::uint32_t exclude_count = 0;
+    /// Position in the reference engine's linear-scan order; ties between
+    /// token buckets are broken by it so the winning rule is identical.
+    std::uint32_t order = 0;
+    AnchorKind anchor = AnchorKind::None;
+    bool end_anchor = false;
+    std::int8_t third_party = kAnyParty;  ///< kAnyParty / 0 / 1
   };
 
-  /// Extracts the pure-hostname head of a domain-anchored rule (the index
-  /// key); empty when the rule cannot be indexed.
-  [[nodiscard]] static std::string anchor_key(const Rule& rule);
+  struct MatchScratch;  // per-call stack state; defined in engine.cpp
 
-  void index_rule(const Rule& rule, std::string_view list_name);
-  [[nodiscard]] bool exception_matches(const RequestContext& request) const;
+  void compile();
+  [[nodiscard]] bool evaluate(const CompiledRule& rule, const RequestContext& request,
+                              MatchScratch& scratch) const;
 
   std::vector<FilterList> lists_;
-  /// Domain-anchored blocking rules keyed by anchor host.
-  std::unordered_map<std::string, std::vector<IndexedRule>> by_anchor_;
-  /// Blocking rules that need a linear scan.
-  std::vector<IndexedRule> scan_rules_;
-  std::vector<IndexedRule> exceptions_;
+
+  // ---- compiled image (rebuilt by compile()) ----------------------
+  util::Arena arena_;                         ///< literal + domain-name bytes
+  std::vector<std::string_view> part_pool_;   ///< all rules' literals, flat
+  std::vector<std::uint32_t> domain_pool_;    ///< all rules' $domain= ids, flat
+  std::vector<std::string_view> domain_names_;  ///< id -> interned domain
+  util::StringMap<std::uint32_t> domain_ids_;   ///< interned domain -> id
+  std::vector<CompiledRule> compiled_;
+  /// Domain-anchored blocking rules keyed by anchor host literal.
+  util::StringMap<std::vector<std::uint32_t>> by_anchor_;
+  /// Blocking rules / exceptions keyed by their rarest safe token hash.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> token_rules_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> token_exceptions_;
+  /// Rules with no boundary-safe token: always evaluated.
+  std::vector<std::uint32_t> fallback_rules_;
+  std::vector<std::uint32_t> fallback_exceptions_;
+  IndexStats stats_;
 };
 
 }  // namespace cbwt::filterlist

@@ -1,0 +1,80 @@
+#include "filterlist/reference.h"
+
+#include <string>
+
+#include "util/contract.h"
+
+namespace cbwt::filterlist {
+
+void ReferenceEngine::index_rule(const Rule& rule, std::string_view list_name) {
+  // parse_rule() guarantees this; an unanchored, literal-free rule would
+  // otherwise match every request from the scan bucket.
+  CBWT_EXPECTS(!rule.parts.empty() || rule.anchor != AnchorKind::None || rule.end_anchor);
+  if (rule.exception) {
+    exceptions_.push_back({&rule, list_name});
+    return;
+  }
+  // Same key function as Engine, so both engines sort exactly the same
+  // rules into the anchor index.
+  const std::string_view key = anchor_index_key(rule);
+  if (key.empty()) {
+    scan_rules_.push_back({&rule, list_name});
+  } else {
+    by_anchor_[std::string(key)].push_back({&rule, list_name});
+  }
+}
+
+void ReferenceEngine::add_list(FilterList list) {
+  lists_.push_back(std::move(list));
+  // Rebuild the whole index: rule storage is stable from here on, so all
+  // pointers taken now stay valid.
+  by_anchor_.clear();
+  scan_rules_.clear();
+  exceptions_.clear();
+  for (const auto& stored : lists_) {
+    for (const auto& rule : stored.rules()) index_rule(rule, stored.name());
+  }
+}
+
+bool ReferenceEngine::exception_matches(const RequestContext& request) const {
+  for (const auto& entry : exceptions_) {
+    if (rule_matches(*entry.rule, request)) return true;
+  }
+  return false;
+}
+
+MatchResult ReferenceEngine::match(const RequestContext& request) const {
+  CBWT_EXPECTS(request.host.find('/') == std::string_view::npos);
+  const auto try_rules = [&](const std::vector<IndexedRule>& rules) -> MatchResult {
+    for (const auto& entry : rules) {
+      if (rule_matches(*entry.rule, request)) {
+        return {true, entry.rule, entry.list};
+      }
+    }
+    return {};
+  };
+
+  MatchResult hit;
+  // Walk host suffixes: "a.b.c.com" probes a.b.c.com, b.c.com, c.com, com.
+  std::string_view host = request.host;
+  while (!hit.matched && !host.empty()) {
+    if (const auto it = by_anchor_.find(std::string(host)); it != by_anchor_.end()) {
+      hit = try_rules(it->second);
+    }
+    const std::size_t dot = host.find('.');
+    if (dot == std::string_view::npos) break;
+    host = host.substr(dot + 1);
+  }
+  if (!hit.matched) hit = try_rules(scan_rules_);
+  if (!hit.matched) return {};
+  if (exception_matches(request)) return {};
+  return hit;
+}
+
+std::size_t ReferenceEngine::total_rules() const noexcept {
+  std::size_t total = 0;
+  for (const auto& list : lists_) total += list.rule_count();
+  return total;
+}
+
+}  // namespace cbwt::filterlist

@@ -1,0 +1,47 @@
+// Reference filter-list matcher: the pre-optimization naive engine kept
+// verbatim as the executable specification of matching semantics. The
+// indexed Engine (engine.h) must return bit-identical MatchResults —
+// including *which* rule wins — on every input; the property suite
+// (test_filterlist_equivalence) and fuzz_rule enforce that. Used by
+// tests and benchmarks only; production code links Engine.
+#pragma once
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "filterlist/engine.h"
+
+namespace cbwt::filterlist {
+
+/// Multi-list matcher with the same semantics as Engine, implemented as
+/// a linear scan plus a host-anchor map: anchored rules are probed by
+/// walking host suffixes (allocating a std::string per probe), all
+/// other blocking rules are scanned in insertion order, and every
+/// exception rule is scanned on each hit.
+class ReferenceEngine {
+ public:
+  void add_list(FilterList list);
+
+  [[nodiscard]] MatchResult match(const RequestContext& request) const;
+
+  [[nodiscard]] std::size_t total_rules() const noexcept;
+
+ private:
+  struct IndexedRule {
+    const Rule* rule;
+    std::string_view list;
+  };
+
+  void index_rule(const Rule& rule, std::string_view list_name);
+  [[nodiscard]] bool exception_matches(const RequestContext& request) const;
+
+  std::vector<FilterList> lists_;
+  /// Domain-anchored blocking rules keyed by anchor host.
+  std::unordered_map<std::string, std::vector<IndexedRule>> by_anchor_;
+  /// Blocking rules that need a linear scan.
+  std::vector<IndexedRule> scan_rules_;
+  std::vector<IndexedRule> exceptions_;
+};
+
+}  // namespace cbwt::filterlist

@@ -1,0 +1,64 @@
+// Chunked byte arena for compile-once data structures: interned strings
+// stay valid for the arena's lifetime (chunks are never reallocated or
+// freed until clear()/destruction), so views handed out by intern() are
+// stable keys for long-lived indexes. Not thread-safe; the intended use
+// is build-the-index-once, read-concurrently-forever.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace cbwt::util {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes) noexcept
+      : chunk_bytes_(chunk_bytes == 0 ? kDefaultChunkBytes : chunk_bytes) {}
+
+  /// Copies `text` into arena storage and returns a stable view of it.
+  /// Oversized strings get a dedicated chunk, so any length works.
+  [[nodiscard]] std::string_view intern(std::string_view text) {
+    if (text.empty()) return {};
+    char* dst = allocate(text.size());
+    std::memcpy(dst, text.data(), text.size());
+    return {dst, text.size()};
+  }
+
+  /// Total bytes handed out by intern()/allocate (not chunk capacity).
+  [[nodiscard]] std::size_t bytes_used() const noexcept { return used_; }
+
+  /// Drops every chunk; all previously returned views become dangling.
+  void clear() noexcept {
+    chunks_.clear();
+    cursor_ = 0;
+    capacity_ = 0;
+    used_ = 0;
+  }
+
+ private:
+  [[nodiscard]] char* allocate(std::size_t bytes) {
+    if (cursor_ + bytes > capacity_) {
+      const std::size_t size = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+      chunks_.push_back(std::make_unique<char[]>(size));
+      cursor_ = 0;
+      capacity_ = size;
+    }
+    char* out = chunks_.back().get() + cursor_;
+    cursor_ += bytes;
+    used_ += bytes;
+    return out;
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  std::size_t cursor_ = 0;    ///< offset into the last chunk
+  std::size_t capacity_ = 0;  ///< size of the last chunk
+  std::size_t used_ = 0;
+};
+
+}  // namespace cbwt::util

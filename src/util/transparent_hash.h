@@ -1,0 +1,40 @@
+// Heterogeneous ("transparent") string hashing for unordered containers:
+// lets a std::unordered_map with std::string keys be probed with a
+// std::string_view without materializing a temporary std::string — the
+// C++20 heterogeneous-lookup protocol (P1690). Hot paths that walk host
+// suffixes or token spans stay allocation-free.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cbwt::util {
+
+/// FNV-1a over the bytes of the string; stable across platforms so data
+/// structures keyed by it stay deterministic.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+struct StringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view text) const noexcept {
+    return static_cast<std::size_t>(fnv1a(text));
+  }
+};
+
+/// unordered_map<string, V> probeable with string_view keys.
+template <typename V>
+using StringMap = std::unordered_map<std::string, V, StringHash, std::equal_to<>>;
+
+using StringSet = std::unordered_set<std::string, StringHash, std::equal_to<>>;
+
+}  // namespace cbwt::util

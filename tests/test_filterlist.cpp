@@ -190,6 +190,41 @@ TEST(Engine, IndexedSubdomainLookup) {
   EXPECT_TRUE(engine.match(ctx("https://deep.sub.t.com/x")).matched);
 }
 
+// Regression: hosts with underscores (real easylist carries rules like
+// ||ad_server.example^) must land in the anchor index, not silently
+// fall through to the scan bucket with a truncated key.
+TEST(Engine, AnchorKeyKeepsUnderscoreHosts) {
+  const auto rule = parse_rule("||ad_server.example.com^");
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(anchor_index_key(*rule), "ad_server.example.com");
+
+  Engine engine;
+  engine.add_list(FilterList("easylist", {"||ad_server.example.com^"}));
+  EXPECT_EQ(engine.index_stats().anchored_rules, 1U);
+  EXPECT_EQ(engine.index_stats().tokenized_rules, 0U);
+  EXPECT_EQ(engine.index_stats().fallback_rules, 0U);
+  EXPECT_TRUE(
+      engine.match(ctx("https://ad_server.example.com/x", "site.com")).matched);
+  EXPECT_TRUE(
+      engine.match(ctx("https://sub.ad_server.example.com/x", "site.com")).matched);
+  EXPECT_FALSE(engine.match(ctx("https://adxserver.example.com/x", "site.com")).matched);
+}
+
+// The compiled index must put every rule in exactly one bucket.
+TEST(Engine, IndexStatsPartitionTheRules) {
+  Engine engine;
+  engine.add_list(FilterList("easylist",
+                             {"||ads.t.com^", "/adserve/", "&ad_slot=", "trk",
+                              "@@||ads.t.com/allowed/", "@@trk"}));
+  const auto& stats = engine.index_stats();
+  EXPECT_EQ(stats.anchored_rules + stats.tokenized_rules + stats.fallback_rules +
+                stats.tokenized_exceptions + stats.fallback_exceptions,
+            engine.total_rules());
+  EXPECT_GT(stats.anchored_rules, 0U);
+  EXPECT_GT(stats.tokenized_rules, 0U);
+  EXPECT_GT(stats.literal_bytes, 0U);
+}
+
 TEST(Engine, SkippedLineAccounting) {
   const FilterList list("x", {"! comment", "||a.com^", "bad##hide", ""});
   EXPECT_EQ(list.rule_count(), 1U);

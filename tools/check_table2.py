@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Asserts a bench_table2_classification --json report matches the
+committed expectation exactly.
+
+Usage: check_table2.py <report.json> <expectation.json>
+
+The expectation pins only the classification counts (its "metrics"
+keys); runtime telemetry in the report (channel stats, wall_ms) is
+ignored. Exact integer equality is required — the classifier is
+deterministic at every thread count, so any drift is a real behavior
+change, not noise.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+    with open(sys.argv[2]) as f:
+        expectation = json.load(f)
+
+    got = report.get("metrics", {})
+    want = expectation["metrics"]
+    failures = []
+    for key, value in sorted(want.items()):
+        if key not in got:
+            failures.append(f"missing metric {key} (expected {value})")
+        elif got[key] != value:
+            failures.append(f"{key}: got {got[key]}, expected {value}")
+
+    if failures:
+        print("Table 2 drift detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"Table 2 OK: {len(want)} metrics match exactly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
