@@ -18,7 +18,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -26,6 +25,7 @@
 
 #include "filterlist/engine.h"
 #include "util/contract.h"
+#include "util/thread_annotations.h"
 
 namespace cbwt::classify {
 
@@ -45,7 +45,7 @@ class MatchCache {
   /// Returns the cached verdict for `key`, refreshing its LRU position.
   [[nodiscard]] std::optional<filterlist::MatchResult> lookup(std::uint64_t key) {
     Shard& shard = shard_of(key);
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const util::MutexLock lock(shard.mutex);
     const auto it = shard.index.find(key);
     if (it == shard.index.end()) {
       ++shard.misses;
@@ -60,7 +60,7 @@ class MatchCache {
   /// recently used entry when full.
   void insert(std::uint64_t key, const filterlist::MatchResult& result) {
     Shard& shard = shard_of(key);
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const util::MutexLock lock(shard.mutex);
     if (const auto it = shard.index.find(key); it != shard.index.end()) {
       it->second->second = result;
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -74,20 +74,34 @@ class MatchCache {
     shard.index.emplace(key, shard.lru.begin());
   }
 
-  [[nodiscard]] std::uint64_t hits() const noexcept { return sum(&Shard::hits); }
-  [[nodiscard]] std::uint64_t misses() const noexcept { return sum(&Shard::misses); }
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    std::uint64_t total = 0;
+    for (auto& shard : shards_) {
+      const util::MutexLock lock(shard.mutex);
+      total += shard.hits;
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    std::uint64_t total = 0;
+    for (auto& shard : shards_) {
+      const util::MutexLock lock(shard.mutex);
+      total += shard.misses;
+    }
+    return total;
+  }
 
  private:
+  using LruList = std::list<std::pair<std::uint64_t, filterlist::MatchResult>>;
+
   struct Shard {
-    std::mutex mutex;
-    std::list<std::pair<std::uint64_t, filterlist::MatchResult>> lru;
-    std::unordered_map<
-        std::uint64_t,
-        std::list<std::pair<std::uint64_t, filterlist::MatchResult>>::iterator>
-        index;
-    std::size_t capacity = 0;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
+    mutable util::Mutex mutex;
+    LruList lru CBWT_GUARDED_BY(mutex);
+    std::unordered_map<std::uint64_t, LruList::iterator> index CBWT_GUARDED_BY(mutex);
+    std::size_t capacity = 0;  ///< immutable after construction
+    std::uint64_t hits CBWT_GUARDED_BY(mutex) = 0;
+    std::uint64_t misses CBWT_GUARDED_BY(mutex) = 0;
   };
 
   [[nodiscard]] Shard& shard_of(std::uint64_t key) noexcept {
@@ -96,18 +110,10 @@ class MatchCache {
     return shards_[(key >> 56) % shards_.size()];
   }
 
-  [[nodiscard]] std::uint64_t sum(std::uint64_t Shard::* field) const noexcept {
-    std::uint64_t total = 0;
-    for (auto& shard : shards_) {
-      const std::lock_guard<std::mutex> lock(shard.mutex);
-      total += shard.*field;
-    }
-    return total;
-  }
-
   // Never resized after construction (Shard is immovable: it holds a
-  // mutex); mutable so hits()/misses() can lock shards from const.
-  mutable std::vector<Shard> shards_;
+  // mutex); Shard::mutex is mutable so hits()/misses() can lock from
+  // const.
+  std::vector<Shard> shards_;
 };
 
 }  // namespace cbwt::classify

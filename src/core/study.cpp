@@ -235,7 +235,7 @@ std::string Study::run_report() {
 
   report::JsonWriter json;
   json.begin_object();
-  json.key("name").value("cbwt_run_report");
+  json.key("name").value("cbwt_core_run_report");
   json.key("seed").value(config_.world.seed);
   json.key("scale").value(config_.world.scale);
   json.key("threads").value(static_cast<std::uint64_t>(config_.threads));

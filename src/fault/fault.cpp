@@ -45,12 +45,14 @@ FaultPlan FaultPlan::uniform(std::uint64_t seed, double rate) {
 
 FaultPlan FaultPlan::from_env() {
   FaultPlan plan;  // default: disabled (all rates zero)
-  const char* rate_env = std::getenv("CBWT_FAULT_RATE");
+  // from_env() runs once at startup before any worker exists; nothing
+  // mutates the environment concurrently.
+  const char* rate_env = std::getenv("CBWT_FAULT_RATE");  // NOLINT(concurrency-mt-unsafe)
   if (rate_env == nullptr) return plan;
   const double rate = std::atof(rate_env);
   if (rate <= 0.0) return plan;
   std::uint64_t seed = plan.seed;
-  if (const char* seed_env = std::getenv("CBWT_FAULT_SEED")) {
+  if (const char* seed_env = std::getenv("CBWT_FAULT_SEED")) {  // NOLINT(concurrency-mt-unsafe)
     seed = std::strtoull(seed_env, nullptr, 10);
   }
   return uniform(seed, rate < 1.0 ? rate : 1.0);

@@ -14,9 +14,10 @@ namespace {
 /// are small) so the jitter stream never aliases a decision stream.
 constexpr std::uint64_t kJitterSalt = 0x4A177E5000000000ULL;
 
-/// Buckets for the per-call virtual latency histogram (milliseconds).
-constexpr std::array<double, 8> kLatencyBoundsMs = {1,   5,   10,   25,
-                                                    50,  100, 500,  2500};
+/// Buckets for the per-call virtual latency histogram (seconds; the
+/// engine computes in ms, the metric exports in the `_seconds` unit).
+constexpr std::array<double, 8> kLatencyBoundsSeconds = {
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 2.5};
 
 }  // namespace
 
@@ -134,8 +135,8 @@ SiteMetrics SiteMetrics::resolve(obs::Registry* registry, std::string_view site)
   metrics.exhausted = &registry->counter(prefix + "_exhausted_total");
   metrics.degraded = &registry->counter(prefix + "_degraded_total");
   metrics.breaker_rejected = &registry->counter(prefix + "_breaker_rejected_total");
-  metrics.retry_latency_ms =
-      &registry->histogram(prefix + "_retry_latency_ms", kLatencyBoundsMs);
+  metrics.retry_latency_seconds =
+      &registry->histogram(prefix + "_retry_latency_seconds", kLatencyBoundsSeconds);
   return metrics;
 }
 
@@ -148,7 +149,7 @@ void SiteMetrics::count(const CallFate& fate) const noexcept {
   if (fate.injected > 0) injected->add(fate.injected);
   if (fate.attempts > 1) retried->add(fate.attempts - 1);
   if (!fate.ok()) exhausted->add(1);
-  if (fate.attempts > 1) retry_latency_ms->observe(fate.latency_ms);
+  if (fate.attempts > 1) retry_latency_seconds->observe(fate.latency_ms / 1000.0);
 }
 
 void SiteMetrics::count_degraded(std::uint64_t n) const noexcept {

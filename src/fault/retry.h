@@ -130,10 +130,12 @@ struct SiteMetrics {
   obs::Counter* exhausted = nullptr;
   obs::Counter* degraded = nullptr;
   obs::Counter* breaker_rejected = nullptr;
-  obs::Histogram* retry_latency_ms = nullptr;
+  obs::Histogram* retry_latency_seconds = nullptr;
 
   /// Resolves cbwt_fault_<site>_{injected,retried,exhausted,degraded,
-  /// breaker_rejected}_total and cbwt_fault_<site>_retry_latency_ms.
+  /// breaker_rejected}_total and cbwt_fault_<site>_retry_latency_seconds
+  /// (virtual latency, observed in seconds per the obs `_seconds`
+  /// duration convention; RetryStats keeps its millisecond field).
   /// Null registry -> all-null handles (every update is a null check).
   [[nodiscard]] static SiteMetrics resolve(obs::Registry* registry,
                                            std::string_view site);

@@ -111,7 +111,7 @@ util::Rng GeoService::measurement_rng(const net::IpAddress& ip,
 
 std::string GeoService::locate_active(const net::IpAddress& ip) const {
   {
-    std::unique_lock lock(cache_mutex_);
+    util::MutexLock lock(cache_mutex_);
     if (const auto it = active_cache_.find(ip); it != active_cache_.end()) {
       if (cache_hits_ != nullptr) cache_hits_->add(1);
       return it->second;
@@ -119,7 +119,7 @@ std::string GeoService::locate_active(const net::IpAddress& ip) const {
   }
   if (cache_misses_ != nullptr) cache_misses_->add(1);
   std::string country = measure_active(ip);
-  std::unique_lock lock(cache_mutex_);
+  util::MutexLock lock(cache_mutex_);
   // A racing lookup may have inserted first; both computed the same
   // per-IP verdict, so either insert wins harmlessly.
   active_cache_.emplace(ip, country);
@@ -129,7 +129,7 @@ std::string GeoService::locate_active(const net::IpAddress& ip) const {
 void GeoService::prefetch(std::span<const net::IpAddress> ips) const {
   std::vector<net::IpAddress> missing;
   {
-    std::unique_lock lock(cache_mutex_);
+    util::MutexLock lock(cache_mutex_);
     std::unordered_set<net::IpAddress> queued;
     for (const auto& ip : ips) {
       if (!active_cache_.contains(ip) && queued.insert(ip).second) {
@@ -145,7 +145,7 @@ void GeoService::prefetch(std::span<const net::IpAddress> ips) const {
   const auto countries = runtime::parallel_map<std::string>(
       pool_, missing.size(), {.min_shard_items = 8},
       [&](std::size_t i) { return measure_active(missing[i]); });
-  std::unique_lock lock(cache_mutex_);
+  util::MutexLock lock(cache_mutex_);
   for (std::size_t i = 0; i < missing.size(); ++i) {
     active_cache_.emplace(missing[i], countries[i]);
   }

@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -17,6 +16,7 @@
 #include "geoloc/commercial.h"
 #include "obs/metrics.h"
 #include "runtime/thread_pool.h"
+#include "util/thread_annotations.h"
 
 namespace cbwt::geoloc {
 
@@ -110,8 +110,9 @@ class GeoService {
   fault::RetryPolicy measure_retry_;
   fault::SiteMetrics measure_metrics_;
   fault::SiteMetrics probe_metrics_;
-  mutable std::mutex cache_mutex_;
-  mutable std::unordered_map<net::IpAddress, std::string> active_cache_;
+  mutable util::Mutex cache_mutex_;
+  mutable std::unordered_map<net::IpAddress, std::string> active_cache_
+      CBWT_GUARDED_BY(cache_mutex_);
 
   // Metric handles, resolved once at construction; all null when no
   // registry is attached, so the instrumented paths cost one null check.

@@ -46,7 +46,7 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   return *counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -54,14 +54,14 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   return *gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first->second;
 }
 
 Histogram& Registry::histogram(std::string_view name, std::span<const double> bounds) {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
   return *histograms_.emplace(std::string(name), std::make_unique<Histogram>(bounds))
@@ -69,7 +69,7 @@ Histogram& Registry::histogram(std::string_view name, std::span<const double> bo
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) out.emplace_back(name, counter->value());
@@ -77,7 +77,7 @@ std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
 }
 
 std::vector<std::pair<std::string, double>> Registry::gauges() const {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<std::pair<std::string, double>> out;
   out.reserve(gauges_.size());
   for (const auto& [name, gauge] : gauges_) out.emplace_back(name, gauge->value());
@@ -85,7 +85,7 @@ std::vector<std::pair<std::string, double>> Registry::gauges() const {
 }
 
 std::vector<Registry::HistogramSample> Registry::histograms() const {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<HistogramSample> out;
   out.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
@@ -101,18 +101,18 @@ std::vector<Registry::HistogramSample> Registry::histograms() const {
 }
 
 std::vector<SpanRecord> Registry::spans() const {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   return spans_;
 }
 
 std::uint64_t Registry::counter_value(std::string_view name) const {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 Registry::SpanContext Registry::begin_span(std::string_view name) {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   SpanContext context;
   if (!span_stack_.empty()) context.parent = span_stack_.back();
   context.depth = span_stack_.size();
@@ -121,7 +121,7 @@ Registry::SpanContext Registry::begin_span(std::string_view name) {
 }
 
 void Registry::end_span(SpanRecord record) {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   CBWT_ASSERT(!span_stack_.empty() && span_stack_.back() == record.name);
   span_stack_.pop_back();
   spans_.push_back(std::move(record));

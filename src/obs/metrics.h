@@ -20,12 +20,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace cbwt::obs {
 
@@ -106,11 +107,12 @@ class Registry {
   Registry& operator=(const Registry&) = delete;
 
   /// Finds or creates; thread-safe. Resolve once, update via the handle.
-  [[nodiscard]] Counter& counter(std::string_view name);
-  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Counter& counter(std::string_view name) CBWT_EXCLUDES(mutex_);
+  [[nodiscard]] Gauge& gauge(std::string_view name) CBWT_EXCLUDES(mutex_);
   /// `bounds` is consulted on first creation only; later calls with the
   /// same name return the existing histogram.
-  [[nodiscard]] Histogram& histogram(std::string_view name, std::span<const double> bounds);
+  [[nodiscard]] Histogram& histogram(std::string_view name, std::span<const double> bounds)
+      CBWT_EXCLUDES(mutex_);
 
   // --- snapshots (name-sorted, for the exporters and tests) -----------
   struct HistogramSample {
@@ -139,13 +141,18 @@ class Registry {
   void end_span(SpanRecord record);
 
  private:
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   // Node-based maps: handles must stay stable across later insertions.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
-  std::vector<std::string> span_stack_;
-  std::vector<SpanRecord> spans_;
+  // The maps are guarded; the metrics inside them are lock-free and the
+  // references handed out stay valid (and unguarded) by design.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      CBWT_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      CBWT_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      CBWT_GUARDED_BY(mutex_);
+  std::vector<std::string> span_stack_ CBWT_GUARDED_BY(mutex_);
+  std::vector<SpanRecord> spans_ CBWT_GUARDED_BY(mutex_);
 };
 
 }  // namespace cbwt::obs

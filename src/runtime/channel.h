@@ -7,6 +7,10 @@
 // reporting exhaustion. Queue-depth high-water and stall counters are
 // recorded for observability; they never feed back into results, so
 // pipelines built on the channel stay deterministic.
+//
+// Thread-safety: every mutable member is guarded by mutex_ and the
+// annotations below let clang's -Wthread-safety prove it; notify calls
+// happen after the lock scope closes so woken threads never bounce.
 #pragma once
 
 #include <algorithm>
@@ -14,11 +18,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "util/contract.h"
+#include "util/thread_annotations.h"
 
 namespace cbwt::runtime {
 
@@ -65,72 +69,82 @@ class Channel {
 
   /// Blocks while full. Returns false (value dropped) iff the channel
   /// was closed before space appeared.
-  bool push(T value) {
-    std::unique_lock lock(mutex_);
-    if (buffer_.size() >= capacity_ && !closed_) {
-      ++stats_.producer_stalls;
-      const auto begin = std::chrono::steady_clock::now();
-      not_full_.wait(lock, [this] { return buffer_.size() < capacity_ || closed_; });
-      stats_.producer_stall_ns += static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - begin)
-              .count());
+  bool push(T value) CBWT_EXCLUDES(mutex_) {
+    {
+      util::MutexLock lock(mutex_);
+      if (buffer_.size() >= capacity_ && !closed_) {
+        ++stats_.producer_stalls;
+        const auto begin = stall_clock();
+        while (buffer_.size() >= capacity_ && !closed_) not_full_.wait(lock.native());
+        stats_.producer_stall_ns += ns_since(begin);
+      }
+      if (closed_) return false;
+      put_back(std::move(value));
     }
-    if (closed_) return false;
-    enqueue(std::move(value), lock);
+    not_empty_.notify_one();
     return true;
   }
 
   /// Non-blocking push; Full leaves the value untouched for retry.
-  TryPush try_push(T& value) {
-    std::unique_lock lock(mutex_);
-    if (closed_) return TryPush::Closed;
-    if (buffer_.size() >= capacity_) return TryPush::Full;
-    enqueue(std::move(value), lock);
+  TryPush try_push(T& value) CBWT_EXCLUDES(mutex_) {
+    {
+      util::MutexLock lock(mutex_);
+      if (closed_) return TryPush::Closed;
+      if (buffer_.size() >= capacity_) return TryPush::Full;
+      put_back(std::move(value));
+    }
+    not_empty_.notify_one();
     return TryPush::Ok;
   }
 
   /// Blocks while empty. Empty optional iff the channel is closed and
   /// fully drained (end-of-stream).
-  std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    if (buffer_.empty() && !closed_) {
-      ++stats_.consumer_stalls;
-      const auto begin = std::chrono::steady_clock::now();
-      not_empty_.wait(lock, [this] { return !buffer_.empty() || closed_; });
-      stats_.consumer_stall_ns += static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - begin)
-              .count());
+  std::optional<T> pop() CBWT_EXCLUDES(mutex_) {
+    std::optional<T> value;
+    {
+      util::MutexLock lock(mutex_);
+      if (buffer_.empty() && !closed_) {
+        ++stats_.consumer_stalls;
+        const auto begin = stall_clock();
+        while (buffer_.empty() && !closed_) not_empty_.wait(lock.native());
+        stats_.consumer_stall_ns += ns_since(begin);
+      }
+      value = take_front();
     }
-    return dequeue(lock);
+    if (value.has_value()) not_full_.notify_one();
+    return value;
   }
 
   /// Non-blocking pop; empty optional when nothing is buffered (check
   /// closed() to distinguish "not yet" from end-of-stream).
-  std::optional<T> try_pop() {
-    std::unique_lock lock(mutex_);
-    return dequeue(lock);
+  std::optional<T> try_pop() CBWT_EXCLUDES(mutex_) {
+    std::optional<T> value;
+    {
+      util::MutexLock lock(mutex_);
+      value = take_front();
+    }
+    if (value.has_value()) not_full_.notify_one();
+    return value;
   }
 
   /// Idempotent. Wakes every blocked producer (their pushes fail) and
   /// consumer (they drain the buffer, then see end-of-stream).
-  void close() {
+  void close() CBWT_EXCLUDES(mutex_) {
     {
-      std::unique_lock lock(mutex_);
+      util::MutexLock lock(mutex_);
       closed_ = true;
     }
     not_full_.notify_all();
     not_empty_.notify_all();
   }
 
-  [[nodiscard]] bool closed() const {
-    std::unique_lock lock(mutex_);
+  [[nodiscard]] bool closed() const CBWT_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return closed_;
   }
 
-  [[nodiscard]] std::size_t size() const {
-    std::unique_lock lock(mutex_);
+  [[nodiscard]] std::size_t size() const CBWT_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return buffer_.size();
   }
 
@@ -138,39 +152,47 @@ class Channel {
 
   /// Backpressure / throughput counters (monotonic).
   using Stats = ChannelStats;
-  [[nodiscard]] Stats stats() const {
-    std::unique_lock lock(mutex_);
+  [[nodiscard]] Stats stats() const CBWT_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return stats_;
   }
 
  private:
-  void enqueue(T&& value, std::unique_lock<std::mutex>& lock) {
-    CBWT_ASSERT(lock.owns_lock() && buffer_.size() < capacity_);
+  /// Stall timing is observational only (ChannelStats); it never feeds
+  /// back into what the channel delivers, so determinism holds.
+  [[nodiscard]] static auto stall_clock() noexcept {
+    return std::chrono::steady_clock::now();  // cbwt-lint: allow(steady-clock)
+  }
+
+  [[nodiscard]] static std::uint64_t ns_since(
+      std::chrono::time_point<std::chrono::steady_clock> begin) noexcept {  // cbwt-lint: allow(steady-clock)
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stall_clock() - begin)
+            .count());
+  }
+
+  void put_back(T&& value) CBWT_REQUIRES(mutex_) {
+    CBWT_ASSERT(buffer_.size() < capacity_);
     buffer_.push_back(std::move(value));
     ++stats_.pushed;
     stats_.high_water = std::max(stats_.high_water, buffer_.size());
-    lock.unlock();
-    not_empty_.notify_one();
   }
 
-  std::optional<T> dequeue(std::unique_lock<std::mutex>& lock) {
-    CBWT_ASSERT(lock.owns_lock());
+  [[nodiscard]] std::optional<T> take_front() CBWT_REQUIRES(mutex_) {
     if (buffer_.empty()) return std::nullopt;
     std::optional<T> value(std::move(buffer_.front()));
     buffer_.pop_front();
     ++stats_.popped;
-    lock.unlock();
-    not_full_.notify_one();
     return value;
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::deque<T> buffer_;
-  bool closed_ = false;
-  Stats stats_;
+  std::deque<T> buffer_ CBWT_GUARDED_BY(mutex_);
+  bool closed_ CBWT_GUARDED_BY(mutex_) = false;
+  Stats stats_ CBWT_GUARDED_BY(mutex_);
 };
 
 }  // namespace cbwt::runtime

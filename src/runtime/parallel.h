@@ -28,6 +28,7 @@
 #include "runtime/thread_pool.h"
 #include "util/contract.h"
 #include "util/prng.h"
+#include "util/thread_annotations.h"
 
 namespace cbwt::runtime {
 
@@ -90,12 +91,12 @@ void run_shards(ThreadPool* pool, std::size_t count, Task&& task) {
   }
 
   struct Batch {
-    std::mutex mutex;
+    util::Mutex mutex;
     std::condition_variable done_cv;
-    std::size_t count = 0;
-    std::size_t next = 0;       ///< next unclaimed shard
-    std::size_t finished = 0;   ///< shards fully executed
-    std::exception_ptr error;
+    std::size_t count = 0;  ///< immutable once the batch is shared
+    std::size_t next CBWT_GUARDED_BY(mutex) = 0;      ///< next unclaimed shard
+    std::size_t finished CBWT_GUARDED_BY(mutex) = 0;  ///< shards fully executed
+    std::exception_ptr error CBWT_GUARDED_BY(mutex);
   };
   auto batch = std::make_shared<Batch>();
   batch->count = count;
@@ -104,17 +105,17 @@ void run_shards(ThreadPool* pool, std::size_t count, Task&& task) {
     for (;;) {
       std::size_t shard = 0;
       {
-        std::unique_lock lock(batch->mutex);
+        util::MutexLock lock(batch->mutex);
         if (batch->next >= batch->count) return;
         shard = batch->next++;
       }
       try {
         task(shard);
       } catch (...) {
-        std::unique_lock lock(batch->mutex);
+        util::MutexLock lock(batch->mutex);
         if (!batch->error) batch->error = std::current_exception();
       }
-      std::unique_lock lock(batch->mutex);
+      util::MutexLock lock(batch->mutex);
       if (++batch->finished == batch->count) batch->done_cv.notify_all();
     }
   };
@@ -124,8 +125,8 @@ void run_shards(ThreadPool* pool, std::size_t count, Task&& task) {
   for (std::size_t i = 0; i < helpers; ++i) pool->submit(drive);
   drive();
 
-  std::unique_lock lock(batch->mutex);
-  batch->done_cv.wait(lock, [&] { return batch->finished == batch->count; });
+  util::MutexLock lock(batch->mutex);
+  while (batch->finished != batch->count) batch->done_cv.wait(lock.native());
   if (batch->error) std::rethrow_exception(batch->error);
 }
 
@@ -184,10 +185,10 @@ Acc sharded_reduce(ThreadPool* pool, std::size_t n, const ShardOptions& options,
     explicit Stream(std::size_t channel_capacity, std::size_t shard_count)
         : parts(channel_capacity), count(shard_count) {}
     Channel<Part> parts;
-    std::size_t count;
-    std::mutex mutex;
-    std::size_t next = 0;  ///< next unclaimed shard (under mutex)
-    std::exception_ptr error;
+    std::size_t count;  ///< immutable once the stream is shared
+    util::Mutex mutex;
+    std::size_t next CBWT_GUARDED_BY(mutex) = 0;  ///< next unclaimed shard
+    std::exception_ptr error CBWT_GUARDED_BY(mutex);
   };
   auto stream =
       std::make_shared<Stream>(std::max<std::size_t>(2, pool->size()), plan.size());
@@ -196,7 +197,7 @@ Acc sharded_reduce(ThreadPool* pool, std::size_t n, const ShardOptions& options,
     for (;;) {
       std::size_t shard = 0;
       {
-        std::unique_lock lock(stream->mutex);
+        util::MutexLock lock(stream->mutex);
         if (stream->next >= stream->count) return;
         shard = stream->next++;
       }
@@ -205,7 +206,7 @@ Acc sharded_reduce(ThreadPool* pool, std::size_t n, const ShardOptions& options,
         auto rng = shard_rng(seed, stage_label, shard);
         part = shard_fn(plan[shard], shard, rng);
       } catch (...) {
-        std::unique_lock lock(stream->mutex);
+        util::MutexLock lock(stream->mutex);
         if (!stream->error) stream->error = std::current_exception();
       }
       // Push even after an error so the consumer's count stays exact;
@@ -257,7 +258,7 @@ Acc sharded_reduce(ThreadPool* pool, std::size_t n, const ShardOptions& options,
     options.channel_stats->accumulate(stream->parts.stats());
   }
 
-  std::unique_lock lock(stream->mutex);
+  util::MutexLock lock(stream->mutex);
   if (stream->error) std::rethrow_exception(stream->error);
   return acc;
 }

@@ -22,13 +22,17 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock lock(sleep_mutex_);
+    util::MutexLock lock(sleep_mutex_);
     stopping_ = true;
   }
   sleep_cv_.notify_all();
   for (auto& thread : threads_) thread.join();
   // The destructor drains before joining: nothing may remain queued.
-  for (const auto& worker : workers_) CBWT_ASSERT(worker->queue.empty());
+  // (Workers are gone; the lock is only for the analysis' benefit.)
+  for (const auto& worker : workers_) {
+    util::MutexLock lock(worker->mutex);
+    CBWT_ASSERT(worker->queue.empty());
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -40,16 +44,16 @@ void ThreadPool::submit(std::function<void()> task) {
     // pending_ == 0) drains it before the destructor joins. Submitting
     // from outside the pool once destruction has begun is a data race
     // the caller owns, as with any object being destroyed.
-    std::unique_lock lock(sleep_mutex_);
+    util::MutexLock lock(sleep_mutex_);
     target = static_cast<std::size_t>(next_queue_++ % workers_.size());
     ++pending_;
   }
   {
-    std::unique_lock lock(workers_[target]->mutex);
+    util::MutexLock lock(workers_[target]->mutex);
     workers_[target]->queue.push_back(std::move(task));
   }
   {
-    std::unique_lock lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     ++stats_.submitted;
   }
   sleep_cv_.notify_one();
@@ -62,7 +66,7 @@ bool ThreadPool::try_run_one(unsigned index) {
   // of the busiest-looking sibling, scanning round-robin from our right.
   {
     auto& own = *workers_[index];
-    std::unique_lock lock(own.mutex);
+    util::MutexLock lock(own.mutex);
     if (!own.queue.empty()) {
       task = std::move(own.queue.front());
       own.queue.pop_front();
@@ -71,7 +75,7 @@ bool ThreadPool::try_run_one(unsigned index) {
   if (!task) {
     for (std::size_t offset = 1; offset < workers_.size() && !task; ++offset) {
       auto& victim = *workers_[(index + offset) % workers_.size()];
-      std::unique_lock lock(victim.mutex);
+      util::MutexLock lock(victim.mutex);
       if (!victim.queue.empty()) {
         task = std::move(victim.queue.back());
         victim.queue.pop_back();
@@ -81,13 +85,13 @@ bool ThreadPool::try_run_one(unsigned index) {
   }
   if (!task) return false;
   {
-    std::unique_lock lock(sleep_mutex_);
+    util::MutexLock lock(sleep_mutex_);
     CBWT_ASSERT(pending_ > 0);
     --pending_;
   }
   task();
   {
-    std::unique_lock lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     ++stats_.executed;
     if (stolen) ++stats_.stolen;
   }
@@ -97,19 +101,19 @@ bool ThreadPool::try_run_one(unsigned index) {
 void ThreadPool::worker_loop(unsigned index) {
   for (;;) {
     if (try_run_one(index)) continue;
-    std::unique_lock lock(sleep_mutex_);
-    sleep_cv_.wait(lock, [this] { return stopping_ || pending_ > 0; });
+    util::MutexLock lock(sleep_mutex_);
+    while (!stopping_ && pending_ == 0) sleep_cv_.wait(lock.native());
     if (stopping_ && pending_ == 0) return;
   }
 }
 
 std::uint64_t ThreadPool::pending() const {
-  std::unique_lock lock(sleep_mutex_);
+  util::MutexLock lock(sleep_mutex_);
   return pending_;
 }
 
 ThreadPool::Stats ThreadPool::stats() const {
-  std::unique_lock lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   return stats_;
 }
 

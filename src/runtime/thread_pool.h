@@ -10,6 +10,10 @@
 // of its own. Determinism is the job of the parallel.h layer above,
 // which fixes shard boundaries and per-shard RNGs independently of the
 // worker count.
+//
+// This is the only file in the tree allowed to spawn std::thread
+// (cbwt-lint rule raw-thread): every other module gets its parallelism
+// through the pool, so worker count is the single threading knob.
 #pragma once
 
 #include <condition_variable>
@@ -17,9 +21,10 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace cbwt::runtime {
 
@@ -38,13 +43,13 @@ class ThreadPool {
   /// (the pool is fixed-size). Running tasks may submit follow-up work —
   /// even while the destructor drains; external threads must not submit
   /// concurrently with destruction.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) CBWT_EXCLUDES(sleep_mutex_);
 
   /// Number of worker threads.
   [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
   /// Tasks queued but not yet started (instantaneous queue depth).
-  [[nodiscard]] std::uint64_t pending() const;
+  [[nodiscard]] std::uint64_t pending() const CBWT_EXCLUDES(sleep_mutex_);
 
   /// Hardware concurrency with a floor of 1 (the standard may report 0).
   [[nodiscard]] static unsigned hardware_threads() noexcept;
@@ -55,12 +60,12 @@ class ThreadPool {
     std::uint64_t executed = 0;   ///< tasks run to completion
     std::uint64_t stolen = 0;     ///< tasks run by a worker that stole them
   };
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const CBWT_EXCLUDES(stats_mutex_);
 
  private:
   struct Worker {
-    std::mutex mutex;
-    std::deque<std::function<void()>> queue;
+    util::Mutex mutex;
+    std::deque<std::function<void()>> queue CBWT_GUARDED_BY(mutex);
   };
 
   void worker_loop(unsigned index);
@@ -69,15 +74,18 @@ class ThreadPool {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  mutable std::mutex sleep_mutex_;
+  mutable util::Mutex sleep_mutex_;
   std::condition_variable sleep_cv_;
-  std::uint64_t pending_ = 0;  ///< queued-but-not-started tasks (under sleep_mutex_)
-  bool stopping_ = false;      ///< set by the destructor (under sleep_mutex_)
+  /// Queued-but-not-started tasks.
+  std::uint64_t pending_ CBWT_GUARDED_BY(sleep_mutex_) = 0;
+  /// Set by the destructor.
+  bool stopping_ CBWT_GUARDED_BY(sleep_mutex_) = false;
 
-  std::uint64_t next_queue_ = 0;  ///< round-robin submit cursor (under sleep_mutex_)
+  /// Round-robin submit cursor.
+  std::uint64_t next_queue_ CBWT_GUARDED_BY(sleep_mutex_) = 0;
 
-  mutable std::mutex stats_mutex_;
-  Stats stats_;
+  mutable util::Mutex stats_mutex_;
+  Stats stats_ CBWT_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace cbwt::runtime

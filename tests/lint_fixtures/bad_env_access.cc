@@ -1,0 +1,12 @@
+// lint-fixture-path: src/world/config.cpp
+// lint-fixture-expect: env-access
+//
+// Environment reads are confined to fault::FaultPlan::from_env;
+// ambient configuration elsewhere makes runs irreproducible.
+#include <cstdlib>
+
+namespace cbwt::world {
+
+const char* region() { return std::getenv("CBWT_REGION"); }
+
+}  // namespace cbwt::world

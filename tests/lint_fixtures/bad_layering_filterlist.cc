@@ -1,0 +1,11 @@
+// lint-fixture-path: src/filterlist/engine.cpp
+// lint-fixture-expect: layering
+//
+// filterlist sits below classify in the DAG; an upward include is a
+// layer inversion the gate must reject.
+#include "filterlist/engine.h"
+
+#include "classify/match_cache.h"
+#include "util/contract.h"
+
+namespace cbwt::filterlist {}

@@ -1,0 +1,11 @@
+// lint-fixture-path: src/obs/report_hook.cpp
+// lint-fixture-expect: layering
+//
+// obs may depend on report_json (the dependency-free JSON writer) but
+// never on study/core code: instrumentation must not know about the
+// experiment driving it.
+#include "obs/metrics.h"
+
+#include "core/study.h"
+
+namespace cbwt::obs {}

@@ -1,0 +1,8 @@
+// lint-fixture-path: src/telemetry/uplink.cpp
+// lint-fixture-expect: layering
+//
+// A new src/ module must be declared in [layering.deps] with an
+// explicit dependency list before the gate accepts it.
+#include "util/contract.h"
+
+namespace cbwt::telemetry {}

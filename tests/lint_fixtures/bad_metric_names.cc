@@ -1,0 +1,19 @@
+// lint-fixture-path: src/classify/pipeline_metrics.cpp
+// lint-fixture-expect: metric-naming
+//
+// Every clause of the naming convention: counters end _total,
+// histograms end _seconds, gauges never claim _total, names are
+// lowercase snake_case with a real module token.
+#include "obs/metrics.h"
+
+namespace cbwt::classify {
+
+void resolve(obs::Registry& registry) {
+  (void)registry.counter("cbwt_classify_cache_hits");       // missing _total
+  (void)registry.gauge("cbwt_classify_inflight_total");     // gauge claiming _total
+  (void)registry.histogram("cbwt_classify_latency_ms", {}); // durations are seconds
+  (void)registry.counter("cbwt_CamelCase_hits_total");      // not snake_case
+  (void)registry.counter("cbwt_nosuchmodule_hits_total");   // unknown module
+}
+
+}  // namespace cbwt::classify

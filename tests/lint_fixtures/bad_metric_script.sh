@@ -1,0 +1,5 @@
+# lint-fixture-path: tools/check_something.sh
+# lint-fixture-expect: metric-naming
+#
+# Metric-name literals in scripts get the same charset check as C++.
+grep -q "cbwt_Fault_injected_Total" report.json

@@ -1,0 +1,17 @@
+// lint-fixture-path: src/analysis/graph.cpp
+// lint-fixture-expect: raw-thread
+//
+// Spawning std::thread outside runtime::ThreadPool forks the
+// threading model: worker count must stay the one knob.
+#include <thread>
+#include <vector>
+
+namespace cbwt::analysis {
+
+void fan_out() {
+  std::vector<std::thread> workers;
+  workers.emplace_back([] {});
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace cbwt::analysis

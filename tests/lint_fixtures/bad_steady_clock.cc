@@ -1,0 +1,15 @@
+// lint-fixture-path: src/classify/pipeline.cpp
+// lint-fixture-expect: steady-clock
+//
+// steady_clock is observational-only and confined to obs/ (plus the
+// geoloc cache timing); classify code must route timing through spans.
+#include <chrono>
+
+namespace cbwt::classify {
+
+long elapsed() {
+  const auto begin = std::chrono::steady_clock::now();
+  return begin.time_since_epoch().count();
+}
+
+}  // namespace cbwt::classify

@@ -1,0 +1,13 @@
+// lint-fixture-path: tests/test_shuffle.cpp
+// lint-fixture-expect: unseeded-rng
+//
+// random_device / bare mt19937 give run-dependent streams; all
+// randomness must come from util::Rng with an explicit seed, in tests
+// included.
+#include <random>
+
+int roll() {
+  std::random_device device;
+  std::mt19937 rng(device());
+  return static_cast<int>(rng());
+}

@@ -1,0 +1,15 @@
+// lint-fixture-path: src/dns/resolver.cpp
+// lint-fixture-expect: wall-clock
+//
+// Wall-clock reads inside pipeline code break the bit-identical
+// determinism contract: the lint must flag system_clock anywhere in
+// src/ outside src/obs/.
+#include <chrono>
+
+namespace cbwt::dns {
+
+long stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace cbwt::dns

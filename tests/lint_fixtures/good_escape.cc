@@ -1,0 +1,15 @@
+// lint-fixture-path: src/runtime/channel_extra.h
+// lint-fixture-expect: none
+//
+// The per-line escape hatch: an otherwise-banned construct passes when
+// the offending line carries cbwt-lint: allow(<rule>) with a reason.
+#include <chrono>
+
+namespace cbwt::runtime {
+
+// Stall timing is observational-only; it never feeds results.
+inline auto stall_clock() noexcept {
+  return std::chrono::steady_clock::now();  // cbwt-lint: allow(steady-clock)
+}
+
+}  // namespace cbwt::runtime

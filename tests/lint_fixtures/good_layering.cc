@@ -1,0 +1,13 @@
+// lint-fixture-path: src/classify/uses_filterlist.cpp
+// lint-fixture-expect: none
+//
+// Downward includes along declared DAG edges are fine: classify is
+// allowed to depend on filterlist, obs, runtime, and util.
+#include "classify/match_cache.h"
+
+#include "filterlist/engine.h"
+#include "obs/metrics.h"
+#include "runtime/parallel.h"
+#include "util/contract.h"
+
+namespace cbwt::classify {}

@@ -1,0 +1,19 @@
+// lint-fixture-path: src/classify/pipeline_metrics_ok.cpp
+// lint-fixture-expect: none
+//
+// Conforming metric names, including a dynamically-composed one built
+// from a well-formed cbwt_<module>_ prefix fragment.
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cbwt::classify {
+
+void resolve(obs::Registry& registry, const std::string& site) {
+  (void)registry.counter("cbwt_classify_cache_hits_total");
+  (void)registry.gauge("cbwt_classify_inflight");
+  (void)registry.histogram("cbwt_classify_match_seconds", {});
+  (void)registry.counter("cbwt_classify_" + site + "_skips_total");
+}
+
+}  // namespace cbwt::classify

@@ -1,0 +1,14 @@
+// lint-fixture-path: src/obs/trace_extra.cpp
+// lint-fixture-expect: none
+//
+// obs owns timing: steady_clock (and the clock family generally) is
+// legal here without any escape comment.
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace cbwt::obs {
+
+long tick() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+
+}  // namespace cbwt::obs

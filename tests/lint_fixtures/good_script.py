@@ -1,0 +1,9 @@
+# lint-fixture-path: tools/check_something.py
+# lint-fixture-expect: none
+#
+# Conforming metric literals in tooling, plus a python-comment escape.
+EXPECTED = [
+    "cbwt_fault_upstream_injected_total",
+    "cbwt_runtime_pool_tasks_submitted",
+]
+PREFIX = "cbwt_geoloc_"

@@ -221,7 +221,7 @@ TEST(StudyRunReport, RecordsEveryStageAndStaysValidJson) {
   const std::string report = study.run_report();
   EXPECT_TRUE(testing::JsonChecker::valid(report)) << report;
   for (const char* needle :
-       {"\"name\":\"cbwt_run_report\"", "\"seed\"", "\"threads\":2", "\"obs\"",
+       {"\"name\":\"cbwt_core_run_report\"", "\"seed\"", "\"threads\":2", "\"obs\"",
         // One span per pipeline stage.
         "\"study/dataset\"", "\"study/pdns_replication\"", "\"study/classify\"",
         "\"classify/stage1_abp\"", "\"classify/stage2_referrer\"",

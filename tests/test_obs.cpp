@@ -41,19 +41,19 @@ TEST(Gauge, SetAddAndHighWater) {
 
 TEST(Registry, FindOrCreateReturnsStableHandles) {
   Registry registry;
-  Counter& a = registry.counter("cbwt_test_total");
-  Counter& b = registry.counter("cbwt_test_total");
+  Counter& a = registry.counter("cbwt_obs_test_total");
+  Counter& b = registry.counter("cbwt_obs_test_total");
   EXPECT_EQ(&a, &b);
   a.add(3);
-  EXPECT_EQ(registry.counter_value("cbwt_test_total"), 3u);
+  EXPECT_EQ(registry.counter_value("cbwt_obs_test_total"), 3u);
   EXPECT_EQ(registry.counter_value("never_created"), 0u);
 
   // Later insertions must not invalidate earlier handles.
   for (int i = 0; i < 100; ++i) {
-    (void)registry.counter("cbwt_filler_" + std::to_string(i) + "_total");
+    (void)registry.counter("cbwt_obs_filler_" + std::to_string(i) + "_total");
   }
   a.add(1);
-  EXPECT_EQ(registry.counter_value("cbwt_test_total"), 4u);
+  EXPECT_EQ(registry.counter_value("cbwt_obs_test_total"), 4u);
 }
 
 TEST(Registry, ConcurrentUpdatesAreExact) {
@@ -66,9 +66,9 @@ TEST(Registry, ConcurrentUpdatesAreExact) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&registry, &bounds] {
       // Half the threads race the find-or-create path too.
-      Counter& counter = registry.counter("cbwt_test_hits_total");
-      Gauge& gauge = registry.gauge("cbwt_test_level");
-      Histogram& histogram = registry.histogram("cbwt_test_seconds", bounds);
+      Counter& counter = registry.counter("cbwt_obs_test_hits_total");
+      Gauge& gauge = registry.gauge("cbwt_obs_test_level");
+      Histogram& histogram = registry.histogram("cbwt_obs_test_seconds", bounds);
       for (int i = 0; i < kPerThread; ++i) {
         counter.add(1);
         gauge.add(1.0);
@@ -77,11 +77,11 @@ TEST(Registry, ConcurrentUpdatesAreExact) {
     });
   }
   for (auto& thread : threads) thread.join();
-  EXPECT_EQ(registry.counter_value("cbwt_test_hits_total"),
+  EXPECT_EQ(registry.counter_value("cbwt_obs_test_hits_total"),
             static_cast<std::uint64_t>(kThreads) * kPerThread);
-  EXPECT_DOUBLE_EQ(registry.gauge("cbwt_test_level").value(),
+  EXPECT_DOUBLE_EQ(registry.gauge("cbwt_obs_test_level").value(),
                    static_cast<double>(kThreads) * kPerThread);
-  const Histogram& histogram = registry.histogram("cbwt_test_seconds", bounds);
+  const Histogram& histogram = registry.histogram("cbwt_obs_test_seconds", bounds);
   EXPECT_EQ(histogram.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
   EXPECT_DOUBLE_EQ(histogram.sum(), 1.5 * kThreads * kPerThread);
 }
@@ -111,8 +111,8 @@ TEST(Registry, HistogramBoundsConsultedOnFirstCreationOnly) {
   Registry registry;
   const std::array<double, 2> first = {1.0, 2.0};
   const std::array<double, 3> second = {5.0, 6.0, 7.0};
-  Histogram& a = registry.histogram("cbwt_test_seconds", first);
-  Histogram& b = registry.histogram("cbwt_test_seconds", second);
+  Histogram& a = registry.histogram("cbwt_obs_test_seconds", first);
+  Histogram& b = registry.histogram("cbwt_obs_test_seconds", second);
   EXPECT_EQ(&a, &b);
   EXPECT_EQ(b.bounds(), (std::vector<double>{1.0, 2.0}));
 }

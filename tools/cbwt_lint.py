@@ -1,0 +1,509 @@
+#!/usr/bin/env python3
+"""cbwt-lint: determinism, metric-naming, and layering gate for the cbwt tree.
+
+Usage:
+  cbwt_lint.py [--root DIR] [--rules FILE]   lint the tree (exit 1 on findings)
+  cbwt_lint.py --self-test                   run the fixture suite under
+                                             tests/lint_fixtures (exit 1 on
+                                             any fixture mismatch)
+  cbwt_lint.py --list-rules                  print the loaded ruleset
+
+Three rule families, configured in tools/lint_rules.toml:
+
+  * regex rules   -- banned APIs (wall clocks, ambient RNGs, raw threads)
+                     with per-rule path scopes and allowlists
+  * metric naming -- cbwt_<module>_* snake_case; counters end _total,
+                     histograms end _seconds, gauges never claim _total
+  * layering      -- #include edges across src/ modules must stay inside
+                     the explicit dependency DAG (and the DAG itself is
+                     topo-checked, so a cycle cannot be legalized)
+
+Per-line escape, on the offending line, with a justification nearby:
+
+    ... steady_clock::now();  // cbwt-lint: allow(steady-clock)
+
+Stdlib-only on purpose: the gate must run anywhere python3 runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# TOML loading: tomllib on python >= 3.11, minimal fallback parser below
+# (handles exactly the subset lint_rules.toml uses: tables, arrays of
+# tables, string keys/values, arrays of strings, multiline arrays).
+# --------------------------------------------------------------------------
+
+
+def _strip_comment(line):
+    in_str = None
+    for i, ch in enumerate(line):
+        if in_str:
+            if ch == in_str:
+                in_str = None
+        elif ch in "\"'":
+            in_str = ch
+        elif ch == "#":
+            return line[:i]
+    return line
+
+
+def _mini_toml_parse(text):
+    root = {}
+    current = root
+    pending = ""
+    pending_key = None
+    for raw in text.splitlines():
+        line = _strip_comment(raw).strip()
+        if pending_key is not None:
+            pending += " " + line
+            if _array_closed(pending):
+                current[pending_key] = _parse_value(pending)
+                pending_key = None
+                pending = ""
+            continue
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[[") and line.endswith("]]"):
+            name = line[2:-2].strip()
+            current = {}
+            root.setdefault(name, []).append(current)
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            current = root
+            for part in line[1:-1].strip().split("."):
+                current = current.setdefault(part, {})
+            continue
+        key, _, value = line.partition("=")
+        key = key.strip().strip('"').strip("'")
+        value = value.strip()
+        if value.startswith("[") and not _array_closed(value):
+            pending_key = key
+            pending = value
+            continue
+        current[key] = _parse_value(value)
+    return root
+
+
+def _array_closed(text):
+    depth = 0
+    in_str = None
+    for ch in text:
+        if in_str:
+            if ch == in_str:
+                in_str = None
+        elif ch in "\"'":
+            in_str = ch
+        elif ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+    return depth == 0
+
+
+def _parse_value(text):
+    text = text.strip()
+    if text.startswith("["):
+        inner = text.strip()[1:-1]
+        items = []
+        for piece in _split_top_level(inner):
+            piece = piece.strip()
+            if piece:
+                items.append(_parse_value(piece))
+        return items
+    if text.startswith("'") and text.endswith("'"):
+        return text[1:-1]
+    if text.startswith('"') and text.endswith('"'):
+        return text[1:-1]
+    if text in ("true", "false"):
+        return text == "true"
+    return text
+
+
+def _split_top_level(text):
+    out = []
+    buf = ""
+    in_str = None
+    for ch in text:
+        if in_str:
+            buf += ch
+            if ch == in_str:
+                in_str = None
+        elif ch in "\"'":
+            in_str = ch
+            buf += ch
+        elif ch == ",":
+            out.append(buf)
+            buf = ""
+        else:
+            buf += ch
+    if buf.strip():
+        out.append(buf)
+    return out
+
+
+def load_toml(path):
+    try:
+        import tomllib
+
+        with open(path, "rb") as f:
+            return tomllib.load(f)
+    except ImportError:
+        with open(path, encoding="utf-8") as f:
+            return _mini_toml_parse(f.read())
+
+
+# --------------------------------------------------------------------------
+# Config
+# --------------------------------------------------------------------------
+
+SOURCE_EXTENSIONS = (".h", ".hpp", ".hh", ".cpp", ".cc", ".cxx", ".py", ".sh")
+ESCAPE_RE = re.compile(r"cbwt-lint:\s*allow\(([^)]*)\)")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+METRIC_CALL_RE = re.compile(r"\b(counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
+METRIC_LITERAL_RE = re.compile(r"[\"'](cbwt_\w*)[\"']")
+METRIC_NAME_RE = re.compile(r"cbwt_[a-z0-9]+(_[a-z0-9]+)*\Z")
+
+
+class Rule:
+    def __init__(self, table):
+        self.name = table["name"]
+        self.pattern = re.compile(table["pattern"])
+        self.message = table.get("message", "banned construct")
+        self.paths = table.get("paths", [])
+        self.allow_paths = table.get("allow_paths", [])
+
+
+class Config:
+    def __init__(self, table):
+        self.exclude = table.get("exclude", [])
+        self.rules = [Rule(t) for t in table.get("rule", [])]
+        metric = table.get("metric_naming", {})
+        self.metric_paths = metric.get("paths", [])
+        layering = table.get("layering", {})
+        self.src_root = layering.get("src_root", "src")
+        self.overrides = layering.get("overrides", {})
+        self.deps = layering.get("deps", {})
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def glob_match(path, patterns):
+    # fnmatch's "*" already crosses "/" boundaries, so "src/**" and
+    # "src/*" behave identically here; normalize "**" away.
+    import fnmatch
+
+    return any(fnmatch.fnmatch(path, p.replace("**", "*")) for p in patterns)
+
+
+def escaped_rules(line):
+    rules = set()
+    for m in ESCAPE_RE.finditer(line):
+        rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+# --------------------------------------------------------------------------
+# Checks (each takes a repo-relative path + file text, yields Findings)
+# --------------------------------------------------------------------------
+
+
+def check_regex_rules(config, path, text):
+    active = [
+        r
+        for r in config.rules
+        if glob_match(path, r.paths) and not glob_match(path, r.allow_paths)
+    ]
+    if not active:
+        return
+    for lineno, line in enumerate(text.splitlines(), 1):
+        allowed = escaped_rules(line)
+        for rule in active:
+            if rule.name in allowed:
+                continue
+            if rule.pattern.search(line):
+                yield Finding(path, lineno, rule.name, rule.message)
+
+
+def check_metric_naming(config, path, text):
+    if not glob_match(path, config.metric_paths):
+        return
+    modules = set(config.deps) if config.deps else set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if "metric-naming" in escaped_rules(line):
+            continue
+        seen_spans = []
+        for m in METRIC_CALL_RE.finditer(line):
+            kind, name = m.group(1), m.group(2)
+            seen_spans.append(m.span(2))
+            if name.endswith("_"):  # dynamically-composed from a prefix literal
+                yield from _check_metric_prefix(path, lineno, name)
+            else:
+                yield from _check_metric_name(path, lineno, kind, name, modules)
+        for m in METRIC_LITERAL_RE.finditer(line):
+            if any(a <= m.start(1) < b for a, b in seen_spans):
+                continue  # already checked via its call site
+            name = m.group(1)
+            if name.endswith("_"):
+                yield from _check_metric_prefix(path, lineno, name)
+                continue
+            yield from _check_metric_name(path, lineno, None, name, modules)
+
+
+def _check_metric_prefix(path, lineno, fragment):
+    if not METRIC_NAME_RE.match(fragment[:-1]):
+        yield Finding(
+            path,
+            lineno,
+            "metric-naming",
+            f'metric prefix "{fragment}" is not lowercase cbwt_<module>_ '
+            "snake_case",
+        )
+
+
+def _check_metric_name(path, lineno, kind, name, modules):
+    if not METRIC_NAME_RE.match(name):
+        yield Finding(
+            path,
+            lineno,
+            "metric-naming",
+            f'metric "{name}" must match cbwt_<module>_<name> in lowercase '
+            "snake_case (no doubled/trailing underscores)",
+        )
+        return
+    parts = name.split("_")
+    if modules and parts[1] not in modules and "_".join(parts[1:3]) not in modules:
+        yield Finding(
+            path,
+            lineno,
+            "metric-naming",
+            f'metric "{name}": "{parts[1]}" is not a src/ module',
+        )
+    if kind == "counter" and not name.endswith("_total"):
+        yield Finding(
+            path, lineno, "metric-naming", f'counter "{name}" must end in _total'
+        )
+    if kind == "histogram" and not name.endswith("_seconds"):
+        yield Finding(
+            path,
+            lineno,
+            "metric-naming",
+            f'histogram "{name}" must end in _seconds (durations are seconds)',
+        )
+    if kind == "gauge" and name.endswith(("_total", "_seconds_total")):
+        yield Finding(
+            path, lineno, "metric-naming", f'gauge "{name}" must not claim _total'
+        )
+
+
+def module_of(config, rel_src_path):
+    if rel_src_path in config.overrides:
+        return config.overrides[rel_src_path]
+    return rel_src_path.split("/", 1)[0]
+
+
+def check_layering(config, path, text):
+    prefix = config.src_root + "/"
+    if not path.startswith(prefix) or not config.deps:
+        return
+    rel = path[len(prefix):]
+    module = module_of(config, rel)
+    if "/" not in rel:
+        return  # files directly under src/ belong to no module
+    if module not in config.deps:
+        yield Finding(
+            path,
+            1,
+            "layering",
+            f'module "{module}" is not declared in [layering.deps]; add it with '
+            "an explicit dependency list",
+        )
+        return
+    allowed = set(config.deps[module])
+    for lineno, line in enumerate(text.splitlines(), 1):
+        m = INCLUDE_RE.match(line)
+        if not m:
+            continue
+        if "layering" in escaped_rules(line):
+            continue
+        target = module_of(config, m.group(1))
+        if target == module or target not in config.deps:
+            continue
+        if target not in allowed:
+            yield Finding(
+                path,
+                lineno,
+                "layering",
+                f'module "{module}" must not include "{target}" '
+                f"(allowed: {', '.join(sorted(allowed)) or 'nothing'})",
+            )
+
+
+def check_dag(config):
+    """Topo-sorts [layering.deps]; yields a finding per cycle found."""
+    state = {}  # module -> 0 visiting, 1 done
+
+    def visit(node, stack):
+        if state.get(node) == 1:
+            return None
+        if state.get(node) == 0:
+            return stack[stack.index(node):] + [node]
+        state[node] = 0
+        stack.append(node)
+        for dep in config.deps.get(node, []):
+            cycle = visit(dep, stack)
+            if cycle is not None:
+                return cycle
+        stack.pop()
+        state[node] = 1
+        return None
+
+    for module in sorted(config.deps):
+        cycle = visit(module, [])
+        if cycle is not None:
+            yield Finding(
+                "tools/lint_rules.toml",
+                1,
+                "layering-config",
+                "allowed dependency graph has a cycle: " + " -> ".join(cycle),
+            )
+            return
+
+
+def lint_text(config, path, text):
+    findings = list(check_regex_rules(config, path, text))
+    findings += list(check_metric_naming(config, path, text))
+    findings += list(check_layering(config, path, text))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Tree walk + self-test
+# --------------------------------------------------------------------------
+
+
+def iter_tree_files(root, config):
+    for dirpath, dirnames, filenames in os.walk(root):
+        rel_dir = os.path.relpath(dirpath, root)
+        rel_dir = "" if rel_dir == "." else rel_dir.replace(os.sep, "/")
+        dirnames[:] = [
+            d
+            for d in sorted(dirnames)
+            if not glob_match((rel_dir + "/" + d if rel_dir else d) + "/x", config.exclude)
+        ]
+        for name in sorted(filenames):
+            rel = rel_dir + "/" + name if rel_dir else name
+            if not rel.endswith(SOURCE_EXTENSIONS):
+                continue
+            if glob_match(rel, config.exclude):
+                continue
+            yield rel
+
+
+def lint_tree(root, config):
+    findings = list(check_dag(config))
+    for rel in iter_tree_files(root, config):
+        try:
+            with open(os.path.join(root, rel), encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as error:
+            findings.append(Finding(rel, 0, "io", str(error)))
+            continue
+        findings.extend(lint_text(config, rel, text))
+    return findings
+
+
+FIXTURE_PATH_RE = re.compile(r"lint-fixture-path:\s*(\S+)")
+FIXTURE_EXPECT_RE = re.compile(r"lint-fixture-expect:\s*(.+)")
+
+
+def run_self_test(root, config):
+    fixtures_dir = os.path.join(root, "tests", "lint_fixtures")
+    names = sorted(
+        n for n in os.listdir(fixtures_dir) if n.endswith((".cc", ".py", ".sh"))
+    )
+    if not names:
+        print("cbwt-lint self-test: no fixtures found", file=sys.stderr)
+        return 1
+    failures = 0
+    for name in names:
+        with open(os.path.join(fixtures_dir, name), encoding="utf-8") as f:
+            text = f.read()
+        path_m = FIXTURE_PATH_RE.search(text)
+        expect_m = FIXTURE_EXPECT_RE.search(text)
+        if not path_m or not expect_m:
+            print(f"FAIL {name}: missing lint-fixture-path/-expect header")
+            failures += 1
+            continue
+        pretend = path_m.group(1)
+        expected = set(expect_m.group(1).split())
+        expected.discard("none")
+        got = {f.rule for f in lint_text(config, pretend, text)}
+        if got == expected:
+            label = ", ".join(sorted(expected)) or "clean"
+            print(f"ok   {name} ({label})")
+        else:
+            print(
+                f"FAIL {name}: expected rules {sorted(expected)}, got {sorted(got)}"
+            )
+            failures += 1
+    print(
+        f"cbwt-lint self-test: {len(names) - failures}/{len(names)} fixtures behave"
+    )
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser.add_argument("--root", default=default_root, help="repo root to lint")
+    parser.add_argument("--rules", default=None, help="ruleset TOML path")
+    parser.add_argument("--self-test", action="store_true", help="run fixture suite")
+    parser.add_argument("--list-rules", action="store_true", help="print the ruleset")
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.root)
+    rules_path = args.rules or os.path.join(root, "tools", "lint_rules.toml")
+    config = Config(load_toml(rules_path))
+
+    if args.list_rules:
+        for rule in config.rules:
+            print(f"{rule.name}: {rule.message}")
+        print("metric-naming: cbwt_<module>_* convention "
+              f"(over {', '.join(config.metric_paths)})")
+        print(f"layering: {len(config.deps)}-module dependency DAG over "
+              f"{config.src_root}/")
+        return 0
+
+    if args.self_test:
+        return run_self_test(root, config)
+
+    findings = lint_tree(root, config)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(
+            f"cbwt-lint: {len(findings)} finding(s); fix them or, for a "
+            "justified exception, append  // cbwt-lint: allow(<rule>)",
+            file=sys.stderr,
+        )
+        return 1
+    print("cbwt-lint: tree is clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
 # clang-tidy gate over src/, driven by the checked-in .clang-tidy.
 #
-#   tools/run_clang_tidy.sh [build-dir]
+#   tools/run_clang_tidy.sh [build-dir | path/to/compile_commands.json]
 #
-# The build dir must hold a compile_commands.json (the root CMakeLists
-# always exports one). Where clang-tidy is not installed the gate exits
-# 0 with a notice: the lint job in CI installs LLVM and enforces it;
-# developer machines without clang lose nothing else.
+# The argument is a build dir holding a compile_commands.json (the root
+# CMakeLists always exports one) or the compile_commands.json itself.
+# Where clang-tidy is not installed the gate exits 0 with a notice: the
+# lint job in CI installs LLVM and enforces it; developer machines
+# without clang lose nothing else.
 set -euo pipefail
 
 build_dir=${1:-build}
+case "$build_dir" in
+  *compile_commands.json) build_dir=$(dirname "$build_dir") ;;
+esac
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 cd "$repo_root"
 
