@@ -1,0 +1,106 @@
+#include "browser/dataset_store.h"
+
+#include <span>
+#include <utility>
+
+#include "store/bytes.h"
+#include "store/record_file.h"
+#include "store/superblock.h"
+
+namespace cbwt::browser {
+
+static_assert(RequestRowCodec::kKind ==
+                  static_cast<std::uint16_t>(store::RecordKind::BrowseRecord),
+              "RequestRowCodec::kKind must track store::RecordKind::BrowseRecord");
+
+void RequestRowCodec::encode(const RequestRow& row, std::uint8_t* out) {
+  store::put_u32(out + 0, row.user);
+  store::put_u32(out + 4, row.publisher);
+  store::put_u32(out + 8, row.domain);
+  out[12] = row.server_ip.is_v4() ? 4 : 6;
+  store::put_u64(out + 13, row.server_ip.hi());
+  store::put_u64(out + 21, row.server_ip.lo());
+  store::put_u32(out + 29, static_cast<std::uint32_t>(row.day));
+  out[33] = row.chain_depth;
+  out[34] = static_cast<std::uint8_t>((row.https ? 1 : 0) |
+                                      (row.interaction_triggered ? 2 : 0));
+  store::put_blob_ref(out + 35, row.url);
+  store::put_blob_ref(out + 47, row.referrer);
+}
+
+std::optional<RequestRow> RequestRowCodec::decode(const std::uint8_t* in) {
+  RequestRow row;
+  row.user = store::get_u32(in + 0);
+  row.publisher = store::get_u32(in + 4);
+  row.domain = store::get_u32(in + 8);
+  const std::uint8_t family = in[12];
+  const std::uint64_t hi = store::get_u64(in + 13);
+  const std::uint64_t lo = store::get_u64(in + 21);
+  if (family == 4) {
+    if (hi != 0 || lo > 0xFFFFFFFFULL) return std::nullopt;
+    row.server_ip = net::IpAddress::v4(static_cast<std::uint32_t>(lo));
+  } else if (family == 6) {
+    row.server_ip = net::IpAddress::v6(hi, lo);
+  } else {
+    return std::nullopt;
+  }
+  row.day = static_cast<pdns::Day>(store::get_u32(in + 29));
+  row.chain_depth = in[33];
+  const std::uint8_t flags = in[34];
+  if ((flags & ~std::uint8_t{3}) != 0) return std::nullopt;  // reserved bits
+  row.https = (flags & 1) != 0;
+  row.interaction_triggered = (flags & 2) != 0;
+  row.url = store::get_blob_ref(in + 35);
+  row.referrer = store::get_blob_ref(in + 47);
+  return row;
+}
+
+void save_requests(const ExtensionDataset& dataset, const std::string& records_path,
+                   const std::string& blobs_path) {
+  store::BlobFileWriter blobs(blobs_path);
+  store::RecordFileWriter<RequestRowCodec> rows(records_path);
+  for (const ThirdPartyRequest& request : dataset.requests) {
+    RequestRow row;
+    row.url = blobs.intern(request.url);
+    row.referrer = blobs.intern(request.referrer);
+    row.user = request.user;
+    row.publisher = request.publisher;
+    row.domain = request.domain;
+    row.server_ip = request.server_ip;
+    row.day = request.day;
+    row.chain_depth = request.chain_depth;
+    row.https = request.https;
+    row.interaction_triggered = request.interaction_triggered;
+    rows.append(row);
+  }
+  rows.finalize();
+  blobs.finalize();
+}
+
+std::vector<ThirdPartyRequest> load_requests(const std::string& records_path,
+                                             const std::string& blobs_path) {
+  const store::BlobFileReader blobs(blobs_path);
+  const store::RecordFileReader<RequestRowCodec> rows(records_path);
+  std::vector<ThirdPartyRequest> requests;
+  requests.reserve(rows.size());
+  rows.for_each_chunk(store::kDefaultChunkRecords,
+                      [&](std::span<const RequestRow> chunk, std::uint64_t /*base*/) {
+                        for (const RequestRow& row : chunk) {
+                          ThirdPartyRequest request;
+                          request.user = row.user;
+                          request.publisher = row.publisher;
+                          request.domain = row.domain;
+                          request.url = std::string(blobs.view(row.url));
+                          request.referrer = std::string(blobs.view(row.referrer));
+                          request.server_ip = row.server_ip;
+                          request.day = row.day;
+                          request.chain_depth = row.chain_depth;
+                          request.https = row.https;
+                          request.interaction_triggered = row.interaction_triggered;
+                          requests.push_back(std::move(request));
+                        }
+                      });
+  return requests;
+}
+
+}  // namespace cbwt::browser

@@ -1,0 +1,57 @@
+// Extension-dataset checkpointing: the logged third-party requests as a
+// fixed-width record file (ids, IP, day, flags) plus a blob file (URLs
+// and referrers, interned — chain URLs repeat across users). Loading
+// restores the request vector in logged order; the two dataset-level
+// aggregates (first-party visits, distinct publishers) travel in the
+// checkpoint manifest, which owns all scalar state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "browser/extension.h"
+#include "store/blob_file.h"
+
+namespace cbwt::browser {
+
+/// One serialized ThirdPartyRequest with its strings swapped for blob
+/// handles; the fixed-width row the record file actually holds.
+struct RequestRow {
+  store::BlobRef url;
+  store::BlobRef referrer;
+  world::UserId user = 0;
+  world::PublisherId publisher = 0;
+  world::DomainId domain = 0;
+  net::IpAddress server_ip;
+  pdns::Day day = 0;
+  std::uint8_t chain_depth = 0;
+  bool https = true;
+  bool interaction_triggered = false;
+};
+
+/// store::RecordCodec for RequestRow. 59-byte layout, big-endian:
+/// user u32, publisher u32, domain u32, ip family u8 + hi u64 + lo u64,
+/// day u32, chain_depth u8, flags u8 (bit 0 https, bit 1
+/// interaction_triggered), url BlobRef, referrer BlobRef.
+struct RequestRowCodec {
+  using value_type = RequestRow;
+  static constexpr std::size_t kRecordSize = 59;
+  static constexpr std::uint16_t kKind = 3;  // store::RecordKind::BrowseRecord
+  static void encode(const RequestRow& row, std::uint8_t* out);
+  static std::optional<RequestRow> decode(const std::uint8_t* in);
+};
+
+/// Persists `dataset.requests` to `records_path` + `blobs_path` (the
+/// scalar aggregates are the caller's to persist — see the checkpoint
+/// manifest).
+void save_requests(const ExtensionDataset& dataset, const std::string& records_path,
+                   const std::string& blobs_path);
+
+/// Restores the request vector saved by save_requests, in logged order.
+/// Throws store::StoreError on validation failure.
+[[nodiscard]] std::vector<ThirdPartyRequest> load_requests(
+    const std::string& records_path, const std::string& blobs_path);
+
+}  // namespace cbwt::browser

@@ -1,12 +1,20 @@
 #include "core/study.h"
 
 #include <algorithm>
+#include <cctype>
+#include <filesystem>
 #include <unordered_set>
 
+#include "browser/dataset_store.h"
+#include "netflow/snapshot_store.h"
 #include "obs/export.h"
 #include "obs/runtime_metrics.h"
 #include "obs/trace.h"
+#include "pdns/checkpoint.h"
 #include "report/json.h"
+#include "store/checkpoint.h"
+#include "store/mapped_file.h"
+#include "util/contract.h"
 
 namespace cbwt::core {
 
@@ -42,7 +50,59 @@ const dns::Resolver& Study::resolver() {
   return *resolver_;
 }
 
+void Study::maybe_resume() {
+  if (resume_attempted_ || config_.storage.resume_from.empty()) return;
+  resume_attempted_ = true;
+  const std::string& dir = config_.storage.resume_from;
+  obs::ScopedSpan span(config_.registry, "study/resume");
+  const auto manifest = store::read_manifest(dir + "/manifest.txt");
+  // A checkpoint binds its outputs to (seed, scale); resuming under a
+  // different config would silently diverge from the straight-through
+  // run, so mismatch is an error, not a warning.
+  const auto seed = manifest.get_u64("seed");
+  if (!seed || *seed != config_.world.seed) {
+    throw store::StoreError("study: checkpoint '" + dir + "' has a different seed");
+  }
+  const auto scale = manifest.get_f64("world_scale");
+  if (!scale || *scale != config_.world.scale) {
+    throw store::StoreError("study: checkpoint '" + dir + "' has a different scale");
+  }
+  browser::ExtensionDataset data;
+  data.requests = browser::load_requests(dir + "/dataset.rec", dir + "/dataset.blob");
+  data.first_party_visits = manifest.get_u64("dataset_first_party_visits").value_or(0);
+  data.distinct_publishers = manifest.get_u64("dataset_distinct_publishers").value_or(0);
+  dataset_ = std::move(data);
+  pdns_ = pdns::load_store(dir + "/pdns.rec", dir + "/pdns.blob");
+  pdns_replicated_ = manifest.get_u64("pdns_replicated").value_or(0) != 0;
+  span.set_items(dataset_->requests.size());
+}
+
+void Study::save_checkpoint(const std::string& directory) {
+  CBWT_EXPECTS(!directory.empty());
+  (void)dataset();  // the minimal checkpointable state (collection feeds pDNS)
+  std::filesystem::create_directories(directory);
+  obs::ScopedSpan span(config_.registry, "study/checkpoint");
+  browser::save_requests(*dataset_, directory + "/dataset.rec",
+                         directory + "/dataset.blob");
+  pdns::save_store(*pdns_, directory + "/pdns.rec", directory + "/pdns.blob");
+  store::Manifest manifest;
+  manifest.set_u64("seed", config_.world.seed);
+  manifest.set_f64("world_scale", config_.world.scale);
+  manifest.set_u64("dataset_requests", dataset_->requests.size());
+  manifest.set_u64("dataset_first_party_visits", dataset_->first_party_visits);
+  manifest.set_u64("dataset_distinct_publishers", dataset_->distinct_publishers);
+  manifest.set_u64("pdns_records", pdns_->record_count());
+  manifest.set_u64("pdns_replicated", pdns_replicated_ ? 1 : 0);
+  manifest.set("file", "dataset.rec");
+  manifest.set("file", "dataset.blob");
+  manifest.set("file", "pdns.rec");
+  manifest.set("file", "pdns.blob");
+  store::write_manifest(directory + "/manifest.txt", manifest);
+  span.set_items(dataset_->requests.size());
+}
+
 const browser::ExtensionDataset& Study::dataset() {
+  if (!dataset_) maybe_resume();
   if (!dataset_) {
     // Dependencies resolve before the span opens so lazily-triggered
     // stages never appear as children of the stage that tripped them.
@@ -216,13 +276,37 @@ Study::IspRun Study::run_isp_snapshot(const netflow::IspProfile& isp,
   // The sharded generator derives its per-shard streams from this seed;
   // it matches the old serial stage_rng(label) derivation point.
   const std::uint64_t seed = util::mix64(config_.world.seed ^ util::mix64(label));
-  const auto exported = netflow::generate_snapshot_sharded(
-      built_world, dns, isp, snapshot, config_.netflow, seed, workers,
-      config_.registry, fault_plan());
   IspRun run;
-  run.exported_records = exported.records.size();
-  run.collection = netflow::collect_sharded(exported.records, index, isp, workers,
-                                            config_.registry, fault_plan());
+  if (config_.storage.mode == store::Mode::StoreBacked) {
+    // Spill the snapshot to a record file as it is generated, then
+    // stream it back through the collector in bounded chunks: snapshot
+    // size is bounded by disk, resident memory by the chunk size. Both
+    // legs reuse the in-memory code paths, so the results match them
+    // bit for bit.
+    CBWT_EXPECTS(!config_.storage.directory.empty());
+    std::filesystem::create_directories(config_.storage.directory);
+    std::string stem;
+    for (const char c : isp.name) {
+      stem.push_back((std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_');
+    }
+    const std::string path = config_.storage.directory + "/netflow_" + stem + "_day" +
+                             std::to_string(snapshot.day) + ".rec";
+    const auto counts = netflow::generate_snapshot_to_store(
+        built_world, dns, isp, snapshot, config_.netflow, seed, workers, path,
+        config_.registry, fault_plan());
+    run.exported_records = counts.records;
+    const netflow::SnapshotReader reader(path);
+    run.collection =
+        netflow::collect_store(reader, index, isp, config_.storage.chunk_records,
+                               workers, config_.registry, fault_plan());
+  } else {
+    const auto exported = netflow::generate_snapshot_sharded(
+        built_world, dns, isp, snapshot, config_.netflow, seed, workers,
+        config_.registry, fault_plan());
+    run.exported_records = exported.records.size();
+    run.collection = netflow::collect_sharded(exported.records, index, isp, workers,
+                                              config_.registry, fault_plan());
+  }
   run.flows = run.collection.flows(std::string(isp.country));
   span.set_items(run.exported_records);
   return run;

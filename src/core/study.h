@@ -30,10 +30,31 @@
 #include "pdns/replication.h"
 #include "runtime/thread_pool.h"
 #include "sensitive/detection.h"
+#include "store/dataset.h"
 #include "whatif/localization.h"
 #include "world/world.h"
 
 namespace cbwt::core {
+
+/// Dataset materialization and checkpoint/resume knobs.
+struct StorageConfig {
+  /// InMemory keeps the seed pipeline's heap vectors. StoreBacked
+  /// spills each NetFlow snapshot to a memory-mapped record file under
+  /// `directory` and streams it back in bounded chunks, so snapshot
+  /// size is bounded by disk, not RAM. Results are bit-identical
+  /// between the two modes.
+  store::Mode mode = store::Mode::InMemory;
+  /// Store directory for StoreBacked spill files and save_checkpoint().
+  /// Required (non-empty) when mode == StoreBacked.
+  std::string directory;
+  /// Checkpoint directory to resume from ("" = fresh run). The saved
+  /// manifest's seed and world scale must match this config; downstream
+  /// results equal the straight-through run exactly, at any thread
+  /// count.
+  std::string resume_from;
+  /// Records per streamed chunk on store-backed paths.
+  std::size_t chunk_records = store::kDefaultChunkRecords;
+};
 
 struct StudyConfig {
   world::WorldConfig world;
@@ -57,6 +78,9 @@ struct StudyConfig {
   /// with or without it. nullptr (the default) keeps every instrumented
   /// path a null-check-only no-op.
   obs::Registry* registry = nullptr;
+  /// Dataset materialization (in-memory vs store-backed) and
+  /// checkpoint/resume; the default is the unchanged in-memory path.
+  StorageConfig storage;
   /// Fault-injection plan for the external-facing services (DNS, pDNS
   /// replication, geolocation probes/measurements, NetFlow export). The
   /// default (all rates zero) is the zero-cost path: stage outputs and
@@ -134,7 +158,20 @@ class Study {
   /// refreshed into the registry on each call.
   [[nodiscard]] std::string run_report();
 
+  /// Persists the completed early stages (extension dataset + the pDNS
+  /// store in its current state) to `directory` as store files plus a
+  /// manifest. A later process pointing storage.resume_from at the
+  /// directory skips collection, reloads the saved state, and produces
+  /// bit-identical downstream results — same seed, any thread count.
+  /// Replication-not-yet-run is recorded in the manifest; the resumed
+  /// Study re-runs it from its own stage RNG, which depends only on
+  /// (seed, label).
+  void save_checkpoint(const std::string& directory);
+
  private:
+  /// Loads storage.resume_from (once) before dataset collection runs.
+  void maybe_resume();
+
   [[nodiscard]] util::Rng stage_rng(std::uint64_t label) const;
 
   /// The plan handed to the fault-aware stages: null unless enabled, so
@@ -148,6 +185,7 @@ class Study {
   StudyConfig config_;
 
   bool pool_created_ = false;
+  bool resume_attempted_ = false;
   std::unique_ptr<runtime::ThreadPool> pool_;
 
   std::optional<world::World> world_;

@@ -45,6 +45,16 @@ std::vector<analysis::Flow> CollectionResult::flows(std::string origin_country) 
   return out;
 }
 
+void merge_collection(CollectionResult& acc, CollectionResult&& part) {
+  acc.records_seen += part.records_seen;
+  acc.internal_records += part.internal_records;
+  acc.matched_records += part.matched_records;
+  acc.https_records += part.https_records;
+  acc.udp_records += part.udp_records;
+  acc.dropped_records += part.dropped_records;
+  for (const auto& [ip, count] : part.per_ip) acc.per_ip[ip] += count;
+}
+
 CollectionResult collect(std::span<const RawRecord> records, const TrackerIpIndex& trackers,
                          const IspProfile& isp, const CollectOptions& options) {
   CollectionResult result;
@@ -108,15 +118,7 @@ CollectionResult collect_sharded(std::span<const RawRecord> records,
         return collect(records.subspan(range.begin, range.size()), trackers, isp,
                        {.fault_plan = fault_plan, .base_index = range.begin});
       },
-      [](CollectionResult& acc, CollectionResult&& part) {
-        acc.records_seen += part.records_seen;
-        acc.internal_records += part.internal_records;
-        acc.matched_records += part.matched_records;
-        acc.https_records += part.https_records;
-        acc.udp_records += part.udp_records;
-        acc.dropped_records += part.dropped_records;
-        for (const auto& [ip, count] : part.per_ip) acc.per_ip[ip] += count;
-      });
+      merge_collection);
   CBWT_ENSURES(result.matched_records <= result.internal_records);
   CBWT_ENSURES(result.internal_records <= result.records_seen);
   CBWT_ENSURES(result.records_seen + result.dropped_records == records.size());

@@ -59,6 +59,11 @@ struct CollectionResult {
   [[nodiscard]] std::vector<analysis::Flow> flows(std::string origin_country) const;
 };
 
+/// Merges a partial result into an accumulator: counter sums and per-IP
+/// counter merges, both order-free. The one merge used by every
+/// aggregation path (sharded, store-chunked), so they cannot drift.
+void merge_collection(CollectionResult& acc, CollectionResult&& part);
+
 /// Fault-injection knobs of one collect() call. The drop decision for a
 /// record is stateless in its *absolute* index (`base_index` + offset),
 /// so a sharded run — where each shard collects a subspan — drops

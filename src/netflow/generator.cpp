@@ -1,7 +1,7 @@
 #include "netflow/generator.h"
 
+#include <algorithm>
 #include <cmath>
-#include <iterator>
 
 #include "obs/runtime_metrics.h"
 #include "obs/trace.h"
@@ -165,29 +165,30 @@ SnapshotExport generate_snapshot(const world::World& world, const dns::Resolver&
   return out;
 }
 
-SnapshotExport generate_snapshot_sharded(const world::World& world,
-                                         const dns::Resolver& resolver,
-                                         const IspProfile& isp, const Snapshot& snapshot,
-                                         const GeneratorConfig& config, std::uint64_t seed,
-                                         runtime::ThreadPool* pool,
-                                         obs::Registry* registry,
-                                         const fault::FaultPlan* fault_plan) {
+SnapshotCounts generate_snapshot_stream(
+    const world::World& world, const dns::Resolver& resolver, const IspProfile& isp,
+    const Snapshot& snapshot, const GeneratorConfig& config, std::uint64_t seed,
+    runtime::ThreadPool* pool,
+    const std::function<void(std::span<const RawRecord>)>& sink,
+    obs::Registry* registry, const fault::FaultPlan* fault_plan) {
   obs::ScopedSpan span(registry, "netflow/generate");
-  SnapshotExport out;
-  intended_volumes(isp, snapshot, config, out);
-  out.records.reserve(out.tracking_intended + out.background_intended);
+  SnapshotExport intended;
+  intended_volumes(isp, snapshot, config, intended);
+  SnapshotCounts counts;
+  counts.tracking_intended = intended.tracking_intended;
+  counts.background_intended = intended.background_intended;
   const EmissionContext context(world, isp, config);
 
   // Each stream (tracking, background) shards its record-index space;
-  // shard outputs append in shard order, so the exported vector is the
-  // same for any pool size.
+  // shard outputs reach the sink in shard order, so the record sequence
+  // is the same for any pool size.
   using Batch = std::vector<RawRecord>;
   runtime::ChannelStats channel_stats;
-  // The merge appends straight into out.records; it runs in shard order
-  // on the calling thread, so the accumulator itself stays empty.
-  const auto append = [&out](Batch& /*acc*/, Batch&& part) {
-    out.records.insert(out.records.end(), std::make_move_iterator(part.begin()),
-                       std::make_move_iterator(part.end()));
+  // The merge hands each part straight to the sink; it runs in shard
+  // order on the calling thread, so the accumulator itself stays empty.
+  const auto deliver = [&](Batch& /*acc*/, Batch&& part) {
+    counts.records += part.size();
+    sink(std::span<const RawRecord>(part));
   };
   const auto stream = [&](std::uint64_t count, std::uint64_t label, auto emit_one) {
     runtime::sharded_reduce<Batch>(
@@ -206,35 +207,68 @@ SnapshotExport generate_snapshot_sharded(const world::World& world,
           }
           return part;
         },
-        append);
+        deliver);
   };
-  stream(out.tracking_intended, kTrackingStream,
+  stream(counts.tracking_intended, kTrackingStream,
          [&](util::Rng& rng, Batch& part, fault::Retrier* retrier, std::uint64_t key) {
            context.emit_tracking(resolver, rng, part, retrier, key);
          });
-  stream(out.background_intended, kBackgroundStream,
+  stream(counts.background_intended, kBackgroundStream,
          [&](util::Rng& rng, Batch& part, fault::Retrier* retrier, std::uint64_t key) {
            context.emit_background(resolver, rng, part, retrier, key);
          });
 
   // Peering-link noise is ~2% of the volume; one serial shard suffices.
-  const std::uint64_t peering = out.records.size() / 50;
+  // Batched to the sink so the streaming path never holds more than one
+  // bounded buffer.
+  const std::uint64_t peering = counts.records / 50;
   auto peering_rng = runtime::shard_rng(seed, kPeeringStream, 0);
+  constexpr std::uint64_t kPeeringBatch = 64 * 1024;
+  Batch peering_part;
+  peering_part.reserve(static_cast<std::size_t>(std::min(peering, kPeeringBatch)));
   for (std::uint64_t i = 0; i < peering; ++i) {
     RawRecord record = base_record(config, context.subscriber_ip(peering_rng),
                                    context.subscriber_ip(peering_rng), peering_rng);
     record.internal_interface = false;
-    out.records.push_back(record);
+    peering_part.push_back(record);
+    if (peering_part.size() == kPeeringBatch) {
+      sink(std::span<const RawRecord>(peering_part));
+      peering_part.clear();
+    }
   }
+  if (!peering_part.empty()) sink(std::span<const RawRecord>(peering_part));
+  counts.records += peering;
 
-  span.set_items(out.records.size());
+  span.set_items(counts.records);
   if (registry != nullptr) {
-    registry->counter("cbwt_netflow_records_generated_total").add(out.records.size());
-    registry->counter("cbwt_netflow_tracking_intended_total").add(out.tracking_intended);
+    registry->counter("cbwt_netflow_records_generated_total").add(counts.records);
+    registry->counter("cbwt_netflow_tracking_intended_total").add(counts.tracking_intended);
     registry->counter("cbwt_netflow_background_intended_total")
-        .add(out.background_intended);
+        .add(counts.background_intended);
     obs::record_channel_stats(registry, channel_stats);
   }
+  return counts;
+}
+
+SnapshotExport generate_snapshot_sharded(const world::World& world,
+                                         const dns::Resolver& resolver,
+                                         const IspProfile& isp, const Snapshot& snapshot,
+                                         const GeneratorConfig& config, std::uint64_t seed,
+                                         runtime::ThreadPool* pool,
+                                         obs::Registry* registry,
+                                         const fault::FaultPlan* fault_plan) {
+  SnapshotExport out;
+  intended_volumes(isp, snapshot, config, out);
+  out.records.reserve(out.tracking_intended + out.background_intended);
+  const auto counts = generate_snapshot_stream(
+      world, resolver, isp, snapshot, config, seed, pool,
+      [&out](std::span<const RawRecord> batch) {
+        out.records.insert(out.records.end(), batch.begin(), batch.end());
+      },
+      registry, fault_plan);
+  out.tracking_intended = counts.tracking_intended;
+  out.background_intended = counts.background_intended;
+  CBWT_ENSURES(out.records.size() == counts.records);
   return out;
 }
 

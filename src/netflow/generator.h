@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "dns/resolver.h"
@@ -80,5 +82,27 @@ struct SnapshotExport {
                                                        runtime::ThreadPool* pool,
                                                        obs::Registry* registry = nullptr,
                                                        const fault::FaultPlan* fault_plan = nullptr);
+
+/// Bookkeeping of one streamed snapshot; the record payload went to the
+/// sink rather than a returned vector.
+struct SnapshotCounts {
+  std::uint64_t records = 0;
+  std::uint64_t tracking_intended = 0;
+  std::uint64_t background_intended = 0;
+};
+
+/// Streaming form of generate_snapshot_sharded: delivers the *identical*
+/// record sequence (same seed ⇒ same records in the same order, at any
+/// pool size) to `sink` as ordered batches instead of accumulating one
+/// vector. generate_snapshot_sharded is this with an appending sink;
+/// store-backed export (netflow/snapshot_store.h) is this with a
+/// RecordFileWriter sink — which is how the two paths stay bit-identical
+/// by construction. `sink` runs on the calling thread, in order.
+[[nodiscard]] SnapshotCounts generate_snapshot_stream(
+    const world::World& world, const dns::Resolver& resolver, const IspProfile& isp,
+    const Snapshot& snapshot, const GeneratorConfig& config, std::uint64_t seed,
+    runtime::ThreadPool* pool,
+    const std::function<void(std::span<const RawRecord>)>& sink,
+    obs::Registry* registry = nullptr, const fault::FaultPlan* fault_plan = nullptr);
 
 }  // namespace cbwt::netflow

@@ -28,6 +28,8 @@ struct RawRecord {
   std::uint32_t packets = 0;       ///< sampled packet count
   std::uint32_t bytes = 0;         ///< sampled byte count
   std::uint8_t tos = 0;
+
+  friend bool operator==(const RawRecord&, const RawRecord&) = default;
 };
 
 /// The privacy-preserving form the study operates on: the subscriber

@@ -25,27 +25,27 @@ namespace {
 //   56     1     tos
 //   ----- 57 bytes total
 
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t value) {
-  out.push_back(static_cast<std::uint8_t>(value >> 8));
-  out.push_back(static_cast<std::uint8_t>(value));
+void put_u16(std::uint8_t* out, std::uint16_t value) {
+  out[0] = static_cast<std::uint8_t>(value >> 8);
+  out[1] = static_cast<std::uint8_t>(value);
 }
 
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
-  out.push_back(static_cast<std::uint8_t>(value >> 24));
-  out.push_back(static_cast<std::uint8_t>(value >> 16));
-  out.push_back(static_cast<std::uint8_t>(value >> 8));
-  out.push_back(static_cast<std::uint8_t>(value));
+void put_u32(std::uint8_t* out, std::uint32_t value) {
+  out[0] = static_cast<std::uint8_t>(value >> 24);
+  out[1] = static_cast<std::uint8_t>(value >> 16);
+  out[2] = static_cast<std::uint8_t>(value >> 8);
+  out[3] = static_cast<std::uint8_t>(value);
 }
 
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+void put_u64(std::uint8_t* out, std::uint64_t value) {
   put_u32(out, static_cast<std::uint32_t>(value >> 32));
-  put_u32(out, static_cast<std::uint32_t>(value));
+  put_u32(out + 4, static_cast<std::uint32_t>(value));
 }
 
-void put_address(std::vector<std::uint8_t>& out, const net::IpAddress& ip) {
-  out.push_back(ip.is_v4() ? 4 : 6);
-  put_u64(out, ip.hi());
-  put_u64(out, ip.lo());
+void put_address(std::uint8_t* out, const net::IpAddress& ip) {
+  out[0] = ip.is_v4() ? 4 : 6;
+  put_u64(out + 1, ip.hi());
+  put_u64(out + 9, ip.lo());
 }
 
 std::uint16_t get_u16(std::span<const std::uint8_t> bytes, std::size_t at) {
@@ -80,36 +80,35 @@ std::optional<net::IpAddress> get_address(std::span<const std::uint8_t> bytes,
 
 }  // namespace
 
+void encode_record_into(const RawRecord& record, std::uint8_t* out) {
+  put_u32(out + 0, record.timestamp_s);
+  put_u16(out + 4, record.router);
+  put_u16(out + 6, record.interface);
+  out[8] = record.internal_interface ? 1 : 0;
+  out[9] = record.protocol;
+  put_address(out + 10, record.src);
+  put_address(out + 27, record.dst);
+  put_u16(out + 44, record.src_port);
+  put_u16(out + 46, record.dst_port);
+  put_u32(out + 48, record.packets);
+  put_u32(out + 52, record.bytes);
+  out[56] = record.tos;
+}
+
 std::vector<std::uint8_t> encode_record(const RawRecord& record) {
-  std::vector<std::uint8_t> out;
-  out.reserve(kWireRecordSize);
-  put_u32(out, record.timestamp_s);
-  put_u16(out, record.router);
-  put_u16(out, record.interface);
-  out.push_back(record.internal_interface ? 1 : 0);
-  out.push_back(record.protocol);
-  put_address(out, record.src);
-  put_address(out, record.dst);
-  put_u16(out, record.src_port);
-  put_u16(out, record.dst_port);
-  put_u32(out, record.packets);
-  put_u32(out, record.bytes);
-  out.push_back(record.tos);
-  CBWT_ENSURES(out.size() == kWireRecordSize);
+  std::vector<std::uint8_t> out(kWireRecordSize);
+  encode_record_into(record, out.data());
   return out;
 }
 
 std::vector<std::uint8_t> encode_packet(std::span<const RawRecord> records) {
   CBWT_EXPECTS(records.size() <= kWireMaxRecordsPerPacket);
-  std::vector<std::uint8_t> out;
-  out.reserve(kWireHeaderSize + records.size() * kWireRecordSize);
-  put_u16(out, kWireVersion);
-  put_u16(out, static_cast<std::uint16_t>(records.size()));
-  for (const auto& record : records) {
-    const auto encoded = encode_record(record);
-    out.insert(out.end(), encoded.begin(), encoded.end());
+  std::vector<std::uint8_t> out(kWireHeaderSize + records.size() * kWireRecordSize);
+  put_u16(out.data(), kWireVersion);
+  put_u16(out.data() + 2, static_cast<std::uint16_t>(records.size()));
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    encode_record_into(records[i], out.data() + kWireHeaderSize + i * kWireRecordSize);
   }
-  CBWT_ENSURES(out.size() == kWireHeaderSize + records.size() * kWireRecordSize);
   return out;
 }
 

@@ -7,6 +7,8 @@
 // record count — yields nullopt instead of garbage structs.
 #pragma once
 
+#include <bit>
+#include <climits>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -15,6 +17,17 @@
 #include "netflow/record.h"
 
 namespace cbwt::netflow {
+
+// The codec assembles every multi-byte field from explicit byte shifts,
+// so it emits network order on little- and big-endian hosts alike and
+// never reinterprets a struct's in-memory bytes. These guards pin the
+// two assumptions that reasoning rests on: octet bytes, and a host
+// whose scalar endianness is one of the two shift-friendly orders
+// (mixed-endian targets would need a real byte-swapping port).
+static_assert(CHAR_BIT == 8, "netflow wire codec requires octet bytes");
+static_assert(std::endian::native == std::endian::little ||
+                  std::endian::native == std::endian::big,
+              "netflow wire codec requires a little- or big-endian host");
 
 /// Export-format version tag carried in every packet header.
 inline constexpr std::uint16_t kWireVersion = 9;
@@ -31,6 +44,10 @@ inline constexpr std::size_t kWireMaxRecordsPerPacket = 1024;
 /// Serializes one record into its fixed 57-byte layout.
 [[nodiscard]] std::vector<std::uint8_t> encode_record(const RawRecord& record);
 
+/// Serializes one record into exactly kWireRecordSize bytes at `out`,
+/// allocation-free — the hot path for store-backed snapshot export.
+void encode_record_into(const RawRecord& record, std::uint8_t* out);
+
 /// Serializes a header plus all records; `records.size()` must not
 /// exceed kWireMaxRecordsPerPacket.
 [[nodiscard]] std::vector<std::uint8_t> encode_packet(std::span<const RawRecord> records);
@@ -44,5 +61,22 @@ inline constexpr std::size_t kWireMaxRecordsPerPacket = 1024;
 /// bug), counts above kWireMaxRecordsPerPacket, and trailing bytes.
 [[nodiscard]] std::optional<std::vector<RawRecord>> parse_packet(
     std::span<const std::uint8_t> bytes);
+
+/// store::RecordCodec adapter: the 57-byte wire layout doubles as the
+/// store's first on-disk record format. Kept free of store includes —
+/// the concept is duck-typed and kKind mirrors
+/// store::RecordKind::NetflowWire (pinned by a static_assert where the
+/// two headers meet, in netflow/snapshot_store.cpp).
+struct WireCodec {
+  using value_type = RawRecord;
+  static constexpr std::size_t kRecordSize = kWireRecordSize;
+  static constexpr std::uint16_t kKind = 1;  // store::RecordKind::NetflowWire
+  static void encode(const RawRecord& record, std::uint8_t* out) {
+    encode_record_into(record, out);
+  }
+  static std::optional<RawRecord> decode(const std::uint8_t* in) {
+    return parse_record({in, kWireRecordSize});
+  }
+};
 
 }  // namespace cbwt::netflow

@@ -1,0 +1,87 @@
+#include "pdns/checkpoint.h"
+
+#include <utility>
+#include <vector>
+
+#include "store/bytes.h"
+#include "store/record_file.h"
+#include "store/superblock.h"
+
+namespace cbwt::pdns {
+
+static_assert(RecordRowCodec::kKind ==
+                  static_cast<std::uint16_t>(store::RecordKind::PdnsRecord),
+              "RecordRowCodec::kKind must track store::RecordKind::PdnsRecord");
+
+void RecordRowCodec::encode(const RecordRow& row, std::uint8_t* out) {
+  out[0] = row.ip.is_v4() ? 4 : 6;
+  store::put_u64(out + 1, row.ip.hi());
+  store::put_u64(out + 9, row.ip.lo());
+  store::put_u32(out + 17, static_cast<std::uint32_t>(row.first_seen));
+  store::put_u32(out + 21, static_cast<std::uint32_t>(row.last_seen));
+  store::put_u64(out + 25, row.observations);
+  store::put_blob_ref(out + 33, row.fqdn);
+  store::put_blob_ref(out + 45, row.registrable);
+}
+
+std::optional<RecordRow> RecordRowCodec::decode(const std::uint8_t* in) {
+  const std::uint8_t family = in[0];
+  const std::uint64_t hi = store::get_u64(in + 1);
+  const std::uint64_t lo = store::get_u64(in + 9);
+  RecordRow row;
+  if (family == 4) {
+    if (hi != 0 || lo > 0xFFFFFFFFULL) return std::nullopt;
+    row.ip = net::IpAddress::v4(static_cast<std::uint32_t>(lo));
+  } else if (family == 6) {
+    row.ip = net::IpAddress::v6(hi, lo);
+  } else {
+    return std::nullopt;
+  }
+  row.first_seen = static_cast<Day>(store::get_u32(in + 17));
+  row.last_seen = static_cast<Day>(store::get_u32(in + 21));
+  row.observations = store::get_u64(in + 25);
+  row.fqdn = store::get_blob_ref(in + 33);
+  row.registrable = store::get_blob_ref(in + 45);
+  return row;
+}
+
+void save_store(const Store& store, const std::string& records_path,
+                const std::string& blobs_path) {
+  store::BlobFileWriter blobs(blobs_path);
+  store::RecordFileWriter<RecordRowCodec> rows(records_path);
+  for (const Record& record : store.records()) {
+    RecordRow row;
+    row.fqdn = blobs.intern(record.fqdn);
+    row.registrable = blobs.intern(record.registrable);
+    row.ip = record.ip;
+    row.first_seen = record.first_seen;
+    row.last_seen = record.last_seen;
+    row.observations = record.observations;
+    rows.append(row);
+  }
+  rows.finalize();
+  blobs.finalize();
+}
+
+Store load_store(const std::string& records_path, const std::string& blobs_path) {
+  const store::BlobFileReader blobs(blobs_path);
+  const store::RecordFileReader<RecordRowCodec> rows(records_path);
+  std::vector<Record> records;
+  records.reserve(rows.size());
+  rows.for_each_chunk(store::kDefaultChunkRecords,
+                      [&](std::span<const RecordRow> chunk, std::uint64_t /*base*/) {
+                        for (const RecordRow& row : chunk) {
+                          Record record;
+                          record.fqdn = std::string(blobs.view(row.fqdn));
+                          record.registrable = std::string(blobs.view(row.registrable));
+                          record.ip = row.ip;
+                          record.first_seen = row.first_seen;
+                          record.last_seen = row.last_seen;
+                          record.observations = row.observations;
+                          records.push_back(std::move(record));
+                        }
+                      });
+  return Store::from_records(std::move(records));
+}
+
+}  // namespace cbwt::pdns

@@ -1,0 +1,50 @@
+// pDNS checkpointing: serializes a Store's record table to the columnar
+// store as a fixed-width record file (windows, counts, IP) plus a blob
+// file (FQDNs and registrable domains, interned — they repeat heavily).
+// Loading rebuilds the table in insertion order, so the restored Store
+// is indistinguishable from the one that was saved: identical query
+// results, identical iteration order, and — because replication draws
+// nothing further from saved state — identical downstream analyses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "pdns/store.h"
+#include "store/blob_file.h"
+
+namespace cbwt::pdns {
+
+/// One serialized Record with its strings swapped for blob handles;
+/// the fixed-width row the record file actually holds.
+struct RecordRow {
+  store::BlobRef fqdn;
+  store::BlobRef registrable;
+  net::IpAddress ip;
+  Day first_seen = 0;
+  Day last_seen = 0;
+  std::uint64_t observations = 0;
+};
+
+/// store::RecordCodec for RecordRow. 57-byte layout, big-endian:
+/// ip family u8 + hi u64 + lo u64, first_seen u32, last_seen u32,
+/// observations u64, fqdn BlobRef, registrable BlobRef.
+struct RecordRowCodec {
+  using value_type = RecordRow;
+  static constexpr std::size_t kRecordSize = 57;
+  static constexpr std::uint16_t kKind = 2;  // store::RecordKind::PdnsRecord
+  static void encode(const RecordRow& row, std::uint8_t* out);
+  static std::optional<RecordRow> decode(const std::uint8_t* in);
+};
+
+/// Persists `store`'s record table to `records_path` + `blobs_path`.
+void save_store(const Store& store, const std::string& records_path,
+                const std::string& blobs_path);
+
+/// Restores a Store saved by save_store. Throws store::StoreError on
+/// validation failure (bad superblock, checksum, dangling blob ref).
+[[nodiscard]] Store load_store(const std::string& records_path,
+                               const std::string& blobs_path);
+
+}  // namespace cbwt::pdns

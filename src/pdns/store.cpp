@@ -25,6 +25,18 @@ void Store::observe(const std::string& fqdn, const std::string& registrable,
   by_registrable_[registrable].push_back(idx);
 }
 
+Store Store::from_records(std::vector<Record> records) {
+  Store store;
+  store.records_ = std::move(records);
+  for (std::size_t idx = 0; idx < store.records_.size(); ++idx) {
+    const Record& record = store.records_[idx];
+    store.by_fqdn_[record.fqdn].push_back(idx);
+    store.by_ip_[record.ip].push_back(idx);
+    store.by_registrable_[record.registrable].push_back(idx);
+  }
+  return store;
+}
+
 std::vector<const Record*> Store::forward(const std::string& fqdn) const {
   std::vector<const Record*> out;
   if (const auto it = by_fqdn_.find(fqdn); it != by_fqdn_.end()) {

@@ -69,6 +69,15 @@ class Store {
 
   [[nodiscard]] std::size_t record_count() const noexcept { return records_.size(); }
 
+  /// The record table in insertion order — the store's canonical state
+  /// (indices are derived). Checkpointing serializes exactly this.
+  [[nodiscard]] const std::vector<Record>& records() const noexcept { return records_; }
+
+  /// Rebuilds a store from a record table saved via records(): indices
+  /// are reconstructed in insertion order, so the result is
+  /// indistinguishable from the store that produced the table.
+  [[nodiscard]] static Store from_records(std::vector<Record> records);
+
  private:
   std::vector<Record> records_;
   std::unordered_map<std::string, std::vector<std::size_t>> by_fqdn_;

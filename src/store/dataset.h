@@ -1,0 +1,68 @@
+// One iteration interface over the pipeline's big collections, whether
+// they live in heap vectors (the default, unchanged path) or in a
+// memory-mapped record file. Stages written against RecordSource see
+// dense index-ordered chunks either way, so the store-backed and
+// in-memory paths run the identical per-record code — which is what
+// makes their outputs bit-identical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "store/record_file.h"
+#include "util/contract.h"
+
+namespace cbwt::store {
+
+/// Where a dataset's records are materialized.
+enum class Mode : std::uint8_t {
+  InMemory,     ///< heap vectors, the seed pipeline's layout
+  StoreBacked,  ///< memory-mapped record files under a store directory
+};
+
+template <typename Codec>
+  requires RecordCodec<Codec>
+class RecordSource {
+ public:
+  using value_type = typename Codec::value_type;
+
+  /// Borrows an in-memory collection; the span must outlive the source.
+  explicit RecordSource(std::span<const value_type> memory) : memory_(memory) {}
+
+  /// Takes ownership of an opened store reader.
+  explicit RecordSource(RecordFileReader<Codec> reader)
+      : reader_(std::make_shared<RecordFileReader<Codec>>(std::move(reader))) {}
+
+  [[nodiscard]] bool store_backed() const noexcept { return reader_ != nullptr; }
+
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return store_backed() ? reader_->size() : memory_.size();
+  }
+
+  /// Visits all records in index order as dense chunks, calling
+  /// fn(std::span<const value_type>, base_index). The in-memory path is
+  /// zero-copy (one chunk per call span-sliced from the vector); the
+  /// store path decodes into a reused O(chunk) buffer and keeps file
+  /// residency bounded.
+  template <typename Fn>
+  void for_each_chunk(std::size_t chunk_records, Fn&& fn) const {
+    CBWT_EXPECTS(chunk_records > 0);
+    if (store_backed()) {
+      reader_->for_each_chunk(chunk_records, std::forward<Fn>(fn));
+      return;
+    }
+    for (std::size_t base = 0; base < memory_.size(); base += chunk_records) {
+      const std::size_t n = std::min(chunk_records, memory_.size() - base);
+      fn(memory_.subspan(base, n), static_cast<std::uint64_t>(base));
+    }
+  }
+
+ private:
+  std::span<const value_type> memory_;
+  std::shared_ptr<RecordFileReader<Codec>> reader_;
+};
+
+}  // namespace cbwt::store

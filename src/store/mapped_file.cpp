@@ -1,0 +1,154 @@
+#include "store/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/contract.h"
+
+namespace cbwt::store {
+
+namespace {
+
+constexpr std::size_t kPageSize = 4096;  // lower bound; real page size divides ranges we round to it
+
+[[nodiscard]] std::size_t round_up_page(std::size_t bytes) noexcept {
+  return (bytes + kPageSize - 1) / kPageSize * kPageSize;
+}
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw StoreError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+MappedFile::~MappedFile() { close(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      fd_(std::exchange(other.fd_, -1)),
+      writable_(std::exchange(other.writable_, false)),
+      path_(std::move(other.path_)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    map_ = std::exchange(other.map_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    fd_ = std::exchange(other.fd_, -1);
+    writable_ = std::exchange(other.writable_, false);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+void MappedFile::close() noexcept {
+  if (map_ != nullptr) {
+    ::munmap(map_, size_);
+    map_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  size_ = 0;
+  writable_ = false;
+}
+
+MappedFile MappedFile::create(const std::string& path, std::size_t initial_bytes) {
+  MappedFile file;
+  file.path_ = path;
+  file.writable_ = true;
+  file.fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (file.fd_ < 0) fail("store: cannot create", path);
+  file.remap(round_up_page(initial_bytes == 0 ? 1 : initial_bytes));
+  return file;
+}
+
+MappedFile MappedFile::open_readonly(const std::string& path) {
+  MappedFile file;
+  file.path_ = path;
+  file.writable_ = false;
+  file.fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (file.fd_ < 0) fail("store: cannot open", path);
+  struct stat st{};
+  if (::fstat(file.fd_, &st) != 0) fail("store: cannot stat", path);
+  file.size_ = static_cast<std::size_t>(st.st_size);
+  if (file.size_ == 0) return file;  // empty file: valid, nothing to map
+  void* map = ::mmap(nullptr, file.size_, PROT_READ, MAP_SHARED, file.fd_, 0);
+  if (map == MAP_FAILED) fail("store: cannot mmap", path);
+  file.map_ = map;
+  // Streaming is the dominant access pattern; let the kernel read ahead
+  // and reclaim behind aggressively.
+  ::madvise(file.map_, file.size_, MADV_SEQUENTIAL);
+  return file;
+}
+
+void MappedFile::remap(std::size_t bytes) {
+  CBWT_EXPECTS(writable_ && fd_ >= 0);
+  if (map_ != nullptr) {
+    if (::munmap(map_, size_) != 0) fail("store: cannot unmap", path_);
+    map_ = nullptr;
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0) {
+    fail("store: cannot resize", path_);
+  }
+  void* map = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
+  if (map == MAP_FAILED) fail("store: cannot mmap", path_);
+  map_ = map;
+  size_ = bytes;
+}
+
+void MappedFile::grow_to(std::size_t bytes) {
+  CBWT_EXPECTS(writable_);
+  if (bytes <= size_) return;
+  remap(round_up_page(bytes));
+}
+
+void MappedFile::truncate_to(std::size_t bytes) {
+  CBWT_EXPECTS(writable_ && bytes <= size_);
+  // The mapping is left at its old (page-rounded) span: trimming a file
+  // under a live mapping is fine, the tail pages just become unbacked.
+  if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0) {
+    fail("store: cannot truncate", path_);
+  }
+}
+
+void MappedFile::sync() {
+  CBWT_EXPECTS(writable_);
+  if (map_ == nullptr) return;
+  if (::msync(map_, size_, MS_SYNC) != 0) fail("store: cannot sync", path_);
+}
+
+void MappedFile::flush(std::size_t offset, std::size_t length) {
+  CBWT_EXPECTS(writable_);
+  if (map_ == nullptr) return;
+  // Round inward: only whole pages fully inside the range may be
+  // scheduled and dropped, partial edge pages may still be written to.
+  const std::size_t begin = round_up_page(offset);
+  const std::size_t end = std::min(size_, offset + length) / kPageSize * kPageSize;
+  if (begin >= end) return;
+  std::uint8_t* base = data() + begin;
+  if (::msync(base, end - begin, MS_ASYNC) != 0) fail("store: cannot sync", path_);
+  // MADV_DONTNEED on a shared file mapping drops the PTEs from this
+  // process; dirty pages live on in the page cache until writeback, so
+  // no data is lost — only resident-set accounting.
+  ::madvise(base, end - begin, MADV_DONTNEED);
+}
+
+void MappedFile::drop_range(std::size_t offset, std::size_t length) const {
+  if (map_ == nullptr) return;
+  const std::size_t begin = round_up_page(offset);
+  const std::size_t end = std::min(size_, offset + length) / kPageSize * kPageSize;
+  if (begin >= end) return;
+  ::madvise(static_cast<std::uint8_t*>(map_) + begin, end - begin, MADV_DONTNEED);
+}
+
+}  // namespace cbwt::store

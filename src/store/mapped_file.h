@@ -1,0 +1,101 @@
+// RAII memory-mapped file, the single owner of every mmap-family
+// syscall in the tree (enforced by the cbwt-lint `mmap-syscall` rule).
+// Two modes:
+//
+//   * writable  — create() truncates/creates the file at an initial
+//     capacity and maps it shared; grow_to() remaps at a larger size,
+//     truncate_to() trims the file to its final length. Writers keep
+//     resident memory bounded with flush(): completed byte ranges are
+//     scheduled for writeback and dropped from the process's resident
+//     set, so appending gigabytes never holds gigabytes.
+//   * read-only — open_readonly() maps an existing file; advising
+//     sequential access plus drop_range() after consuming each chunk
+//     gives streaming readers the same bounded-RSS property.
+//
+// Failures throw StoreError: a store directory is operator input, and
+// callers (Study resume, the CLI runner) want one catchable type.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace cbwt::store {
+
+/// Any store-layer I/O or validation failure (missing file, mmap error,
+/// corrupt superblock, checksum mismatch, malformed record).
+class StoreError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class MappedFile {
+ public:
+  MappedFile() noexcept = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Creates (or truncates) `path` and maps it writable at
+  /// `initial_bytes` capacity (rounded up to one page minimum).
+  [[nodiscard]] static MappedFile create(const std::string& path,
+                                         std::size_t initial_bytes);
+
+  /// Maps an existing file read-only, advising sequential access.
+  /// Empty files map as data() == nullptr, size() == 0.
+  [[nodiscard]] static MappedFile open_readonly(const std::string& path);
+
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] bool writable() const noexcept { return writable_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Start of the mapping; nullptr only for an empty read-only file.
+  [[nodiscard]] std::uint8_t* data() noexcept { return static_cast<std::uint8_t*>(map_); }
+  [[nodiscard]] const std::uint8_t* data() const noexcept {
+    return static_cast<const std::uint8_t*>(map_);
+  }
+
+  /// Mapped length: the current capacity for writable files, the file
+  /// length for read-only ones.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Grows the file and remaps so size() >= bytes (geometric growth is
+  /// the caller's policy; this grows to exactly max(bytes, size())).
+  void grow_to(std::size_t bytes);
+
+  /// Shrinks the file to its final length (writable only; the mapping
+  /// stays valid for [0, bytes)).
+  void truncate_to(std::size_t bytes);
+
+  /// Synchronously flushes the whole mapping to disk (msync MS_SYNC).
+  void sync();
+
+  /// Schedules writeback of [offset, offset+length) and drops those
+  /// pages from the resident set. The data stays readable (faults back
+  /// in from the page cache / file), so this is purely an RSS bound.
+  /// Offsets are rounded inward to page boundaries; no-op on a range
+  /// smaller than one page.
+  void flush(std::size_t offset, std::size_t length);
+
+  /// Drops [offset, offset+length) from the resident set after the
+  /// caller is done with it. Any outstanding pointer into the range
+  /// stays valid but re-faults on next access. Logically const: only
+  /// kernel residency accounting changes, never the bytes.
+  void drop_range(std::size_t offset, std::size_t length) const;
+
+ private:
+  void close() noexcept;
+  void remap(std::size_t bytes);
+
+  void* map_ = nullptr;
+  std::size_t size_ = 0;
+  int fd_ = -1;
+  bool writable_ = false;
+  std::string path_;
+};
+
+}  // namespace cbwt::store

@@ -1,0 +1,224 @@
+// Append-only columnar record files: the store's MemoryMappedVector.
+// A RecordFileWriter<Codec> encodes fixed-width records straight into a
+// growing shared mapping behind a superblock; finalize() stamps the
+// header (count, payload length, checksum) and trims the file. A
+// RecordFileReader<Codec> validates the header end to end (magic,
+// version, kind, geometry, checksum) before handing out records, and
+// streams them back in bounded chunks.
+//
+// A Codec turns structs into portable big-endian bytes:
+//
+//   struct MyCodec {
+//     using value_type = My;
+//     static constexpr std::size_t kRecordSize = ...;   // bytes per record
+//     static constexpr std::uint16_t kKind = ...;       // store::RecordKind tag
+//     static void encode(const My&, std::uint8_t* out); // exactly kRecordSize
+//     static std::optional<My> decode(const std::uint8_t* in);
+//   };
+//
+// decode returning nullopt on a checksum-valid file means the file was
+// written by something else entirely; readers surface that as
+// StoreError rather than yielding garbage structs.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "store/bytes.h"
+#include "store/mapped_file.h"
+#include "store/superblock.h"
+#include "util/contract.h"
+
+namespace cbwt::store {
+
+template <typename C>
+concept RecordCodec = requires(const typename C::value_type& value,
+                               const std::uint8_t* in, std::uint8_t* out) {
+  { C::kRecordSize } -> std::convertible_to<std::size_t>;
+  { C::kKind } -> std::convertible_to<std::uint16_t>;
+  C::encode(value, out);
+  { C::decode(in) } -> std::same_as<std::optional<typename C::value_type>>;
+};
+
+/// Records per chunk the streaming readers decode at a time; at 64Ki
+/// records the decode buffer stays a few MB for every codec in the
+/// tree, which is the store's resident-memory unit.
+inline constexpr std::size_t kDefaultChunkRecords = 64 * 1024;
+
+/// FNV-1a over the payload of `file` in bounded windows, dropping each
+/// window from the resident set after hashing — checksumming a
+/// multi-GB file never holds more than one window resident. Writer
+/// pages dropped here stay dirty in the page cache (MADV_DONTNEED on a
+/// shared file mapping never loses data), so a following sync() still
+/// makes them durable.
+inline std::uint64_t checksum_payload(const MappedFile& file, std::size_t payload) {
+  constexpr std::size_t kWindowBytes = 8 << 20;
+  std::uint64_t checksum = kFnvOffset;
+  for (std::size_t offset = 0; offset < payload; offset += kWindowBytes) {
+    const std::size_t n = std::min(kWindowBytes, payload - offset);
+    checksum = fnv1a({file.data() + kSuperblockSize + offset, n}, checksum);
+    file.drop_range(kSuperblockSize + offset, n);
+  }
+  return checksum;
+}
+
+template <typename Codec>
+  requires RecordCodec<Codec>
+class RecordFileWriter {
+ public:
+  using value_type = typename Codec::value_type;
+
+  explicit RecordFileWriter(const std::string& path)
+      : file_(MappedFile::create(path, kInitialBytes)) {}
+
+  RecordFileWriter(RecordFileWriter&&) noexcept = default;
+  RecordFileWriter& operator=(RecordFileWriter&&) noexcept = default;
+
+  ~RecordFileWriter() {
+    // Abandoned writers (exception unwind) leave a file without a valid
+    // superblock behind — readers reject it, which is the safe failure.
+    if (file_.is_open() && !finalized_) {
+      try {
+        finalize();
+      } catch (...) {  // NOLINT(bugprone-empty-catch): dtor must not throw
+      }
+    }
+  }
+
+  void append(const value_type& record) {
+    CBWT_EXPECTS(!finalized_);
+    const std::size_t offset = kSuperblockSize + count_ * Codec::kRecordSize;
+    if (offset + Codec::kRecordSize > file_.size()) {
+      file_.grow_to(std::max(offset + Codec::kRecordSize, file_.size() * 2));
+    }
+    Codec::encode(record, file_.data() + offset);
+    ++count_;
+    maybe_flush(offset + Codec::kRecordSize);
+  }
+
+  void append(std::span<const value_type> records) {
+    for (const auto& record : records) append(record);
+  }
+
+  /// Records appended so far.
+  [[nodiscard]] std::uint64_t size() const noexcept { return count_; }
+
+  /// Stamps the superblock (count, payload, checksum), trims the file
+  /// to its exact length and syncs everything to disk. Idempotent.
+  void finalize() {
+    if (finalized_) return;
+    const std::size_t payload = count_ * Codec::kRecordSize;
+    Superblock block;
+    block.kind = static_cast<RecordKind>(Codec::kKind);
+    block.record_size = static_cast<std::uint32_t>(Codec::kRecordSize);
+    block.record_count = count_;
+    block.payload_bytes = payload;
+    block.checksum = checksum_payload(file_, payload);
+    encode_superblock(block, {file_.data(), kSuperblockSize});
+    file_.sync();
+    file_.truncate_to(kSuperblockSize + payload);
+    finalized_ = true;
+  }
+
+  [[nodiscard]] const std::string& path() const noexcept { return file_.path(); }
+
+ private:
+  static constexpr std::size_t kInitialBytes = 1 << 20;
+  /// Payload bytes between RSS-bounding flushes of the written prefix.
+  static constexpr std::size_t kFlushBytes = 8 << 20;
+
+  void maybe_flush(std::size_t written_end) {
+    if (written_end - flushed_ < kFlushBytes) return;
+    // Keep the superblock page resident; flush only completed payload.
+    file_.flush(flushed_, written_end - flushed_);
+    flushed_ = written_end;
+  }
+
+  MappedFile file_;
+  std::uint64_t count_ = 0;
+  std::size_t flushed_ = kSuperblockSize;
+  bool finalized_ = false;
+};
+
+template <typename Codec>
+  requires RecordCodec<Codec>
+class RecordFileReader {
+ public:
+  using value_type = typename Codec::value_type;
+
+  /// Opens and fully validates `path`: superblock, geometry against the
+  /// file length, payload checksum. Throws StoreError on any mismatch.
+  explicit RecordFileReader(const std::string& path)
+      : file_(MappedFile::open_readonly(path)) {
+    const auto block = parse_superblock({file_.data(), file_.size()});
+    if (!block) throw StoreError("store: invalid superblock in '" + path + "'");
+    if (block->kind != static_cast<RecordKind>(Codec::kKind) ||
+        block->record_size != Codec::kRecordSize) {
+      throw StoreError("store: '" + path + "' holds a different record kind");
+    }
+    if (file_.size() != kSuperblockSize + block->payload_bytes) {
+      throw StoreError("store: '" + path + "' is truncated or has trailing bytes");
+    }
+    if (checksum_payload(file_, block->payload_bytes) != block->checksum) {
+      throw StoreError("store: checksum mismatch in '" + path + "'");
+    }
+    count_ = block->record_count;
+  }
+
+  RecordFileReader(RecordFileReader&&) noexcept = default;
+  RecordFileReader& operator=(RecordFileReader&&) noexcept = default;
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return count_; }
+
+  /// Decodes record `index`. Throws StoreError if the bytes do not
+  /// decode (a checksum-valid file written with a foreign layout).
+  [[nodiscard]] value_type at(std::uint64_t index) const {
+    CBWT_EXPECTS(index < count_);
+    const auto record =
+        Codec::decode(file_.data() + kSuperblockSize + index * Codec::kRecordSize);
+    if (!record) {
+      throw StoreError("store: malformed record in '" + file_.path() + "'");
+    }
+    return *record;
+  }
+
+  /// Streams every record in index order as dense chunks of at most
+  /// `chunk_records`, invoking fn(std::span<const value_type>,
+  /// base_index). The decode buffer is reused and consumed file pages
+  /// are dropped from the resident set, so memory stays O(chunk).
+  template <typename Fn>
+  void for_each_chunk(std::size_t chunk_records, Fn&& fn) const {
+    CBWT_EXPECTS(chunk_records > 0);
+    std::vector<value_type> buffer;
+    buffer.reserve(std::min<std::uint64_t>(chunk_records, count_));
+    for (std::uint64_t base = 0; base < count_; base += chunk_records) {
+      const std::uint64_t n = std::min<std::uint64_t>(chunk_records, count_ - base);
+      buffer.clear();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const auto record = Codec::decode(file_.data() + kSuperblockSize +
+                                          (base + i) * Codec::kRecordSize);
+        if (!record) {
+          throw StoreError("store: malformed record in '" + file_.path() + "'");
+        }
+        buffer.push_back(*record);
+      }
+      fn(std::span<const value_type>(buffer), base);
+      file_.drop_range(kSuperblockSize + base * Codec::kRecordSize,
+                       n * Codec::kRecordSize);
+    }
+  }
+
+  [[nodiscard]] const std::string& path() const noexcept { return file_.path(); }
+
+ private:
+  MappedFile file_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace cbwt::store

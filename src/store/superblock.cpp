@@ -1,0 +1,53 @@
+#include "store/superblock.h"
+
+#include <algorithm>
+
+#include "store/bytes.h"
+#include "util/contract.h"
+
+namespace cbwt::store {
+
+void encode_superblock(const Superblock& block, std::span<std::uint8_t> out) {
+  CBWT_EXPECTS(out.size() >= kSuperblockSize);
+  std::fill_n(out.begin(), kSuperblockSize, std::uint8_t{0});
+  std::copy(kMagic.begin(), kMagic.end(), out.begin());
+  put_u16(out.data() + 8, kFormatVersion);
+  put_u16(out.data() + 10, static_cast<std::uint16_t>(block.kind));
+  put_u32(out.data() + 12, block.record_size);
+  put_u64(out.data() + 16, block.record_count);
+  put_u64(out.data() + 24, block.payload_bytes);
+  put_u64(out.data() + 32, block.checksum);
+}
+
+std::optional<Superblock> parse_superblock(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kSuperblockSize) return std::nullopt;
+  if (!std::equal(kMagic.begin(), kMagic.end(), bytes.begin())) return std::nullopt;
+  if (get_u16(bytes.data() + 8) != kFormatVersion) return std::nullopt;
+  const std::uint16_t kind = get_u16(bytes.data() + 10);
+  if (!is_known_kind(kind)) return std::nullopt;
+
+  Superblock block;
+  block.kind = static_cast<RecordKind>(kind);
+  block.record_size = get_u32(bytes.data() + 12);
+  block.record_count = get_u64(bytes.data() + 16);
+  block.payload_bytes = get_u64(bytes.data() + 24);
+  block.checksum = get_u64(bytes.data() + 32);
+
+  // Geometry must be self-consistent: fixed-width payloads are exactly
+  // count * size (with overflow ruled out), blob payloads carry size 0.
+  if (block.kind == RecordKind::Blob) {
+    if (block.record_size != 0) return std::nullopt;
+  } else {
+    if (block.record_size == 0) return std::nullopt;
+    if (block.record_count > UINT64_MAX / block.record_size) return std::nullopt;
+    if (block.payload_bytes != block.record_count * block.record_size) {
+      return std::nullopt;
+    }
+  }
+  for (std::size_t i = 40; i < kSuperblockSize; ++i) {
+    if (bytes[i] != 0) return std::nullopt;  // reserved bits stay reserved
+  }
+  return block;
+}
+
+}  // namespace cbwt::store

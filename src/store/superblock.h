@@ -1,0 +1,75 @@
+// The versioned header every store file opens with: magic, format
+// version, record kind, record geometry, payload length and checksum in
+// one 64-byte block. Parsing is defensive — a store directory is an
+// input boundary like the NetFlow socket, so any malformed header
+// (wrong magic, unknown version or kind, inconsistent geometry,
+// non-zero reserved bytes) yields nullopt instead of a half-trusted
+// struct. encode∘parse is the identity on accepted blocks, which is the
+// fixpoint the fuzz harness pins.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace cbwt::store {
+
+/// File magic, first 8 bytes of every store file.
+inline constexpr std::array<std::uint8_t, 8> kMagic = {'C', 'B', 'W', 'T',
+                                                       'S', 'T', 'O', 'R'};
+
+/// On-disk format version; bump on any layout change.
+inline constexpr std::uint16_t kFormatVersion = 1;
+
+/// Bytes reserved for the header at the front of every store file.
+inline constexpr std::size_t kSuperblockSize = 64;
+
+/// What one file's payload holds. The tags are part of the on-disk
+/// format: readers reject a file whose kind does not match the record
+/// codec they were asked to decode with.
+enum class RecordKind : std::uint16_t {
+  NetflowWire = 1,   ///< 57-byte NetFlow wire records (netflow::WireCodec)
+  PdnsRecord = 2,    ///< fixed pDNS records with blob-ref strings
+  BrowseRecord = 3,  ///< fixed extension-dataset records with blob-ref strings
+  Blob = 4,          ///< raw byte arena addressed by BlobRef
+};
+
+/// True for the kinds parse_superblock accepts.
+[[nodiscard]] constexpr bool is_known_kind(std::uint16_t kind) noexcept {
+  return kind >= 1 && kind <= 4;
+}
+
+/// Decoded header of one store file.
+///
+/// Layout (all fields big-endian, see store/bytes.h):
+///
+///   offset size  field
+///   0      8     magic "CBWTSTOR"
+///   8      2     format version
+///   10     2     record kind tag
+///   12     4     record size in bytes (0 for Blob payloads)
+///   16     8     record count (Blob: number of appended blobs)
+///   24     8     payload bytes (must equal count * size when size > 0)
+///   32     8     FNV-1a 64 checksum of the payload bytes
+///   40     24    reserved, must be zero
+///   ----- 64 bytes total
+struct Superblock {
+  RecordKind kind = RecordKind::Blob;
+  std::uint32_t record_size = 0;
+  std::uint64_t record_count = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Serializes `block` into the first kSuperblockSize bytes of `out`.
+void encode_superblock(const Superblock& block, std::span<std::uint8_t> out);
+
+/// Parses the header at the front of `bytes`. Rejects short buffers,
+/// bad magic, unknown versions/kinds, record_size/record_count/payload
+/// inconsistencies and non-zero reserved bytes.
+[[nodiscard]] std::optional<Superblock> parse_superblock(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace cbwt::store

@@ -1,0 +1,15 @@
+// lint-fixture-path: src/netflow/collector.cpp
+// lint-fixture-expect: mmap-syscall
+//
+// mmap-family syscalls are confined to store::MappedFile: one mapping
+// owner means one place where growth, flushing, and resident-set policy
+// live. A module mapping files itself would bypass all three.
+#include <sys/mman.h>
+
+namespace cbwt::netflow {
+
+void* map_snapshot(int fd, unsigned long bytes) {
+  return mmap(nullptr, bytes, PROT_READ, MAP_SHARED, fd, 0);
+}
+
+}  // namespace cbwt::netflow

@@ -299,6 +299,44 @@ TEST(Wire, RecordRoundTripV4) {
   EXPECT_EQ(encode_record(*parsed), bytes);
 }
 
+TEST(Wire, GoldenBytesPinTheLayout) {
+  // The exact serialized bytes of sample_record(), written out by hand
+  // from the layout table in wire.cpp. This is the regression tripwire
+  // for the on-disk store format: any codec change that alters these
+  // bytes silently invalidates every existing store file and must bump
+  // store::kFormatVersion instead. The encoding is big-endian by
+  // byte-shift construction, so this test passes unchanged on little-
+  // and big-endian hosts.
+  const std::vector<std::uint8_t> golden = {
+      0x00, 0x00, 0x0E, 0x10,                          // timestamp_s = 3600
+      0x00, 0x02,                                      // router = 2
+      0x00, 0x01,                                      // interface = 1
+      0x01,                                            // flags: internal
+      0x06,                                            // protocol = TCP
+      0x04,                                            // src family = v4
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // src hi
+      0x00, 0x00, 0x00, 0x00, 0xC0, 0x00, 0x02, 0x01,  // src lo = 192.0.2.1
+      0x04,                                            // dst family = v4
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // dst hi
+      0x00, 0x00, 0x00, 0x00, 0xCB, 0x00, 0x71, 0x01,  // dst lo = 203.0.113.1
+      0xA1, 0x12,                                      // src_port = 41234
+      0x01, 0xBB,                                      // dst_port = 443
+      0x00, 0x00, 0x00, 0x0C,                          // packets = 12
+      0x00, 0x00, 0x23, 0x28,                          // bytes = 9000
+      0x00,                                            // tos
+  };
+  ASSERT_EQ(golden.size(), kWireRecordSize);
+  EXPECT_EQ(encode_record(sample_record()), golden);
+  // encode_record_into (the store's allocation-free path) must emit the
+  // identical bytes.
+  std::vector<std::uint8_t> direct(kWireRecordSize);
+  encode_record_into(sample_record(), direct.data());
+  EXPECT_EQ(direct, golden);
+  const auto parsed = parse_record(golden);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, sample_record());
+}
+
 TEST(Wire, RecordRoundTripV6) {
   RawRecord record = sample_record();
   record.src = net::IpAddress::v6(0x20010DB800000000ULL, 1);
