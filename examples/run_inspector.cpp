@@ -1,32 +1,94 @@
-// Run inspector: execute the pipeline with a metrics registry attached,
-// print the per-stage span table and headline counters, and write the
-// machine-readable run report (Study::run_report()) to disk. This is the
-// observability tour — see README "Observability" for the conventions.
+// Run inspector: execute the pipeline with the full observability stack
+// armed — metrics registry, flight recorder (Chrome trace), process
+// telemetry sampler, and (optionally) the embedded live HTTP inspector —
+// then print the per-stage span table and headline counters and write
+// the machine-readable artifacts to disk. This is the observability
+// tour — see README "Observability" and "Live inspection".
 //
-//   run_inspector [REPORT_PATH]   (default: run_report.json)
+//   run_inspector [REPORT_PATH]                    (legacy positional)
+//                 [--report PATH]    run report JSON (default run_report.json)
+//                 [--trace PATH]     Chrome trace JSON ("" = skip)
+//                 [--threads N]      worker threads (default 2)
+//                 [--scale S]        world scale (default 0.02)
+//                 [--port N]         serve /metrics /report /trace /healthz
+//                                    on 127.0.0.1:N (0 = ephemeral) and
+//                                    linger after the run
+//                 [--linger-s N]     seconds to keep serving (default 10)
+#include <condition_variable>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <string>
 
 #include "core/study.h"
 #include "netflow/profile.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/proc_stats.h"
+#include "obs/trace_buffer.h"
 #include "util/strings.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace cbwt;
-  const std::string report_path = argc > 1 ? argv[1] : "run_report.json";
+
+  std::string report_path = "run_report.json";
+  std::string trace_path;
+  double scale = 0.02;  // small world: this is a tour, not a bench
+  unsigned threads = 2;
+  int port = -1;  // -1 = inspector off
+  unsigned linger_s = 10;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--report" && value != nullptr) {
+      report_path = value;
+      ++i;
+    } else if (flag == "--trace" && value != nullptr) {
+      trace_path = value;
+      ++i;
+    } else if (flag == "--scale" && value != nullptr) {
+      scale = std::atof(value);
+      ++i;
+    } else if (flag == "--threads" && value != nullptr) {
+      threads = static_cast<unsigned>(std::atoi(value));
+      ++i;
+    } else if (flag == "--port" && value != nullptr) {
+      port = std::atoi(value);
+      ++i;
+    } else if (flag == "--linger-s" && value != nullptr) {
+      linger_s = static_cast<unsigned>(std::atoi(value));
+      ++i;
+    } else if (!flag.empty() && flag[0] != '-') {
+      report_path = flag;  // legacy positional REPORT_PATH
+    } else {
+      std::fprintf(stderr,
+                   "usage: run_inspector [REPORT_PATH] [--report PATH] "
+                   "[--trace PATH] [--threads N] [--scale S] [--port N] "
+                   "[--linger-s N]\n");
+      return 2;
+    }
+  }
 
   obs::Registry registry;
+  obs::TraceBuffer trace;
+  obs::ProcSampler sampler(&registry, std::chrono::milliseconds(100));
+
   core::StudyConfig config;
   config.world.seed = 20180901;
-  config.world.scale = 0.02;      // small world: this is a tour, not a bench
+  config.world.scale = scale;
   config.netflow.scale = 5e-5;
-  config.threads = 2;             // exercise the parallel path (results are
-                                  // bit-identical to threads=1)
+  config.threads = threads;  // exercise the parallel path (results are
+                             // bit-identical to threads=1)
   config.registry = &registry;
+  config.trace = &trace;
+  if (port >= 0) {
+    config.inspector.enabled = true;
+    config.inspector.port = static_cast<std::uint16_t>(port);
+  }
   // Chaos knob: CBWT_FAULT_RATE / CBWT_FAULT_SEED turn on deterministic
   // fault injection at every external-facing service (unset = zero-cost
   // fault-free run). See README "Fault injection".
@@ -36,6 +98,11 @@ int main(int argc, char** argv) {
   std::printf("cbwt run inspector (seed %llu, scale %.2f, threads %u)\n",
               static_cast<unsigned long long>(config.world.seed), config.world.scale,
               config.threads);
+  if (study.inspector() != nullptr) {
+    std::printf("inspector listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>(study.inspector()->port()));
+    std::fflush(stdout);
+  }
   if (config.fault_plan.enabled()) {
     std::printf("fault injection on: rate %.2f, seed %llu\n",
                 config.fault_plan.default_rates.total(),
@@ -53,12 +120,14 @@ int main(int argc, char** argv) {
                                               netflow::default_snapshots().front());
 
   // --- per-stage span table ---------------------------------------------
-  util::TextTable table({"stage", "parent", "wall ms", "cpu ms", "items"});
+  util::TextTable table(
+      {"stage", "parent", "wall ms", "proc cpu ms", "thread cpu ms", "items"});
   for (const auto& span : registry.spans()) {
     std::string name(span.depth * 2, ' ');
     name += span.name;
     table.add_row({name, span.parent, util::fmt_fixed(span.wall_seconds * 1e3, 2),
-                   util::fmt_fixed(span.cpu_seconds * 1e3, 2),
+                   util::fmt_fixed(span.process_cpu_seconds * 1e3, 2),
+                   util::fmt_fixed(span.thread_cpu_seconds * 1e3, 2),
                    util::fmt_count(span.items)});
   }
   std::printf("\n[stages]\n%s", table.render().c_str());
@@ -69,11 +138,20 @@ int main(int argc, char** argv) {
     std::printf("  %-48s %s\n", name.c_str(), util::fmt_count(value).c_str());
   }
 
+  // --- flight recorder ---------------------------------------------------
+  std::size_t trace_events = 0;
+  for (const auto& thread : trace.snapshot()) trace_events += thread.events.size();
+  std::printf("\n[trace] %zu events across %zu threads (%llu dropped)\n", trace_events,
+              trace.thread_count(),
+              static_cast<unsigned long long>(trace.total_dropped()));
+
   std::printf("\n[confinement] EU28: %.1f%% | ISP day: %s matched records\n",
               confinement.in_eu28,
               util::fmt_count(isp_run.collection.matched_records).c_str());
 
-  // --- machine-readable report -------------------------------------------
+  // --- machine-readable artifacts ----------------------------------------
+  // Final telemetry sample lands in the gauges before the report export.
+  sampler.stop();
   std::ofstream out(report_path);
   out << study.run_report() << '\n';
   if (!out) {
@@ -81,5 +159,27 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("\nrun report written to %s\n", report_path.c_str());
+  if (!trace_path.empty()) {
+    std::ofstream trace_out(trace_path);
+    trace_out << obs::to_chrome_trace(trace) << '\n';
+    if (!trace_out) {
+      std::fprintf(stderr, "failed to write '%s'\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (load in Perfetto / chrome://tracing)\n",
+                trace_path.c_str());
+  }
+
+  if (study.inspector() != nullptr && linger_s > 0) {
+    std::printf("serving for %us more (curl 127.0.0.1:%u/metrics|report|trace|healthz)\n",
+                linger_s, static_cast<unsigned>(study.inspector()->port()));
+    std::fflush(stdout);
+    // No sleep_for (raw-thread lint): an un-notified wait_for is the
+    // dependency-free way to linger while the server thread works.
+    std::mutex linger_mutex;
+    std::condition_variable linger_cv;
+    std::unique_lock<std::mutex> lock(linger_mutex);
+    linger_cv.wait_for(lock, std::chrono::seconds(linger_s));
+  }
   return 0;
 }

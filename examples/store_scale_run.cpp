@@ -3,41 +3,34 @@
 // in bounded chunks, so the sampled-flow volume is limited by disk, not
 // RAM — this is the configuration for the paper's full-scale ISP runs.
 //
-// The process self-checks its peak RSS (VmHWM) at the end, which lets
-// CI pin the bounded-memory claim: a run 10x past the in-memory
-// comfort zone must still fit under --max-rss-mb.
+// The full observability stack rides along: a metrics registry (so the
+// report surfaces the cbwt_store_* I/O counters), the flight recorder,
+// and the ProcStats sampler whose VmHWM gauge backs the peak-RSS
+// self-check — a run 10x past the in-memory comfort zone must still
+// fit under --max-rss-mb. --inspect-port serves /metrics, /report,
+// /trace and /healthz live while the run is in flight.
 //
 //   store_scale_run --store-dir DIR [--netflow-scale S] [--world-scale S]
 //                   [--isp NAME] [--day N] [--threads N]
-//                   [--report PATH] [--max-rss-mb N]
+//                   [--report PATH] [--trace PATH] [--max-rss-mb N]
+//                   [--inspect-port N] [--linger-s N]
+#include <chrono>
 #include <cinttypes>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <mutex>
 #include <string>
 
 #include "core/study.h"
 #include "netflow/profile.h"
+#include "obs/proc_stats.h"
+#include "obs/trace_buffer.h"
 
 namespace {
-
-// Peak resident set size in kB, from /proc/self/status. VmHWM is the
-// high-water mark of actual resident pages — unlike address-space
-// limits (ulimit -v), it is not inflated by reserved-but-untouched
-// mmap ranges, so it measures exactly what the store path claims to
-// bound. Returns 0 when the file is unavailable (non-Linux).
-std::uint64_t peak_rss_kb() {
-  std::FILE* status = std::fopen("/proc/self/status", "r");
-  if (status == nullptr) return 0;
-  char line[256];
-  std::uint64_t kb = 0;
-  while (std::fgets(line, sizeof line, status) != nullptr) {
-    if (std::sscanf(line, "VmHWM: %" SCNu64, &kb) == 1) break;
-  }
-  std::fclose(status);
-  return kb;
-}
 
 std::uint64_t directory_bytes(const std::string& dir) {
   std::uint64_t total = 0;
@@ -65,12 +58,15 @@ int main(int argc, char** argv) {
 
   std::string store_dir;
   std::string report_path;
+  std::string trace_path;
   std::string isp_name = "DE-Broadband";
   double netflow_scale = 1e-2;
   double world_scale = 0.01;
   std::int32_t day = 267;
   unsigned threads = 0;  // one per hardware core
   std::uint64_t max_rss_mb = 0;
+  int inspect_port = -1;  // -1 = inspector off
+  unsigned linger_s = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -80,6 +76,9 @@ int main(int argc, char** argv) {
       ++i;
     } else if (flag == "--report" && value != nullptr) {
       report_path = value;
+      ++i;
+    } else if (flag == "--trace" && value != nullptr) {
+      trace_path = value;
       ++i;
     } else if (flag == "--isp" && value != nullptr) {
       isp_name = value;
@@ -99,11 +98,18 @@ int main(int argc, char** argv) {
     } else if (flag == "--max-rss-mb" && value != nullptr) {
       max_rss_mb = static_cast<std::uint64_t>(std::atoll(value));
       ++i;
+    } else if (flag == "--inspect-port" && value != nullptr) {
+      inspect_port = std::atoi(value);
+      ++i;
+    } else if (flag == "--linger-s" && value != nullptr) {
+      linger_s = static_cast<unsigned>(std::atoi(value));
+      ++i;
     } else {
       std::fprintf(stderr,
                    "usage: store_scale_run --store-dir DIR [--netflow-scale S] "
                    "[--world-scale S] [--isp NAME] [--day N] [--threads N] "
-                   "[--report PATH] [--max-rss-mb N]\n");
+                   "[--report PATH] [--trace PATH] [--max-rss-mb N] "
+                   "[--inspect-port N] [--linger-s N]\n");
       return 2;
     }
   }
@@ -121,13 +127,28 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  obs::Registry registry;
+  obs::TraceBuffer trace;
+  obs::ProcSampler sampler(&registry, std::chrono::milliseconds(100));
+
   core::StudyConfig config;
   config.world.scale = world_scale;
   config.netflow.scale = netflow_scale;
   config.threads = threads;
   config.storage.mode = store::Mode::StoreBacked;
   config.storage.directory = store_dir;
+  config.registry = &registry;
+  config.trace = &trace;
+  if (inspect_port >= 0) {
+    config.inspector.enabled = true;
+    config.inspector.port = static_cast<std::uint16_t>(inspect_port);
+  }
   core::Study study(config);
+  if (study.inspector() != nullptr) {
+    std::printf("inspector listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>(study.inspector()->port()));
+    std::fflush(stdout);
+  }
 
   const netflow::Snapshot snapshot{day, "day", 1.0};
   const auto run = study.run_isp_snapshot(*isp, snapshot);
@@ -138,6 +159,23 @@ int main(int argc, char** argv) {
               static_cast<std::uint64_t>(run.collection.matched_records));
   std::printf("  tracking flows     %zu\n", run.flows.size());
   std::printf("  store dir bytes    %" PRIu64 "\n", directory_bytes(store_dir));
+  std::fflush(stdout);
+
+  if (linger_s > 0) {
+    // Keep the inspector serving a finished-but-live process so a smoke
+    // harness can curl every endpoint. An un-notified wait_for lingers
+    // without sleep_for (raw-thread lint) or extra threads.
+    std::printf("  lingering          %us\n", linger_s);
+    std::fflush(stdout);
+    std::mutex linger_mutex;
+    std::condition_variable linger_cv;
+    std::unique_lock<std::mutex> lock(linger_mutex);
+    linger_cv.wait_for(lock, std::chrono::seconds(linger_s));
+  }
+
+  // Stop sampling before the final export so the last sample (and the
+  // final VmHWM envelope) is in the gauges the report serializes.
+  sampler.stop();
 
   if (!report_path.empty()) {
     const std::string report = study.run_report();
@@ -151,8 +189,21 @@ int main(int argc, char** argv) {
     std::printf("  report             %s (%zu bytes)\n", report_path.c_str(),
                 report.size());
   }
+  if (!trace_path.empty()) {
+    std::ofstream trace_out(trace_path);
+    trace_out << obs::to_chrome_trace(trace) << '\n';
+    if (!trace_out) {
+      std::fprintf(stderr, "store_scale_run: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("  trace              %s\n", trace_path.c_str());
+  }
 
-  const std::uint64_t rss_kb = peak_rss_kb();
+  // Peak resident set in kB (VmHWM from /proc/self/status, via the
+  // shared ProcStats parser). VmHWM counts actual resident pages — not
+  // reserved-but-untouched mmap ranges — so it measures exactly what
+  // the store path claims to bound. 0 when /proc is unavailable.
+  const std::uint64_t rss_kb = obs::vm_hwm_kb();
   std::printf("  peak RSS           %" PRIu64 " kB\n", rss_kb);
   if (max_rss_mb > 0 && rss_kb > max_rss_mb * 1024) {
     std::fprintf(stderr,

@@ -8,6 +8,7 @@
 #include "net/url.h"
 #include "obs/runtime_metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_buffer.h"
 #include "runtime/parallel.h"
 #include "util/contract.h"
 #include "util/prng.h"
@@ -99,7 +100,8 @@ std::vector<Outcome> Classifier::run(const browser::ExtensionDataset& dataset,
     ltf_urls = runtime::sharded_reduce<std::unordered_set<std::uint64_t>>(
         pool, requests.size(), {.channel_stats = &channel_stats},
         /*seed=*/0, /*stage_label=*/0xC1A551F1,
-        [&](runtime::ShardRange range, std::size_t /*shard*/, util::Rng& /*rng*/) {
+        [&](runtime::ShardRange range, std::size_t shard, util::Rng& /*rng*/) {
+          obs::ScopedTrace trace(registry, "classify/stage1/shard", shard);
           std::unordered_set<std::uint64_t> local;
           for (std::size_t i = range.begin; i < range.end; ++i) {
             const auto& request = requests[i];
@@ -167,7 +169,8 @@ std::vector<Outcome> Classifier::run(const browser::ExtensionDataset& dataset,
     obs::ScopedSpan span(registry, "classify/stage3_keyword");
     span.set_items(requests.size());
     runtime::parallel_for(pool, requests.size(), {},
-                          [&](runtime::ShardRange range, std::size_t /*shard*/) {
+                          [&](runtime::ShardRange range, std::size_t shard) {
+      obs::ScopedTrace trace(registry, "classify/stage3/shard", shard);
       for (std::size_t i = range.begin; i < range.end; ++i) {
         if (outcomes[i].method != Method::None) continue;
         const auto& request = requests[i];

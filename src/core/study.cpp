@@ -10,6 +10,7 @@
 #include "obs/export.h"
 #include "obs/runtime_metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_buffer.h"
 #include "pdns/checkpoint.h"
 #include "report/json.h"
 #include "store/checkpoint.h"
@@ -18,7 +19,23 @@
 
 namespace cbwt::core {
 
-Study::Study(StudyConfig config) : config_(std::move(config)) {}
+Study::Study(StudyConfig config) : config_(std::move(config)) {
+  if (config_.registry != nullptr && config_.trace != nullptr) {
+    config_.registry->set_trace_buffer(config_.trace);
+  }
+  if (config_.inspector.enabled) {
+    obs::InspectorHandlers handlers;
+    if (config_.registry != nullptr) {
+      handlers.metrics = [this] { return obs::to_prometheus(*config_.registry); };
+    }
+    handlers.report = [this] { return run_report(); };
+    if (config_.trace != nullptr) {
+      handlers.trace = [this] { return obs::to_chrome_trace(*config_.trace); };
+    }
+    inspector_ = std::make_unique<obs::HttpInspector>(config_.inspector,
+                                                      std::move(handlers));
+  }
+}
 
 util::Rng Study::stage_rng(std::uint64_t label) const {
   // Stateless derivation: stage RNGs depend only on (seed, label), never
@@ -30,9 +47,14 @@ const fault::FaultPlan* Study::fault_plan() const noexcept {
   return config_.fault_plan.enabled() ? &config_.fault_plan : nullptr;
 }
 
-Study::~Study() = default;
+Study::~Study() {
+  // The inspector thread calls run_report(), which touches the pool and
+  // registry: stop it before any other member goes away.
+  inspector_.reset();
+}
 
 runtime::ThreadPool* Study::pool() {
+  util::MutexLock lock(pool_mutex_);
   if (!pool_created_) {
     pool_created_ = true;
     if (config_.threads != 1) pool_ = std::make_unique<runtime::ThreadPool>(config_.threads);
@@ -295,7 +317,7 @@ Study::IspRun Study::run_isp_snapshot(const netflow::IspProfile& isp,
         built_world, dns, isp, snapshot, config_.netflow, seed, workers, path,
         config_.registry, fault_plan());
     run.exported_records = counts.records;
-    const netflow::SnapshotReader reader(path);
+    const netflow::SnapshotReader reader(path, config_.registry);
     run.collection =
         netflow::collect_store(reader, index, isp, config_.storage.chunk_records,
                                workers, config_.registry, fault_plan());
@@ -314,8 +336,16 @@ Study::IspRun Study::run_isp_snapshot(const netflow::IspProfile& isp,
 
 std::string Study::run_report() {
   // Pool counters are a point-in-time snapshot; refresh them so the
-  // report reflects the pool's state at export.
-  if (pool_ != nullptr) obs::record_pool_stats(config_.registry, *pool_);
+  // report reflects the pool's state at export. The pointer is read
+  // under the pool mutex (the inspector thread may be here while the
+  // main thread first creates the pool); the pool itself is safe to
+  // snapshot concurrently and outlives every reader of this copy.
+  runtime::ThreadPool* workers = nullptr;
+  {
+    util::MutexLock lock(pool_mutex_);
+    workers = pool_.get();
+  }
+  if (workers != nullptr) obs::record_pool_stats(config_.registry, *workers);
 
   report::JsonWriter json;
   json.begin_object();

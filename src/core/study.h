@@ -26,11 +26,13 @@
 #include "geoloc/service.h"
 #include "netflow/collector.h"
 #include "netflow/generator.h"
+#include "obs/http_inspector.h"
 #include "obs/metrics.h"
 #include "pdns/replication.h"
 #include "runtime/thread_pool.h"
 #include "sensitive/detection.h"
 #include "store/dataset.h"
+#include "util/thread_annotations.h"
 #include "whatif/localization.h"
 #include "world/world.h"
 
@@ -78,6 +80,17 @@ struct StudyConfig {
   /// with or without it. nullptr (the default) keeps every instrumented
   /// path a null-check-only no-op.
   obs::Registry* registry = nullptr;
+  /// Optional flight recorder (not owned, must outlive the Study).
+  /// Armed onto `registry` at construction: spans and worker shards then
+  /// emit begin/end events for the Chrome-trace timeline. Requires a
+  /// registry; ignored without one. Results stay bit-identical with or
+  /// without it.
+  obs::TraceBuffer* trace = nullptr;
+  /// Embedded live inspector (/metrics, /report, /trace, /healthz).
+  /// Disabled by default; when enabled the Study starts an HttpInspector
+  /// at construction and stops it at destruction. The server thread only
+  /// reads registry/trace snapshots — never study state or RNG.
+  obs::InspectorConfig inspector;
   /// Dataset materialization (in-memory vs store-backed) and
   /// checkpoint/resume; the default is the unchanged in-memory path.
   StorageConfig storage;
@@ -150,6 +163,10 @@ class Study {
   /// which keeps every stage on the exact inline serial path.
   [[nodiscard]] runtime::ThreadPool* pool();
 
+  /// The running inspector, or nullptr when config.inspector.enabled is
+  /// false. Use inspector()->port() to find an ephemeral bind.
+  [[nodiscard]] obs::HttpInspector* inspector() noexcept { return inspector_.get(); }
+
   /// Machine-readable run report: seed, scale, threads, and the attached
   /// registry's full metric state (counters, gauges, histograms, one
   /// span per executed stage) as a JSON document. With no registry
@@ -184,9 +201,16 @@ class Study {
 
   StudyConfig config_;
 
-  bool pool_created_ = false;
+  /// Guards lazy pool creation: run_report() may run on the inspector
+  /// thread concurrently with the first pool() call on the main thread.
+  mutable util::Mutex pool_mutex_;
+  bool pool_created_ CBWT_GUARDED_BY(pool_mutex_) = false;
   bool resume_attempted_ = false;
-  std::unique_ptr<runtime::ThreadPool> pool_;
+  std::unique_ptr<runtime::ThreadPool> pool_ CBWT_GUARDED_BY(pool_mutex_);
+
+  /// Started last in the constructor, stopped first in the destructor:
+  /// its thread must never observe a partially destroyed Study.
+  std::unique_ptr<obs::HttpInspector> inspector_;
 
   std::optional<world::World> world_;
   std::optional<dns::Resolver> resolver_;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <unordered_set>
 
+#include "obs/trace_buffer.h"
 #include "runtime/parallel.h"
 #include "util/contract.h"
 
@@ -48,6 +49,7 @@ GeoService::GeoService(const world::World& world, CommercialDb maxmind_like,
     }
   }
   if (registry != nullptr) {
+    registry_ = registry;
     batches_ = &registry->counter("cbwt_geoloc_probe_batches_total");
     batch_ips_ = &registry->counter("cbwt_geoloc_probe_batch_ips_total");
     cache_hits_ = &registry->counter("cbwt_geoloc_cache_hits_total");
@@ -144,7 +146,10 @@ void GeoService::prefetch(std::span<const net::IpAddress> ips) const {
   }
   const auto countries = runtime::parallel_map<std::string>(
       pool_, missing.size(), {.min_shard_items = 8},
-      [&](std::size_t i) { return measure_active(missing[i]); });
+      [&](std::size_t i) {
+        obs::ScopedTrace trace(registry_, "geoloc/active_probe", i);
+        return measure_active(missing[i]);
+      });
   util::MutexLock lock(cache_mutex_);
   for (std::size_t i = 0; i < missing.size(); ++i) {
     active_cache_.emplace(missing[i], countries[i]);

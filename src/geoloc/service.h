@@ -116,6 +116,9 @@ class GeoService {
 
   // Metric handles, resolved once at construction; all null when no
   // registry is attached, so the instrumented paths cost one null check.
+  // The registry itself is kept for flight-recorder (ScopedTrace) emits
+  // from probe workers.
+  obs::Registry* registry_ = nullptr;
   obs::Counter* batches_ = nullptr;
   obs::Counter* batch_ips_ = nullptr;
   obs::Counter* cache_hits_ = nullptr;

@@ -2,6 +2,7 @@
 
 #include "obs/runtime_metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_buffer.h"
 #include "runtime/parallel.h"
 #include "util/contract.h"
 
@@ -112,7 +113,8 @@ CollectionResult collect_sharded(std::span<const RawRecord> records,
   auto result = runtime::sharded_reduce<CollectionResult>(
       pool, records.size(), {.channel_stats = &channel_stats},
       /*seed=*/0, /*stage_label=*/0xC011EC7,
-      [&](runtime::ShardRange range, std::size_t /*shard*/, util::Rng& /*rng*/) {
+      [&](runtime::ShardRange range, std::size_t shard, util::Rng& /*rng*/) {
+        obs::ScopedTrace trace(registry, "netflow/collect/shard", shard);
         // base_index anchors the shard's drop decisions to the absolute
         // record index, keeping them shard-plan-independent.
         return collect(records.subspan(range.begin, range.size()), trackers, isp,

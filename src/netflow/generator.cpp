@@ -5,6 +5,7 @@
 
 #include "obs/runtime_metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_buffer.h"
 #include "runtime/parallel.h"
 #include "util/contract.h"
 
@@ -194,7 +195,8 @@ SnapshotCounts generate_snapshot_stream(
     runtime::sharded_reduce<Batch>(
         pool, count, {.channel_stats = &channel_stats},
         seed, label,
-        [&](runtime::ShardRange range, std::size_t /*shard*/, util::Rng& rng) {
+        [&](runtime::ShardRange range, std::size_t shard, util::Rng& rng) {
+          obs::ScopedTrace trace(registry, "netflow/generate/shard", shard);
           Batch part;
           part.reserve(range.size());
           // One Retrier per shard: the breaker's call order follows the

@@ -2,6 +2,7 @@
 
 #include "obs/runtime_metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_buffer.h"
 #include "runtime/parallel.h"
 #include "store/superblock.h"
 #include "util/contract.h"
@@ -21,7 +22,7 @@ SnapshotCounts generate_snapshot_to_store(
     const Snapshot& snapshot, const GeneratorConfig& config, std::uint64_t seed,
     runtime::ThreadPool* pool, const std::string& path, obs::Registry* registry,
     const fault::FaultPlan* fault_plan) {
-  store::RecordFileWriter<WireCodec> writer(path);
+  store::RecordFileWriter<WireCodec> writer(path, registry);
   const auto counts = generate_snapshot_stream(
       world, resolver, isp, snapshot, config, seed, pool,
       [&writer](std::span<const RawRecord> batch) { writer.append(batch); },
@@ -41,6 +42,7 @@ CollectionResult collect_store(const SnapshotReader& reader,
   CollectionResult result;
   reader.for_each_chunk(chunk_records, [&](std::span<const RawRecord> chunk,
                                            std::uint64_t chunk_base) {
+    obs::ScopedTrace chunk_trace(registry, "netflow/store/read_chunk", chunk_base);
     // Same shard/reduce discipline as collect_sharded, with every drop
     // decision anchored to the record's absolute index in the file —
     // chunking and sharding both disappear from the result.
@@ -49,7 +51,8 @@ CollectionResult collect_store(const SnapshotReader& reader,
         runtime::sharded_reduce<CollectionResult>(
             pool, chunk.size(), {.channel_stats = &channel_stats},
             /*seed=*/0, /*stage_label=*/0xC011EC7,
-            [&](runtime::ShardRange range, std::size_t /*shard*/, util::Rng& /*rng*/) {
+            [&](runtime::ShardRange range, std::size_t shard, util::Rng& /*rng*/) {
+              obs::ScopedTrace trace(registry, "netflow/collect/shard", shard);
               return collect(chunk.subspan(range.begin, range.size()), trackers, isp,
                              {.fault_plan = fault_plan,
                               .base_index = chunk_base + range.begin});

@@ -76,7 +76,8 @@ void write_json(const Registry& registry, report::JsonWriter& json) {
     json.key("parent").value(span.parent);
     json.key("depth").value(span.depth);
     json.key("wall_seconds").value(span.wall_seconds);
-    json.key("cpu_seconds").value(span.cpu_seconds);
+    json.key("process_cpu_seconds").value(span.process_cpu_seconds);
+    json.key("thread_cpu_seconds").value(span.thread_cpu_seconds);
     json.key("items").value(span.items);
     json.end_object();
   }
@@ -115,7 +116,8 @@ std::string to_prometheus(const Registry& registry) {
   const auto spans = registry.spans();
   if (!spans.empty()) {
     out += "# TYPE cbwt_obs_span_wall_seconds gauge\n";
-    out += "# TYPE cbwt_obs_span_cpu_seconds gauge\n";
+    out += "# TYPE cbwt_obs_span_process_cpu_seconds gauge\n";
+    out += "# TYPE cbwt_obs_span_thread_cpu_seconds gauge\n";
     out += "# TYPE cbwt_obs_span_items gauge\n";
     for (std::size_t i = 0; i < spans.size(); ++i) {
       const auto& span = spans[i];
@@ -126,8 +128,10 @@ std::string to_prometheus(const Registry& registry) {
           "\",parent=\"" + prom_label(span.parent) + "\"}";
       out += "cbwt_obs_span_wall_seconds" + labels + " " +
              prom_double(span.wall_seconds) + "\n";
-      out += "cbwt_obs_span_cpu_seconds" + labels + " " + prom_double(span.cpu_seconds) +
-             "\n";
+      out += "cbwt_obs_span_process_cpu_seconds" + labels + " " +
+             prom_double(span.process_cpu_seconds) + "\n";
+      out += "cbwt_obs_span_thread_cpu_seconds" + labels + " " +
+             prom_double(span.thread_cpu_seconds) + "\n";
       out += "cbwt_obs_span_items" + labels + " " + std::to_string(span.items) + "\n";
     }
   }

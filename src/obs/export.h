@@ -18,16 +18,16 @@ namespace cbwt::obs {
 ///    "gauges":{name:value,...},
 ///    "histograms":{name:{"buckets":[{"le":bound|"+Inf","count":n},...],
 ///                        "count":n,"sum":x},...},
-///    "spans":[{"name","parent","depth","wall_seconds","cpu_seconds",
-///              "items"},...]}
+///    "spans":[{"name","parent","depth","wall_seconds",
+///              "process_cpu_seconds","thread_cpu_seconds","items"},...]}
 /// The caller controls the surrounding structure (typically a key inside
 /// a run-report object). Non-finite doubles export as null.
 void write_json(const Registry& registry, report::JsonWriter& json);
 
 /// Prometheus text format: counters/gauges/histograms with `# TYPE`
 /// headers (histogram buckets cumulative, `le="+Inf"` last); spans
-/// surface as cbwt_obs_span_{wall_seconds,cpu_seconds,items} gauges
-/// labelled by index/name/parent.
+/// surface as cbwt_obs_span_{wall_seconds,process_cpu_seconds,
+/// thread_cpu_seconds,items} gauges labelled by index/name/parent.
 [[nodiscard]] std::string to_prometheus(const Registry& registry);
 
 }  // namespace cbwt::obs

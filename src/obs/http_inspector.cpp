@@ -1,0 +1,175 @@
+#include "obs/http_inspector.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace cbwt::obs {
+
+std::optional<HttpRequest> parse_http_request(std::string_view text) {
+  // Request line only: METHOD SP TARGET SP HTTP/version CRLF.
+  const std::size_t line_end = text.find("\r\n");
+  const std::string_view line =
+      line_end == std::string_view::npos ? text : text.substr(0, line_end);
+  const std::size_t method_end = line.find(' ');
+  if (method_end == std::string_view::npos || method_end == 0) return std::nullopt;
+  const std::size_t target_end = line.find(' ', method_end + 1);
+  if (target_end == std::string_view::npos || target_end == method_end + 1) {
+    return std::nullopt;
+  }
+  const std::string_view version = line.substr(target_end + 1);
+  if (version.substr(0, 5) != "HTTP/") return std::nullopt;
+  std::string_view target = line.substr(method_end + 1, target_end - method_end - 1);
+  // Strip any query string: the endpoints take no parameters.
+  if (const std::size_t query = target.find('?'); query != std::string_view::npos) {
+    target = target.substr(0, query);
+  }
+  if (target.empty() || target[0] != '/') return std::nullopt;
+  HttpRequest request;
+  request.method = std::string(line.substr(0, method_end));
+  request.target = std::string(target);
+  return request;
+}
+
+namespace {
+
+/// Serializes one response; keep-alive is never offered.
+std::string http_response(int status, std::string_view reason,
+                          std::string_view content_type, std::string_view body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + std::string(reason) +
+                    "\r\nContent-Type: " + std::string(content_type) +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing to salvage
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpInspector::HttpInspector(const InspectorConfig& config, InspectorHandlers handlers)
+    : handlers_(std::move(handlers)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("inspector: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config.port);
+  if (::inet_pton(AF_INET, config.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("inspector: bad bind address '" + config.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("inspector: cannot bind " + config.bind_address + ":" +
+                             std::to_string(config.port));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = config.port;
+  }
+  thread_ = std::thread([this] { serve(); });
+}
+
+HttpInspector::~HttpInspector() { stop(); }
+
+void HttpInspector::stop() {
+  if (!thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_release);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpInspector::serve() {
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire)) return;
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    // One connection at a time: the inspector is a debugging tap, not a
+    // web server, and serial handling keeps it allocation-light.
+    handle_connection(client);
+    ::close(client);
+  }
+}
+
+void HttpInspector::handle_connection(int client_fd) {
+  // Bound the read: request head up to 8 KB or until CRLFCRLF. A client
+  // that stalls mid-request is dropped via poll timeout so the accept
+  // loop can never be wedged by a half-open connection.
+  std::string head;
+  char buffer[2048];
+  while (head.size() < 8192 && head.find("\r\n\r\n") == std::string::npos) {
+    pollfd pfd{};
+    pfd.fd = client_fd;
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, /*timeout_ms=*/1000) <= 0) return;
+    const ssize_t n = ::recv(client_fd, buffer, sizeof buffer, 0);
+    if (n <= 0) return;
+    head.append(buffer, static_cast<std::size_t>(n));
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+
+  const auto request = parse_http_request(head);
+  if (!request) {
+    send_all(client_fd, http_response(400, "Bad Request", "text/plain", "bad request\n"));
+    return;
+  }
+  if (request->method != "GET") {
+    send_all(client_fd,
+             http_response(405, "Method Not Allowed", "text/plain", "GET only\n"));
+    return;
+  }
+
+  const std::function<std::string()>* handler = nullptr;
+  std::string_view content_type = "text/plain; version=0.0.4";
+  if (request->target == "/metrics") {
+    handler = &handlers_.metrics;
+  } else if (request->target == "/report") {
+    handler = &handlers_.report;
+    content_type = "application/json";
+  } else if (request->target == "/trace") {
+    handler = &handlers_.trace;
+    content_type = "application/json";
+  } else if (request->target == "/healthz") {
+    send_all(client_fd, http_response(200, "OK", "text/plain", "ok\n"));
+    return;
+  }
+  if (handler == nullptr || !*handler) {
+    send_all(client_fd, http_response(404, "Not Found", "text/plain", "not found\n"));
+    return;
+  }
+  try {
+    const std::string body = (*handler)();
+    send_all(client_fd, http_response(200, "OK", content_type, body));
+  } catch (const std::exception& error) {
+    send_all(client_fd, http_response(500, "Internal Server Error", "text/plain",
+                                      std::string(error.what()) + "\n"));
+  }
+}
+
+}  // namespace cbwt::obs

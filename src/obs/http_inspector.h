@@ -1,0 +1,87 @@
+// Embedded live inspector: a dependency-free blocking HTTP/1.1 server
+// (one poll + accept loop on its own thread, GET only) in the spirit of
+// ExpressionMatrix2's embedded explorer. Serves:
+//
+//   /metrics  Prometheus text exposition (obs::to_prometheus)
+//   /report   run_report JSON
+//   /trace    Chrome trace-event JSON (flight recorder snapshot)
+//   /healthz  liveness probe ("ok")
+//
+// Handlers are std::functions supplied by the embedding run; they are
+// invoked on the inspector thread, so they must be safe to call
+// concurrently with the pipeline (the registry/trace snapshots are).
+// The server is observational only — it never writes to study state.
+//
+// This is the only file in the tree allowed to touch the socket API
+// (cbwt-lint rule socket-api) and, with proc_stats, one of the two
+// telemetry-thread exemptions to the raw-thread rule.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace cbwt::obs {
+
+/// Embedders enable + point the inspector through this (StudyConfig
+/// carries one).
+struct InspectorConfig {
+  bool enabled = false;
+  std::string bind_address = "127.0.0.1";  ///< IPv4 dotted quad
+  std::uint16_t port = 0;  ///< 0 = ephemeral; HttpInspector::port() tells
+};
+
+struct HttpRequest {
+  std::string method;
+  std::string target;  ///< path only; query string is stripped
+};
+
+/// Parses the request line of an HTTP/1.x request head ("GET /metrics
+/// HTTP/1.1\r\n..."). Returns nullopt on malformed input. Pure.
+[[nodiscard]] std::optional<HttpRequest> parse_http_request(std::string_view text);
+
+/// Content generators for the three payload endpoints; null functions
+/// answer 404. /healthz is built in.
+struct InspectorHandlers {
+  std::function<std::string()> metrics;
+  std::function<std::string()> report;
+  std::function<std::string()> trace;
+};
+
+class HttpInspector {
+ public:
+  /// Binds and starts serving immediately; throws std::runtime_error if
+  /// the socket cannot be bound.
+  HttpInspector(const InspectorConfig& config, InspectorHandlers handlers);
+  ~HttpInspector();  ///< stop()
+  HttpInspector(const HttpInspector&) = delete;
+  HttpInspector& operator=(const HttpInspector&) = delete;
+
+  /// The bound port (resolves config.port == 0 to the kernel's pick).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Stops the accept loop and joins the server thread. Idempotent.
+  void stop();
+
+  /// Requests answered so far (any status).
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve();
+  void handle_connection(int client_fd);
+
+  InspectorHandlers handlers_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::thread thread_;
+};
+
+}  // namespace cbwt::obs

@@ -30,6 +30,8 @@
 
 namespace cbwt::obs {
 
+class TraceBuffer;  // trace_buffer.h; registry holds only a raw pointer
+
 /// Monotonic counter (events, items).
 class Counter {
  public:
@@ -93,7 +95,11 @@ struct SpanRecord {
   std::string parent;        ///< empty for top-level stages
   std::uint64_t depth = 0;   ///< nesting depth at open time
   double wall_seconds = 0.0; ///< steady_clock elapsed
-  double cpu_seconds = 0.0;  ///< process CPU elapsed (> wall under parallelism)
+  /// Whole-process CPU elapsed (std::clock): includes every concurrent
+  /// worker thread, so it exceeds wall under parallelism.
+  double process_cpu_seconds = 0.0;
+  /// CPU burned by the opening thread alone (CLOCK_THREAD_CPUTIME_ID).
+  double thread_cpu_seconds = 0.0;
   std::uint64_t items = 0;   ///< stage-defined item count (requests, records, ...)
 };
 
@@ -140,6 +146,18 @@ class Registry {
   [[nodiscard]] SpanContext begin_span(std::string_view name);
   void end_span(SpanRecord record);
 
+  // --- flight recorder hook -------------------------------------------
+  /// Arms (or disarms, with nullptr) the trace buffer instrumented
+  /// stages emit into. Arm before the run starts: the pointer swap is
+  /// atomic but not synchronized against in-flight emitters.
+  void set_trace_buffer(TraceBuffer* trace) noexcept {
+    trace_.store(trace, std::memory_order_release);
+  }
+  /// The armed buffer, or nullptr. One relaxed-ish load on the hot path.
+  [[nodiscard]] TraceBuffer* trace_buffer() const noexcept {
+    return trace_.load(std::memory_order_acquire);
+  }
+
  private:
   mutable util::Mutex mutex_;
   // Node-based maps: handles must stay stable across later insertions.
@@ -153,6 +171,7 @@ class Registry {
       CBWT_GUARDED_BY(mutex_);
   std::vector<std::string> span_stack_ CBWT_GUARDED_BY(mutex_);
   std::vector<SpanRecord> spans_ CBWT_GUARDED_BY(mutex_);
+  std::atomic<TraceBuffer*> trace_{nullptr};
 };
 
 }  // namespace cbwt::obs

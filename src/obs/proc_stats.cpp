@@ -1,0 +1,213 @@
+#include "obs/proc_stats.h"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "report/json.h"
+
+namespace cbwt::obs {
+
+namespace {
+
+/// Parses the decimal run starting at text[pos]; empty run yields 0.
+std::uint64_t parse_u64(std::string_view text, std::size_t pos) {
+  std::uint64_t value = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(text[pos] - '0');
+    ++pos;
+  }
+  return value;
+}
+
+/// Value of a "Key:   1234 ..." line, or nullopt if the key is absent.
+std::optional<std::uint64_t> line_value(std::string_view text, std::string_view key) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    if (line.size() > key.size() && line.substr(0, key.size()) == key &&
+        line[key.size()] == ':') {
+      std::size_t v = key.size() + 1;
+      while (v < line.size() && (line[v] == ' ' || line[v] == '\t')) ++v;
+      return parse_u64(line, v);
+    }
+    pos = end + 1;
+  }
+  return std::nullopt;
+}
+
+std::string slurp(const char* path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+long ticks_per_second() {
+  const long ticks = ::sysconf(_SC_CLK_TCK);
+  return ticks > 0 ? ticks : 100;
+}
+
+}  // namespace
+
+void parse_proc_status(std::string_view text, ProcSample& sample) {
+  // Values are in kB per proc(5).
+  if (const auto rss = line_value(text, "VmRSS")) sample.rss_bytes = *rss * 1024;
+  if (const auto hwm = line_value(text, "VmHWM")) sample.vm_hwm_bytes = *hwm * 1024;
+}
+
+void parse_proc_io(std::string_view text, ProcSample& sample) {
+  if (const auto r = line_value(text, "read_bytes")) sample.read_bytes = *r;
+  if (const auto w = line_value(text, "write_bytes")) sample.write_bytes = *w;
+}
+
+void parse_proc_stat(std::string_view text, long ticks_per_sec, ProcSample& sample) {
+  // "pid (comm) state ppid ... majflt(12) cmajflt utime(14) stime(15) ..."
+  // comm may itself contain ')' — the real field 2 ends at the LAST one.
+  const std::size_t close = text.rfind(')');
+  if (close == std::string_view::npos || ticks_per_sec <= 0) return;
+  std::string_view rest = text.substr(close + 1);
+  // Tokenize the space-separated tail; rest[0] is field 3 (state).
+  std::vector<std::string_view> fields;
+  std::size_t pos = 0;
+  while (pos < rest.size() && fields.size() < 16) {
+    while (pos < rest.size() && rest[pos] == ' ') ++pos;
+    std::size_t end = pos;
+    while (end < rest.size() && rest[end] != ' ' && rest[end] != '\n') ++end;
+    if (end > pos) fields.push_back(rest.substr(pos, end - pos));
+    pos = end;
+  }
+  // fields[0] = state (3), so 1-indexed stat field N is fields[N - 3].
+  if (fields.size() <= 12) return;
+  sample.major_faults = parse_u64(fields[12 - 3], 0);
+  sample.user_cpu_seconds =
+      static_cast<double>(parse_u64(fields[14 - 3], 0)) / static_cast<double>(ticks_per_sec);
+  sample.system_cpu_seconds =
+      static_cast<double>(parse_u64(fields[15 - 3], 0)) / static_cast<double>(ticks_per_sec);
+}
+
+ProcSample sample_process() {
+  ProcSample sample;
+  parse_proc_status(slurp("/proc/self/status"), sample);
+  parse_proc_io(slurp("/proc/self/io"), sample);
+  parse_proc_stat(slurp("/proc/self/stat"), ticks_per_second(), sample);
+  return sample;
+}
+
+std::uint64_t vm_hwm_kb() {
+  ProcSample sample;
+  parse_proc_status(slurp("/proc/self/status"), sample);
+  return sample.vm_hwm_bytes / 1024;
+}
+
+ProcSampler::ProcSampler(Registry* registry, std::chrono::milliseconds interval,
+                         std::size_t timeline_capacity)
+    : registry_(registry),
+      interval_(interval.count() > 0 ? interval : std::chrono::milliseconds(1)),
+      capacity_(timeline_capacity > 0 ? timeline_capacity : 1),
+      epoch_(std::chrono::steady_clock::now()) {
+  timeline_.reserve(capacity_);
+  thread_ = std::thread([this] { run(); });
+}
+
+ProcSampler::~ProcSampler() { stop(); }
+
+void ProcSampler::stop() {
+  if (joined_) return;
+  {
+    util::MutexLock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  joined_ = true;
+  // Final sample after the thread is gone: a run shorter than one
+  // interval still records its envelope (and the true VmHWM).
+  take_sample();
+}
+
+void ProcSampler::run() {
+  for (;;) {
+    {
+      util::MutexLock lock(mutex_);
+      if (stopping_) return;
+      // Spurious wakeups only cause an early sample; no predicate loop.
+      cv_.wait_for(lock.native(), interval_);
+      if (stopping_) return;
+    }
+    take_sample();
+  }
+}
+
+void ProcSampler::take_sample() {
+  ProcSample sample = sample_process();
+  sample.ts_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  if (registry_ != nullptr) {
+    registry_->gauge("cbwt_obs_proc_rss_bytes").set(static_cast<double>(sample.rss_bytes));
+    registry_->gauge("cbwt_obs_proc_vm_hwm_bytes")
+        .set(static_cast<double>(sample.vm_hwm_bytes));
+    registry_->gauge("cbwt_obs_proc_major_faults")
+        .set(static_cast<double>(sample.major_faults));
+    registry_->gauge("cbwt_obs_proc_read_bytes")
+        .set(static_cast<double>(sample.read_bytes));
+    registry_->gauge("cbwt_obs_proc_write_bytes")
+        .set(static_cast<double>(sample.write_bytes));
+    registry_->gauge("cbwt_obs_proc_user_cpu_seconds").set(sample.user_cpu_seconds);
+    registry_->gauge("cbwt_obs_proc_system_cpu_seconds").set(sample.system_cpu_seconds);
+    registry_->counter("cbwt_obs_proc_samples_total").add(1);
+  }
+  util::MutexLock lock(mutex_);
+  record_locked(sample);
+}
+
+void ProcSampler::record_locked(ProcSample sample) {
+  // Stride thinning: record every stride_-th sample; when the timeline
+  // fills, keep every 2nd entry and double the stride. Total memory is
+  // bounded while the recorded envelope always spans the full run.
+  if (sample_index_++ % stride_ != 0) return;
+  if (timeline_.size() >= capacity_) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < timeline_.size(); i += 2) timeline_[kept++] = timeline_[i];
+    timeline_.resize(kept);
+    stride_ *= 2;
+    if ((sample_index_ - 1) % stride_ != 0) return;
+  }
+  timeline_.push_back(sample);
+}
+
+std::vector<ProcSample> ProcSampler::timeline() const {
+  util::MutexLock lock(mutex_);
+  return timeline_;
+}
+
+void write_proc_timeline(const std::vector<ProcSample>& timeline,
+                         report::JsonWriter& json) {
+  json.begin_array();
+  for (const auto& sample : timeline) {
+    json.begin_object();
+    json.key("ts_seconds").value(static_cast<double>(sample.ts_ns) / 1e9);
+    json.key("rss_bytes").value(sample.rss_bytes);
+    json.key("vm_hwm_bytes").value(sample.vm_hwm_bytes);
+    json.key("major_faults").value(sample.major_faults);
+    json.key("read_bytes").value(sample.read_bytes);
+    json.key("write_bytes").value(sample.write_bytes);
+    json.key("user_cpu_seconds").value(sample.user_cpu_seconds);
+    json.key("system_cpu_seconds").value(sample.system_cpu_seconds);
+    json.end_object();
+  }
+  json.end_array();
+}
+
+}  // namespace cbwt::obs

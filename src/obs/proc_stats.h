@@ -1,0 +1,110 @@
+// Process telemetry: parsers for /proc/self/{status,io,stat}, a
+// one-shot sampler, and a background ProcSampler thread that folds the
+// process's memory/IO/CPU envelope into registry gauges plus a bounded
+// timeline — so a store-backed run can watch its RSS live instead of
+// checking VmHWM after the fact.
+//
+// The parsers are pure functions over file text (unit-tested against
+// canned fixtures); only sample_process() touches the real /proc.
+// The sampler thread reads kernel accounting and writes gauges — it
+// never touches study RNG or pipeline state, so arming it cannot
+// perturb determinism.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace cbwt::report {
+class JsonWriter;
+}  // namespace cbwt::report
+
+namespace cbwt::obs {
+
+class Registry;
+
+/// One snapshot of the process's kernel-side accounting. Fields whose
+/// source line (or file) is missing stay zero.
+struct ProcSample {
+  std::uint64_t ts_ns = 0;  ///< since sampler start; 0 for one-shots
+  std::uint64_t rss_bytes = 0;         ///< VmRSS
+  std::uint64_t vm_hwm_bytes = 0;      ///< VmHWM (peak RSS)
+  std::uint64_t major_faults = 0;      ///< majflt (cumulative)
+  std::uint64_t read_bytes = 0;        ///< storage-layer reads (cumulative)
+  std::uint64_t write_bytes = 0;       ///< storage-layer writes (cumulative)
+  double user_cpu_seconds = 0.0;       ///< utime (cumulative)
+  double system_cpu_seconds = 0.0;     ///< stime (cumulative)
+};
+
+/// Parses /proc/self/status text: VmRSS / VmHWM ("VmRSS:  1234 kB").
+void parse_proc_status(std::string_view text, ProcSample& sample);
+
+/// Parses /proc/self/io text: read_bytes / write_bytes.
+void parse_proc_io(std::string_view text, ProcSample& sample);
+
+/// Parses /proc/self/stat: majflt, utime, stime. Handles comm fields
+/// containing spaces/parens by scanning from the *last* ')'.
+/// `ticks_per_second` converts utime/stime (sysconf(_SC_CLK_TCK) for
+/// the live system; fixed in tests).
+void parse_proc_stat(std::string_view text, long ticks_per_second, ProcSample& sample);
+
+/// One-shot sample of the calling process (reads the real /proc/self).
+[[nodiscard]] ProcSample sample_process();
+
+/// Peak resident set (VmHWM) in KiB; 0 if /proc is unavailable.
+[[nodiscard]] std::uint64_t vm_hwm_kb();
+
+/// Background sampler: every `interval`, reads /proc/self and updates
+///   cbwt_obs_proc_{rss_bytes,vm_hwm_bytes,major_faults,read_bytes,
+///                  write_bytes,user_cpu_seconds,system_cpu_seconds}
+/// gauges plus cbwt_obs_proc_samples_total, and appends to a bounded
+/// timeline (when full, it thins to every 2nd sample and doubles the
+/// recording stride — the envelope stays covered end to end).
+class ProcSampler {
+ public:
+  explicit ProcSampler(Registry* registry,
+                       std::chrono::milliseconds interval = std::chrono::milliseconds(200),
+                       std::size_t timeline_capacity = 4096);
+  ~ProcSampler();
+  ProcSampler(const ProcSampler&) = delete;
+  ProcSampler& operator=(const ProcSampler&) = delete;
+
+  /// Stops and joins the sampler thread after one final sample, so a
+  /// short run still records its envelope. Idempotent.
+  void stop();
+
+  /// Samples recorded so far, oldest first.
+  [[nodiscard]] std::vector<ProcSample> timeline() const;
+
+ private:
+  void run();
+  void record_locked(ProcSample sample) CBWT_REQUIRES(mutex_);
+  void take_sample();
+
+  Registry* registry_;
+  std::chrono::milliseconds interval_;
+  std::size_t capacity_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable util::Mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ CBWT_GUARDED_BY(mutex_) = false;
+  bool joined_ = false;  ///< touched by stop() only (caller-serialized)
+  std::uint64_t sample_index_ CBWT_GUARDED_BY(mutex_) = 0;
+  std::uint64_t stride_ CBWT_GUARDED_BY(mutex_) = 1;
+  std::vector<ProcSample> timeline_ CBWT_GUARDED_BY(mutex_);
+
+  // Telemetry thread: confined to /proc reads and registry writes.
+  std::thread thread_;
+};
+
+/// Writes a sampler timeline as a JSON array of sample objects.
+void write_proc_timeline(const std::vector<ProcSample>& timeline,
+                         report::JsonWriter& json);
+
+}  // namespace cbwt::obs

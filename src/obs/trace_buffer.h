@@ -1,0 +1,151 @@
+// Flight recorder: lock-free per-thread ring buffers for begin/end/
+// instant trace events, exportable as Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing).
+//
+// Concurrency model: each emitting thread owns one single-writer ring;
+// slots are seqlock-guarded (odd sequence while a write is in flight,
+// even when stable) with every payload field an atomic, so a concurrent
+// snapshot() from the inspector thread is race-free and simply skips
+// slots it catches mid-write. Rings overwrite their oldest events on
+// wrap and account the loss in dropped counts — emitting never blocks
+// and never allocates after thread registration.
+//
+// Like the metrics registry, the recorder is observational only:
+// nothing here feeds back into pipeline results, so arming a trace
+// buffer never perturbs determinism.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace cbwt::report {
+class JsonWriter;
+}  // namespace cbwt::report
+
+namespace cbwt::obs {
+
+class Registry;
+
+enum class TracePhase : std::uint8_t { kBegin = 0, kEnd = 1, kInstant = 2 };
+
+/// Event names are truncated to this many bytes (including NUL) when
+/// copied into a slot; trace names are short stage labels by convention.
+inline constexpr std::size_t kTraceNameBytes = 48;
+
+/// One decoded event, as returned by TraceBuffer::snapshot().
+struct TraceEvent {
+  TracePhase phase = TracePhase::kInstant;
+  std::uint64_t ts_ns = 0;  ///< nanoseconds since the buffer's epoch
+  std::uint64_t arg = 0;    ///< event-defined payload (shard index, items)
+  std::string name;
+};
+
+class TraceBuffer {
+ public:
+  /// Rings hold this many events per thread by default (~320 KB/thread).
+  static constexpr std::size_t kDefaultEventsPerThread = 4096;
+  /// Distinct emitting threads a buffer can track; later threads drop.
+  static constexpr std::size_t kMaxThreads = 64;
+
+  /// `events_per_thread` is rounded up to a power of two. The
+  /// constructing thread registers eagerly and is labelled "main".
+  explicit TraceBuffer(std::size_t events_per_thread = kDefaultEventsPerThread);
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// Records one event on the calling thread's ring. Lock-free after the
+  /// thread's first emit; never blocks, never fails (overflow drops).
+  void emit(TracePhase phase, std::string_view name, std::uint64_t arg = 0);
+
+  /// Events recorded for one thread, oldest first.
+  struct ThreadTrace {
+    std::string label;           ///< "main", "pool-worker-N", "thread-K"
+    std::uint64_t dropped = 0;   ///< events overwritten before snapshot
+    std::vector<TraceEvent> events;
+  };
+
+  /// Decodes every ring, oldest event first. Safe to call from any
+  /// thread while emitters are active: events caught mid-write are
+  /// skipped, not torn.
+  [[nodiscard]] std::vector<ThreadTrace> snapshot() const;
+
+  /// Events lost to ring wraparound plus events from threads beyond
+  /// kMaxThreads.
+  [[nodiscard]] std::uint64_t total_dropped() const;
+
+  /// Ring capacity in events (post power-of-two rounding).
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Threads that have registered a ring so far.
+  [[nodiscard]] std::size_t thread_count() const;
+
+ private:
+  struct Slot {
+    /// Seqlock: 2*(event_index+1) when slot holds event_index stably,
+    /// odd while the owning thread is writing. The value doubles as a
+    /// generation tag, so readers know which event occupies a reused
+    /// slot.
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint8_t> phase{0};
+    std::atomic<std::uint64_t> ts_ns{0};
+    std::atomic<std::uint64_t> arg{0};
+    /// NUL-terminated; atomic chars keep concurrent snapshots race-free.
+    std::atomic<char> name[kTraceNameBytes];
+  };
+
+  struct Ring {
+    std::atomic<bool> used{false};  ///< published last, with release
+    std::atomic<std::uint64_t> head{0};  ///< events written (monotonic)
+    std::string label;  ///< written once before `used` is published
+    std::unique_ptr<Slot[]> slots;
+  };
+
+  [[nodiscard]] Ring* ring_for_current_thread();
+  [[nodiscard]] Ring* register_current_thread() CBWT_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  const std::uint64_t id_;  ///< process-unique, keys the thread cache
+  std::size_t capacity_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> unregistered_dropped_{0};
+
+  mutable util::Mutex mutex_;
+  std::size_t thread_count_ CBWT_GUARDED_BY(mutex_) = 0;
+  /// Fixed array: ring addresses must stay stable for cached pointers.
+  std::unique_ptr<Ring[]> rings_;
+};
+
+/// RAII begin/end pair against the registry's armed trace buffer; a null
+/// registry or unarmed buffer makes it a no-op (one null check).
+class ScopedTrace {
+ public:
+  ScopedTrace(Registry* registry, std::string_view name, std::uint64_t arg = 0);
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  TraceBuffer* trace_;
+  std::string_view name_;  ///< callers pass string literals / stable names
+};
+
+/// Writes the buffer as one Chrome trace-event JSON object:
+///   {"displayTimeUnit":"ms","droppedEvents":n,
+///    "traceEvents":[{"ph":"M"...thread_name metadata...},
+///                   {"ph":"B"|"E"|"i","pid":1,"tid":t,"ts":us,
+///                    "name":...,"args":{"arg":n}},...]}
+void write_chrome_trace(const TraceBuffer& trace, report::JsonWriter& json);
+
+/// write_chrome_trace into a fresh document.
+[[nodiscard]] std::string to_chrome_trace(const TraceBuffer& trace);
+
+}  // namespace cbwt::obs

@@ -4,6 +4,15 @@
 
 namespace cbwt::runtime {
 
+namespace {
+/// -1 everywhere except on pool workers, which stamp their index at
+/// worker_loop entry. Never reset: a worker's identity is fixed for its
+/// whole lifetime and the thread exits with the pool.
+thread_local int t_worker_index = -1;
+}  // namespace
+
+int ThreadPool::current_worker_index() noexcept { return t_worker_index; }
+
 unsigned ThreadPool::hardware_threads() noexcept {
   const unsigned reported = std::thread::hardware_concurrency();
   return reported == 0 ? 1U : reported;
@@ -99,6 +108,7 @@ bool ThreadPool::try_run_one(unsigned index) {
 }
 
 void ThreadPool::worker_loop(unsigned index) {
+  t_worker_index = static_cast<int>(index);
   for (;;) {
     if (try_run_one(index)) continue;
     util::MutexLock lock(sleep_mutex_);

@@ -54,6 +54,12 @@ class ThreadPool {
   /// Hardware concurrency with a floor of 1 (the standard may report 0).
   [[nodiscard]] static unsigned hardware_threads() noexcept;
 
+  /// Worker index of the calling thread, or -1 when called from a thread
+  /// that is not a pool worker (the pipeline-driving thread, telemetry
+  /// threads). Observability only: trace exporters use it to label
+  /// per-thread event streams.
+  [[nodiscard]] static int current_worker_index() noexcept;
+
   /// Lifetime counters (observability; monotonic, racy reads are fine).
   struct Stats {
     std::uint64_t submitted = 0;  ///< tasks accepted by submit()

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "store/bytes.h"
 #include "store/mapped_file.h"
 #include "store/superblock.h"
@@ -51,19 +52,30 @@ concept RecordCodec = requires(const typename C::value_type& value,
 /// tree, which is the store's resident-memory unit.
 inline constexpr std::size_t kDefaultChunkRecords = 64 * 1024;
 
+/// What one checksum_payload pass did, for the store I/O metrics.
+struct ChecksumStats {
+  std::uint64_t windows = 0;        ///< 8 MiB hash windows processed
+  std::uint64_t pages_dropped = 0;  ///< 4 KiB pages evicted from RSS
+};
+
 /// FNV-1a over the payload of `file` in bounded windows, dropping each
 /// window from the resident set after hashing — checksumming a
 /// multi-GB file never holds more than one window resident. Writer
 /// pages dropped here stay dirty in the page cache (MADV_DONTNEED on a
 /// shared file mapping never loses data), so a following sync() still
 /// makes them durable.
-inline std::uint64_t checksum_payload(const MappedFile& file, std::size_t payload) {
+inline std::uint64_t checksum_payload(const MappedFile& file, std::size_t payload,
+                                      ChecksumStats* stats = nullptr) {
   constexpr std::size_t kWindowBytes = 8 << 20;
   std::uint64_t checksum = kFnvOffset;
   for (std::size_t offset = 0; offset < payload; offset += kWindowBytes) {
     const std::size_t n = std::min(kWindowBytes, payload - offset);
     checksum = fnv1a({file.data() + kSuperblockSize + offset, n}, checksum);
     file.drop_range(kSuperblockSize + offset, n);
+    if (stats != nullptr) {
+      ++stats->windows;
+      stats->pages_dropped += (n + 4095) / 4096;
+    }
   }
   return checksum;
 }
@@ -74,8 +86,18 @@ class RecordFileWriter {
  public:
   using value_type = typename Codec::value_type;
 
-  explicit RecordFileWriter(const std::string& path)
-      : file_(MappedFile::create(path, kInitialBytes)) {}
+  /// `registry` (optional, not owned) receives the cbwt_store_* I/O
+  /// counters at finalize time; metrics never alter what hits the disk.
+  explicit RecordFileWriter(const std::string& path, obs::Registry* registry = nullptr)
+      : file_(MappedFile::create(path, kInitialBytes)) {
+    if (registry != nullptr) {
+      bytes_written_ = &registry->counter("cbwt_store_bytes_written_total");
+      records_written_ = &registry->counter("cbwt_store_records_written_total");
+      files_finalized_ = &registry->counter("cbwt_store_files_finalized_total");
+      checksum_windows_ = &registry->counter("cbwt_store_checksum_windows_total");
+      pages_dropped_ = &registry->counter("cbwt_store_pages_dropped_total");
+    }
+  }
 
   RecordFileWriter(RecordFileWriter&&) noexcept = default;
   RecordFileWriter& operator=(RecordFileWriter&&) noexcept = default;
@@ -119,11 +141,22 @@ class RecordFileWriter {
     block.record_size = static_cast<std::uint32_t>(Codec::kRecordSize);
     block.record_count = count_;
     block.payload_bytes = payload;
-    block.checksum = checksum_payload(file_, payload);
+    ChecksumStats checksum_stats;
+    block.checksum = checksum_payload(file_, payload, &checksum_stats);
     encode_superblock(block, {file_.data(), kSuperblockSize});
     file_.sync();
     file_.truncate_to(kSuperblockSize + payload);
     finalized_ = true;
+    // Flushed once per file, not per append: the writer is single-
+    // threaded, so local accumulation is free and the counters stay off
+    // the append hot path.
+    if (files_finalized_ != nullptr) {
+      bytes_written_->add(kSuperblockSize + payload);
+      records_written_->add(count_);
+      files_finalized_->add(1);
+      checksum_windows_->add(checksum_stats.windows);
+      pages_dropped_->add(checksum_stats.pages_dropped);
+    }
   }
 
   [[nodiscard]] const std::string& path() const noexcept { return file_.path(); }
@@ -144,6 +177,12 @@ class RecordFileWriter {
   std::uint64_t count_ = 0;
   std::size_t flushed_ = kSuperblockSize;
   bool finalized_ = false;
+  // Metric handles; all null (and finalize skips them) with no registry.
+  obs::Counter* bytes_written_ = nullptr;
+  obs::Counter* records_written_ = nullptr;
+  obs::Counter* files_finalized_ = nullptr;
+  obs::Counter* checksum_windows_ = nullptr;
+  obs::Counter* pages_dropped_ = nullptr;
 };
 
 template <typename Codec>
@@ -154,7 +193,9 @@ class RecordFileReader {
 
   /// Opens and fully validates `path`: superblock, geometry against the
   /// file length, payload checksum. Throws StoreError on any mismatch.
-  explicit RecordFileReader(const std::string& path)
+  /// `registry` (optional, not owned) receives the cbwt_store_* read
+  /// metrics (open-time validation plus per-chunk streaming counts).
+  explicit RecordFileReader(const std::string& path, obs::Registry* registry = nullptr)
       : file_(MappedFile::open_readonly(path)) {
     const auto block = parse_superblock({file_.data(), file_.size()});
     if (!block) throw StoreError("store: invalid superblock in '" + path + "'");
@@ -165,10 +206,22 @@ class RecordFileReader {
     if (file_.size() != kSuperblockSize + block->payload_bytes) {
       throw StoreError("store: '" + path + "' is truncated or has trailing bytes");
     }
-    if (checksum_payload(file_, block->payload_bytes) != block->checksum) {
+    ChecksumStats checksum_stats;
+    if (checksum_payload(file_, block->payload_bytes, &checksum_stats) !=
+        block->checksum) {
       throw StoreError("store: checksum mismatch in '" + path + "'");
     }
     count_ = block->record_count;
+    if (registry != nullptr) {
+      bytes_read_ = &registry->counter("cbwt_store_bytes_read_total");
+      records_read_ = &registry->counter("cbwt_store_records_read_total");
+      files_opened_ = &registry->counter("cbwt_store_files_opened_total");
+      checksum_windows_ = &registry->counter("cbwt_store_checksum_windows_total");
+      pages_dropped_ = &registry->counter("cbwt_store_pages_dropped_total");
+      files_opened_->add(1);
+      checksum_windows_->add(checksum_stats.windows);
+      pages_dropped_->add(checksum_stats.pages_dropped);
+    }
   }
 
   RecordFileReader(RecordFileReader&&) noexcept = default;
@@ -211,6 +264,11 @@ class RecordFileReader {
       fn(std::span<const value_type>(buffer), base);
       file_.drop_range(kSuperblockSize + base * Codec::kRecordSize,
                        n * Codec::kRecordSize);
+      if (records_read_ != nullptr) {
+        records_read_->add(n);
+        bytes_read_->add(n * Codec::kRecordSize);
+        pages_dropped_->add((n * Codec::kRecordSize + 4095) / 4096);
+      }
     }
   }
 
@@ -219,6 +277,13 @@ class RecordFileReader {
  private:
   MappedFile file_;
   std::uint64_t count_ = 0;
+  // Metric handles; all null (and the streaming path skips them) with
+  // no registry attached.
+  obs::Counter* bytes_read_ = nullptr;
+  obs::Counter* records_read_ = nullptr;
+  obs::Counter* files_opened_ = nullptr;
+  obs::Counter* checksum_windows_ = nullptr;
+  obs::Counter* pages_dropped_ = nullptr;
 };
 
 }  // namespace cbwt::store

@@ -1,0 +1,13 @@
+// lint-fixture-path: src/netflow/exporter_uplink.cpp
+// lint-fixture-expect: socket-api
+//
+// The socket API lives in obs::HttpInspector and nowhere else: a
+// pipeline stage opening network connections would make results depend
+// on the network, not the seed.
+#include <sys/socket.h>
+
+namespace cbwt::netflow {
+
+int open_uplink() { return socket(AF_INET, SOCK_STREAM, 0); }
+
+}  // namespace cbwt::netflow

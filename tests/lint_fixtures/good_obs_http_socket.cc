@@ -1,0 +1,15 @@
+// lint-fixture-path: src/obs/http_inspector.cpp
+// lint-fixture-expect: none
+//
+// The one sanctioned home of the socket API (and, as obs_http, a legal
+// dependent of obs): the inspector file passes without escapes.
+#include <sys/socket.h>
+
+#include "obs/http_inspector.h"
+#include "obs/metrics.h"
+
+namespace cbwt::obs {
+
+int inspector_socket() { return socket(AF_INET, SOCK_STREAM, 0); }
+
+}  // namespace cbwt::obs

@@ -1,0 +1,170 @@
+#include "obs/http_inspector.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cbwt::obs {
+namespace {
+
+// --- request-line parser ----------------------------------------------
+
+TEST(ParseHttpRequest, AcceptsWellFormedGet) {
+  const auto request = parse_http_request("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->target, "/metrics");
+}
+
+TEST(ParseHttpRequest, StripsQueryString) {
+  const auto request = parse_http_request("GET /trace?pretty=1 HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->target, "/trace");
+}
+
+TEST(ParseHttpRequest, PreservesNonGetMethods) {
+  const auto request = parse_http_request("POST /metrics HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->method, "POST");
+}
+
+TEST(ParseHttpRequest, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_http_request("").has_value());
+  EXPECT_FALSE(parse_http_request("GET\r\n").has_value());
+  EXPECT_FALSE(parse_http_request("GET /metrics\r\n").has_value());          // no version
+  EXPECT_FALSE(parse_http_request("GET /metrics SMTP/1.0\r\n").has_value()); // not HTTP
+  EXPECT_FALSE(parse_http_request("GET  HTTP/1.1\r\n").has_value());         // empty target
+  EXPECT_FALSE(parse_http_request("GET metrics HTTP/1.1\r\n").has_value());  // no slash
+  EXPECT_FALSE(parse_http_request("\r\n\r\n").has_value());
+}
+
+// --- live server ------------------------------------------------------
+
+/// Minimal blocking test client: one request, full response.
+std::string fetch(std::uint16_t port, const std::string& raw_request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return {};
+  }
+  ::send(fd, raw_request.data(), raw_request.size(), 0);
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n <= 0) break;  // Connection: close — EOF ends the response
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string get(std::uint16_t port, const std::string& target) {
+  return fetch(port, "GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n");
+}
+
+InspectorHandlers canned_handlers() {
+  InspectorHandlers handlers;
+  handlers.metrics = [] { return std::string("cbwt_obs_test_total 1\n"); };
+  handlers.report = [] { return std::string("{\"name\":\"report\"}"); };
+  handlers.trace = [] { return std::string("{\"traceEvents\":[]}"); };
+  return handlers;
+}
+
+TEST(HttpInspector, ServesAllFourEndpoints) {
+  InspectorConfig config;
+  config.enabled = true;
+  config.port = 0;  // ephemeral
+  HttpInspector inspector(config, canned_handlers());
+  ASSERT_GT(inspector.port(), 0);
+
+  const std::string metrics = get(inspector.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("cbwt_obs_test_total 1"), std::string::npos);
+
+  const std::string report = get(inspector.port(), "/report");
+  EXPECT_NE(report.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(report.find("application/json"), std::string::npos);
+  EXPECT_NE(report.find("{\"name\":\"report\"}"), std::string::npos);
+
+  const std::string trace = get(inspector.port(), "/trace");
+  EXPECT_NE(trace.find("{\"traceEvents\":[]}"), std::string::npos);
+
+  const std::string healthz = get(inspector.port(), "/healthz");
+  EXPECT_NE(healthz.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(healthz.find("ok\n"), std::string::npos);
+
+  EXPECT_GE(inspector.requests_served(), 4u);
+  inspector.stop();
+  inspector.stop();  // idempotent
+}
+
+TEST(HttpInspector, QueryStringsResolveToTheSameEndpoint) {
+  HttpInspector inspector(InspectorConfig{.enabled = true}, canned_handlers());
+  const std::string response = get(inspector.port(), "/healthz?verbose=1");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+}
+
+TEST(HttpInspector, ErrorsAreStatusCodesNotDisconnects) {
+  HttpInspector inspector(InspectorConfig{.enabled = true}, canned_handlers());
+  EXPECT_NE(get(inspector.port(), "/nope").find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_NE(fetch(inspector.port(), "POST /metrics HTTP/1.1\r\n\r\n")
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+  EXPECT_NE(fetch(inspector.port(), "garbage\r\n\r\n").find("HTTP/1.1 400"),
+            std::string::npos);
+}
+
+TEST(HttpInspector, NullHandlerAnswers404AndThrowingHandler500) {
+  InspectorHandlers handlers;  // all three payload handlers null
+  handlers.report = []() -> std::string { throw std::runtime_error("report exploded"); };
+  HttpInspector inspector(InspectorConfig{.enabled = true}, std::move(handlers));
+  EXPECT_NE(get(inspector.port(), "/metrics").find("HTTP/1.1 404"), std::string::npos);
+  const std::string report = get(inspector.port(), "/report");
+  EXPECT_NE(report.find("HTTP/1.1 500"), std::string::npos);
+  EXPECT_NE(report.find("report exploded"), std::string::npos);
+}
+
+TEST(HttpInspector, ConcurrentGetsAllSucceed) {
+  HttpInspector inspector(InspectorConfig{.enabled = true}, canned_handlers());
+  constexpr int kClients = 8;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&ok, port = inspector.port()] {
+      const std::string response = get(port, "/metrics");
+      if (response.find("HTTP/1.1 200 OK") != std::string::npos) {
+        ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(ok.load(), kClients);
+  EXPECT_GE(inspector.requests_served(), static_cast<std::uint64_t>(kClients));
+}
+
+TEST(HttpInspector, BadBindAddressThrows) {
+  InspectorConfig config;
+  config.enabled = true;
+  config.bind_address = "not-an-ip";
+  EXPECT_THROW(HttpInspector(config, canned_handlers()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cbwt::obs

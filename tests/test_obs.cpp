@@ -143,7 +143,8 @@ TEST(ScopedSpan, RecordsNestingParentAndItems) {
   EXPECT_EQ(spans[1].items, 10u);
   for (const auto& span : spans) {
     EXPECT_GE(span.wall_seconds, 0.0);
-    EXPECT_GE(span.cpu_seconds, 0.0);
+    EXPECT_GE(span.process_cpu_seconds, 0.0);
+    EXPECT_GE(span.thread_cpu_seconds, 0.0);
   }
 }
 
@@ -257,6 +258,8 @@ TEST(Export, PrometheusDumpHasTypesAndCumulativeBuckets) {
             std::string::npos);
   EXPECT_NE(text.find("cbwt_geoloc_measure_seconds_count 3"), std::string::npos);
   EXPECT_NE(text.find("cbwt_obs_span_wall_seconds"), std::string::npos);
+  EXPECT_NE(text.find("cbwt_obs_span_process_cpu_seconds"), std::string::npos);
+  EXPECT_NE(text.find("cbwt_obs_span_thread_cpu_seconds"), std::string::npos);
   EXPECT_NE(text.find("name=\"study/classify\""), std::string::npos);
 }
 

@@ -1,0 +1,149 @@
+#include "obs/proc_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "json_check.h"
+#include "obs/metrics.h"
+#include "report/json.h"
+
+namespace cbwt::obs {
+namespace {
+
+// --- pure parsers vs canned /proc fixtures ----------------------------
+
+constexpr std::string_view kStatusFixture =
+    "Name:\tstore_scale_run\n"
+    "Umask:\t0022\n"
+    "VmPeak:\t  123456 kB\n"
+    "VmHWM:\t   98304 kB\n"
+    "VmRSS:\t   65536 kB\n"
+    "Threads:\t4\n";
+
+constexpr std::string_view kIoFixture =
+    "rchar: 999999\n"
+    "wchar: 888888\n"
+    "syscr: 100\n"
+    "syscw: 50\n"
+    "read_bytes: 4096000\n"
+    "write_bytes: 8192000\n"
+    "cancelled_write_bytes: 0\n";
+
+TEST(ProcParsers, StatusYieldsRssAndHwmInBytes) {
+  ProcSample sample;
+  parse_proc_status(kStatusFixture, sample);
+  EXPECT_EQ(sample.rss_bytes, 65536u * 1024);
+  EXPECT_EQ(sample.vm_hwm_bytes, 98304u * 1024);
+}
+
+TEST(ProcParsers, IoYieldsStorageLayerBytes) {
+  ProcSample sample;
+  parse_proc_io(kIoFixture, sample);
+  EXPECT_EQ(sample.read_bytes, 4096000u);
+  EXPECT_EQ(sample.write_bytes, 8192000u);
+}
+
+TEST(ProcParsers, MissingLinesLeaveFieldsZero) {
+  ProcSample sample;
+  parse_proc_status("Name:\tx\n", sample);
+  parse_proc_io("rchar: 1\n", sample);
+  EXPECT_EQ(sample.rss_bytes, 0u);
+  EXPECT_EQ(sample.vm_hwm_bytes, 0u);
+  EXPECT_EQ(sample.read_bytes, 0u);
+  EXPECT_EQ(sample.write_bytes, 0u);
+}
+
+TEST(ProcParsers, StatHandlesParensInComm) {
+  // comm is "(a) b" — the parser must anchor at the LAST ')'. Tail
+  // fields 3..15: state ppid pgrp session tty tpgid flags minflt
+  // cminflt majflt cmajflt utime stime.
+  const std::string stat =
+      "42 ((a) b) R 1 2 3 4 5 6 7 8 9 10 150 50 0 0 20 0 4 0 300\n";
+  ProcSample sample;
+  parse_proc_stat(stat, /*ticks_per_second=*/100, sample);
+  EXPECT_EQ(sample.major_faults, 9u);
+  EXPECT_DOUBLE_EQ(sample.user_cpu_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(sample.system_cpu_seconds, 0.5);
+}
+
+TEST(ProcParsers, StatToleratesTruncatedInput) {
+  ProcSample sample;
+  parse_proc_stat("42 (short) R 1 2", 100, sample);  // too few fields
+  parse_proc_stat("no parens at all", 100, sample);
+  parse_proc_stat("", 100, sample);
+  EXPECT_EQ(sample.major_faults, 0u);
+  EXPECT_DOUBLE_EQ(sample.user_cpu_seconds, 0.0);
+}
+
+// --- live /proc (Linux) -----------------------------------------------
+
+TEST(ProcSample, LiveProcessHasResidentMemory) {
+  const ProcSample sample = sample_process();
+  EXPECT_GT(sample.rss_bytes, 0u);
+  EXPECT_GE(sample.vm_hwm_bytes, sample.rss_bytes);
+  EXPECT_GT(vm_hwm_kb(), 0u);
+}
+
+// --- background sampler -----------------------------------------------
+
+TEST(ProcSampler, StopRecordsAtLeastOneSampleAndSetsGauges) {
+  Registry registry;
+  ProcSampler sampler(&registry, std::chrono::milliseconds(5));
+  sampler.stop();  // even an immediate stop takes the final sample
+  sampler.stop();  // idempotent
+
+  EXPECT_GE(registry.counter_value("cbwt_obs_proc_samples_total"), 1u);
+  EXPECT_GT(registry.gauge("cbwt_obs_proc_rss_bytes").value(), 0.0);
+  EXPECT_GT(registry.gauge("cbwt_obs_proc_vm_hwm_bytes").value(), 0.0);
+  const auto timeline = sampler.timeline();
+  ASSERT_FALSE(timeline.empty());
+  for (std::size_t i = 1; i < timeline.size(); ++i) {
+    EXPECT_LE(timeline[i - 1].ts_ns, timeline[i].ts_ns);
+  }
+}
+
+TEST(ProcSampler, TimelineStaysBoundedUnderThinning) {
+  Registry registry;
+  constexpr std::size_t kCapacity = 4;
+  ProcSampler sampler(&registry, std::chrono::milliseconds(1), kCapacity);
+  // Wait for enough samples that an unbounded timeline would overflow
+  // the capacity several times over.
+  while (registry.counter_value("cbwt_obs_proc_samples_total") < 20) {
+    std::this_thread::yield();
+  }
+  sampler.stop();
+  const auto timeline = sampler.timeline();
+  ASSERT_FALSE(timeline.empty());
+  EXPECT_LE(timeline.size(), kCapacity + 1);  // +1: the final stop() sample
+  for (std::size_t i = 1; i < timeline.size(); ++i) {
+    EXPECT_LE(timeline[i - 1].ts_ns, timeline[i].ts_ns);
+  }
+}
+
+TEST(ProcSampler, NullRegistryStillKeepsTimeline) {
+  ProcSampler sampler(nullptr, std::chrono::milliseconds(5));
+  sampler.stop();
+  EXPECT_FALSE(sampler.timeline().empty());
+}
+
+// --- timeline export --------------------------------------------------
+
+TEST(ProcTimeline, WritesValidJsonArray) {
+  ProcSample sample;
+  sample.ts_ns = 1500000000;
+  sample.rss_bytes = 1024;
+  sample.vm_hwm_bytes = 2048;
+  sample.user_cpu_seconds = 0.25;
+  report::JsonWriter json;
+  write_proc_timeline({sample}, json);
+  const std::string text = json.str();
+  EXPECT_TRUE(testing::JsonChecker::valid(text)) << text;
+  EXPECT_NE(text.find("\"ts_seconds\":1.5"), std::string::npos);
+  EXPECT_NE(text.find("\"rss_bytes\":1024"), std::string::npos);
+  EXPECT_NE(text.find("\"user_cpu_seconds\":0.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cbwt::obs

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/report_diff.py (run under ctest as `report_diff_unittests`).
+
+Exercises the deterministic/timing/environment split on canned
+run_report documents: counters must match exactly, span structure must
+match exactly, timings may drift (unless --timing-rtol), and the
+environment list (threads, pool gauges, /proc telemetry) may differ or
+be absent entirely.
+"""
+
+import copy
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+import report_diff  # noqa: E402
+
+
+def base_report():
+    return {
+        "name": "cbwt_core_run_report",
+        "seed": 20180901,
+        "scale": 0.02,
+        "threads": 1,
+        "fault": {"enabled": False},
+        "obs": {
+            "counters": {
+                "cbwt_classify_requests_total": 1000,
+                "cbwt_netflow_matched_total": 42,
+                "cbwt_obs_proc_samples_total": 17,
+            },
+            "gauges": {
+                "cbwt_runtime_pool_size": 4.0,
+                "cbwt_obs_proc_rss_bytes": 1e8,
+                "cbwt_runtime_channel_producer_stall_seconds": 0.25,
+            },
+            "histograms": {
+                "cbwt_geoloc_measure_seconds": {
+                    "buckets": [{"le": 0.1, "count": 3}, {"le": "+Inf", "count": 1}],
+                    "count": 4,
+                    "sum": 0.9,
+                }
+            },
+            "spans": [
+                {
+                    "name": "study/classify",
+                    "parent": "",
+                    "depth": 0,
+                    "wall_seconds": 1.5,
+                    "process_cpu_seconds": 2.5,
+                    "thread_cpu_seconds": 1.4,
+                    "items": 1000,
+                }
+            ],
+        },
+    }
+
+
+def diff(a, b, rtol=None, ignore=()):
+    import re
+
+    return report_diff.diff_reports(a, b, rtol, [re.compile(p) for p in ignore])
+
+
+class DeterministicQuantities(unittest.TestCase):
+    def test_identical_reports_agree(self):
+        self.assertEqual(diff(base_report(), base_report()), [])
+
+    def test_counter_value_mismatch_is_reported(self):
+        b = base_report()
+        b["obs"]["counters"]["cbwt_netflow_matched_total"] = 43
+        failures = diff(base_report(), b)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("cbwt_netflow_matched_total", failures[0])
+
+    def test_missing_deterministic_counter_is_reported(self):
+        b = base_report()
+        del b["obs"]["counters"]["cbwt_classify_requests_total"]
+        failures = diff(base_report(), b)
+        self.assertTrue(any("cbwt_classify_requests_total" in f for f in failures))
+
+    def test_seed_mismatch_is_reported(self):
+        b = base_report()
+        b["seed"] = 1
+        self.assertTrue(any(f.startswith("seed") for f in diff(base_report(), b)))
+
+    def test_fault_object_is_exact(self):
+        b = base_report()
+        b["fault"] = {"enabled": True, "seed": 7, "degraded": {"dns": 3}}
+        self.assertTrue(any(f.startswith("fault") for f in diff(base_report(), b)))
+
+    def test_span_items_and_order_are_exact(self):
+        b = base_report()
+        b["obs"]["spans"][0]["items"] = 999
+        self.assertTrue(any("items" in f for f in diff(base_report(), b)))
+        c = base_report()
+        c["obs"]["spans"].append(dict(c["obs"]["spans"][0], name="study/extra"))
+        self.assertTrue(any("spans/length" in f for f in diff(base_report(), c)))
+
+
+class EnvironmentQuantities(unittest.TestCase):
+    def test_threads_pool_and_proc_may_differ(self):
+        b = base_report()
+        b["threads"] = 8
+        b["obs"]["gauges"]["cbwt_runtime_pool_size"] = 8.0
+        b["obs"]["gauges"]["cbwt_obs_proc_rss_bytes"] = 2e8
+        b["obs"]["counters"]["cbwt_obs_proc_samples_total"] = 99
+        self.assertEqual(diff(base_report(), b), [])
+
+    def test_env_keys_may_be_absent_entirely(self):
+        b = base_report()
+        del b["obs"]["gauges"]["cbwt_runtime_pool_size"]
+        del b["obs"]["counters"]["cbwt_obs_proc_samples_total"]
+        self.assertEqual(diff(base_report(), b), [])
+
+    def test_extra_ignore_pattern_downgrades_a_key(self):
+        b = base_report()
+        b["obs"]["counters"]["cbwt_netflow_matched_total"] = 43
+        self.assertEqual(diff(base_report(), b, ignore=[r"cbwt_netflow_matched"]), [])
+
+
+class TimingQuantities(unittest.TestCase):
+    def test_span_timings_may_drift_by_default(self):
+        b = base_report()
+        b["obs"]["spans"][0]["wall_seconds"] = 9.0
+        b["obs"]["spans"][0]["thread_cpu_seconds"] = 0.1
+        self.assertEqual(diff(base_report(), b), [])
+
+    def test_negative_or_nonfinite_timing_is_flagged(self):
+        b = base_report()
+        b["obs"]["spans"][0]["wall_seconds"] = -1.0
+        self.assertTrue(any("wall_seconds" in f for f in diff(base_report(), b)))
+
+    def test_rtol_enforces_timing_closeness(self):
+        b = base_report()
+        b["obs"]["spans"][0]["wall_seconds"] = 3.0  # 2x drift
+        self.assertEqual(diff(base_report(), b, rtol=2.0), [])
+        self.assertTrue(any("wall_seconds" in f for f in diff(base_report(), b, rtol=0.1)))
+
+    def test_timing_histogram_count_exact_distribution_free(self):
+        b = base_report()
+        b["obs"]["histograms"]["cbwt_geoloc_measure_seconds"]["sum"] = 5.0
+        b["obs"]["histograms"]["cbwt_geoloc_measure_seconds"]["buckets"] = []
+        self.assertEqual(diff(base_report(), b), [])
+        c = base_report()
+        c["obs"]["histograms"]["cbwt_geoloc_measure_seconds"]["count"] = 5
+        self.assertTrue(any("count" in f for f in diff(base_report(), c)))
+
+
+class CommandLine(unittest.TestCase):
+    def run_main(self, a, b, *argv):
+        with tempfile.TemporaryDirectory() as tmp:
+            path_a = os.path.join(tmp, "a.json")
+            path_b = os.path.join(tmp, "b.json")
+            with open(path_a, "w", encoding="utf-8") as f:
+                json.dump(a, f)
+            with open(path_b, "w", encoding="utf-8") as f:
+                json.dump(b, f)
+            return report_diff.main([path_a, path_b, *argv])
+
+    def test_exit_zero_on_agreement(self):
+        b = copy.deepcopy(base_report())
+        b["threads"] = 4
+        self.assertEqual(self.run_main(base_report(), b), 0)
+
+    def test_exit_one_on_mismatch(self):
+        b = base_report()
+        b["obs"]["counters"]["cbwt_netflow_matched_total"] = 0
+        self.assertEqual(self.run_main(base_report(), b), 1)
+
+    def test_exit_two_on_unreadable_input(self):
+        self.assertEqual(report_diff.main(["/nonexistent/a.json", "/nonexistent/b.json"]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -13,6 +13,7 @@
 #include "core/study.h"
 #include "netflow/profile.h"
 #include "obs/metrics.h"
+#include "obs/trace_buffer.h"
 #include "runtime/channel.h"
 #include "runtime/thread_pool.h"
 
@@ -375,14 +376,19 @@ core::StudyConfig sweep_config(unsigned threads) {
 class StudyDeterminism : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(StudyDeterminism, MatchesSerialReference) {
-  // Both studies run fully instrumented: attaching a registry must not
-  // perturb any result (instrumentation is observational only).
+  // Both studies run fully instrumented: attaching a registry — and the
+  // flight recorder, whose worker-side emits ride every sharded stage —
+  // must not perturb any result (instrumentation is observational only).
   obs::Registry ref_registry;
   obs::Registry got_registry;
+  obs::TraceBuffer ref_trace;
+  obs::TraceBuffer got_trace;
   auto ref_config = sweep_config(1);
   ref_config.registry = &ref_registry;
+  ref_config.trace = &ref_trace;
   auto got_config = sweep_config(GetParam());
   got_config.registry = &got_registry;
+  got_config.trace = &got_trace;
   core::Study reference(ref_config);
   core::Study candidate(got_config);
 
@@ -439,6 +445,16 @@ TEST_P(StudyDeterminism, MatchesSerialReference) {
   } else {
     // Serial studies never touch a channel.
     EXPECT_EQ(got_registry.counter_value("cbwt_runtime_channel_pushed_total"), 0u);
+  }
+
+  // The armed recorder saw the run: spans emitted begin/end events, and
+  // a threaded candidate traced from at least two distinct threads
+  // (main + pool workers).
+  std::size_t got_events = 0;
+  for (const auto& thread : got_trace.snapshot()) got_events += thread.events.size();
+  EXPECT_GT(got_events, 0u);
+  if (GetParam() > 1) {
+    EXPECT_GE(got_trace.thread_count(), 2u);
   }
 }
 

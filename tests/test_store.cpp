@@ -14,6 +14,7 @@
 #include "netflow/profile.h"
 #include "netflow/snapshot_store.h"
 #include "netflow/wire.h"
+#include "obs/metrics.h"
 #include "pdns/checkpoint.h"
 #include "store/blob_file.h"
 #include "store/bytes.h"
@@ -190,6 +191,50 @@ TEST(StoreRecordFile, WriterDtorFinalizes) {
   const store::RecordFileReader<netflow::WireCodec> reader(path);
   ASSERT_EQ(reader.size(), 1u);
   EXPECT_EQ(reader.at(0), sample_record(7));
+}
+
+TEST(StoreRecordFile, IoMetricsCountWritesReadsAndChecksumWork) {
+  const std::string path = temp_path("metrics.rec");
+  constexpr std::uint64_t kCount = 1000;
+  const std::uint64_t payload = kCount * netflow::kWireRecordSize;
+  const std::uint64_t payload_pages = (payload + 4095) / 4096;
+
+  obs::Registry registry;
+  {
+    store::RecordFileWriter<netflow::WireCodec> writer(path, &registry);
+    for (std::uint32_t i = 0; i < kCount; ++i) writer.append(sample_record(i));
+    // Counters accumulate off the hot path: nothing before finalize.
+    EXPECT_EQ(registry.counter_value("cbwt_store_records_written_total"), 0u);
+    writer.finalize();
+    writer.finalize();  // idempotent: no double count
+  }
+  EXPECT_EQ(registry.counter_value("cbwt_store_records_written_total"), kCount);
+  EXPECT_EQ(registry.counter_value("cbwt_store_bytes_written_total"),
+            store::kSuperblockSize + payload);
+  EXPECT_EQ(registry.counter_value("cbwt_store_files_finalized_total"), 1u);
+  // Small payload: one 8 MiB checksum window, every payload page dropped.
+  EXPECT_EQ(registry.counter_value("cbwt_store_checksum_windows_total"), 1u);
+  EXPECT_EQ(registry.counter_value("cbwt_store_pages_dropped_total"), payload_pages);
+
+  const store::RecordFileReader<netflow::WireCodec> reader(path, &registry);
+  EXPECT_EQ(registry.counter_value("cbwt_store_files_opened_total"), 1u);
+  // Open-time validation re-checksums the payload.
+  EXPECT_EQ(registry.counter_value("cbwt_store_checksum_windows_total"), 2u);
+
+  std::uint64_t chunk_pages = 0;
+  reader.for_each_chunk(256, [&](std::span<const netflow::RawRecord> chunk,
+                                 std::uint64_t /*base*/) {
+    chunk_pages += (chunk.size() * netflow::kWireRecordSize + 4095) / 4096;
+  });
+  EXPECT_EQ(registry.counter_value("cbwt_store_records_read_total"), kCount);
+  EXPECT_EQ(registry.counter_value("cbwt_store_bytes_read_total"), payload);
+  EXPECT_EQ(registry.counter_value("cbwt_store_pages_dropped_total"),
+            2 * payload_pages + chunk_pages);
+
+  // No registry -> the metric paths are null-check no-ops.
+  const store::RecordFileReader<netflow::WireCodec> silent(path);
+  silent.for_each_chunk(4096, [](auto, std::uint64_t) {});
+  EXPECT_EQ(registry.counter_value("cbwt_store_files_opened_total"), 1u);
 }
 
 TEST(StoreRecordFile, RejectsCorruptionAndMismatch) {

@@ -1,0 +1,192 @@
+#include "obs/trace_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_check.h"
+#include "obs/metrics.h"
+
+namespace cbwt::obs {
+namespace {
+
+const TraceBuffer::ThreadTrace* find_thread(
+    const std::vector<TraceBuffer::ThreadTrace>& threads, const std::string& label) {
+  for (const auto& thread : threads) {
+    if (thread.label == label) return &thread;
+  }
+  return nullptr;
+}
+
+// --- basic recording --------------------------------------------------
+
+TEST(TraceBuffer, RecordsEventsInOrderWithPhasesAndArgs) {
+  TraceBuffer trace(16);
+  trace.emit(TracePhase::kBegin, "stage/a", 1);
+  trace.emit(TracePhase::kInstant, "tick", 2);
+  trace.emit(TracePhase::kEnd, "stage/a", 3);
+
+  const auto threads = trace.snapshot();
+  ASSERT_EQ(threads.size(), 1u);
+  const auto& main = threads.front();
+  EXPECT_EQ(main.label, "main");
+  EXPECT_EQ(main.dropped, 0u);
+  ASSERT_EQ(main.events.size(), 3u);
+  EXPECT_EQ(main.events[0].phase, TracePhase::kBegin);
+  EXPECT_EQ(main.events[0].name, "stage/a");
+  EXPECT_EQ(main.events[0].arg, 1u);
+  EXPECT_EQ(main.events[1].phase, TracePhase::kInstant);
+  EXPECT_EQ(main.events[1].name, "tick");
+  EXPECT_EQ(main.events[2].phase, TracePhase::kEnd);
+  EXPECT_EQ(main.events[2].arg, 3u);
+  // Timestamps are monotone per thread.
+  EXPECT_LE(main.events[0].ts_ns, main.events[1].ts_ns);
+  EXPECT_LE(main.events[1].ts_ns, main.events[2].ts_ns);
+}
+
+TEST(TraceBuffer, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TraceBuffer(5).capacity(), 8u);
+  EXPECT_EQ(TraceBuffer(8).capacity(), 8u);
+  EXPECT_EQ(TraceBuffer(1).capacity(), 2u);  // floor of 2
+}
+
+TEST(TraceBuffer, LongNamesAreTruncatedNotRejected) {
+  TraceBuffer trace(4);
+  const std::string longname(200, 'x');
+  trace.emit(TracePhase::kInstant, longname);
+  const auto threads = trace.snapshot();
+  ASSERT_EQ(threads.front().events.size(), 1u);
+  const std::string& recorded = threads.front().events.front().name;
+  EXPECT_EQ(recorded.size(), kTraceNameBytes - 1);
+  EXPECT_EQ(recorded, longname.substr(0, kTraceNameBytes - 1));
+}
+
+// --- wraparound / overflow --------------------------------------------
+
+TEST(TraceBuffer, WraparoundKeepsNewestAndCountsDropped) {
+  TraceBuffer trace(8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    trace.emit(TracePhase::kInstant, "event", i);
+  }
+  const auto threads = trace.snapshot();
+  ASSERT_EQ(threads.size(), 1u);
+  const auto& main = threads.front();
+  ASSERT_EQ(main.events.size(), 8u);
+  EXPECT_EQ(main.dropped, 12u);
+  EXPECT_EQ(trace.total_dropped(), 12u);
+  // The survivors are exactly the newest eight, oldest first.
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(main.events[i].arg, 12 + i);
+  }
+}
+
+// --- multi-thread rings -----------------------------------------------
+
+TEST(TraceBuffer, EachThreadGetsItsOwnRing) {
+  TraceBuffer trace(64);
+  trace.emit(TracePhase::kInstant, "from-main");
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&trace, t] {
+      for (int i = 0; i < 10; ++i) {
+        trace.emit(TracePhase::kInstant, "from-worker", static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  const auto threads = trace.snapshot();
+  EXPECT_EQ(threads.size(), 4u);
+  EXPECT_EQ(trace.thread_count(), 4u);
+  const auto* main = find_thread(threads, "main");
+  ASSERT_NE(main, nullptr);
+  EXPECT_EQ(main->events.size(), 1u);
+  std::size_t worker_events = 0;
+  for (const auto& thread : threads) {
+    if (thread.label != "main") worker_events += thread.events.size();
+  }
+  EXPECT_EQ(worker_events, 30u);
+}
+
+TEST(TraceBuffer, SnapshotWhileEmittingIsSafeAndUntorn) {
+  TraceBuffer trace(32);
+  std::atomic<bool> stop{false};
+  std::thread emitter([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      trace.emit(TracePhase::kInstant, "spin", i++);
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    for (const auto& thread : trace.snapshot()) {
+      for (const auto& event : thread.events) {
+        EXPECT_TRUE(event.name == "spin" || event.name == "main-probe") << event.name;
+      }
+    }
+    trace.emit(TracePhase::kInstant, "main-probe");
+  }
+  stop.store(true, std::memory_order_relaxed);
+  emitter.join();
+}
+
+// --- ScopedTrace ------------------------------------------------------
+
+TEST(ScopedTrace, EmitsBeginEndPairAgainstArmedRegistry) {
+  Registry registry;
+  TraceBuffer trace(16);
+  registry.set_trace_buffer(&trace);
+  {
+    ScopedTrace scoped(&registry, "scoped/stage", 7);
+  }
+  const auto threads = trace.snapshot();
+  ASSERT_EQ(threads.size(), 1u);
+  ASSERT_EQ(threads.front().events.size(), 2u);
+  EXPECT_EQ(threads.front().events[0].phase, TracePhase::kBegin);
+  EXPECT_EQ(threads.front().events[0].name, "scoped/stage");
+  EXPECT_EQ(threads.front().events[0].arg, 7u);
+  EXPECT_EQ(threads.front().events[1].phase, TracePhase::kEnd);
+}
+
+TEST(ScopedTrace, NullRegistryAndUnarmedRegistryAreNoOps) {
+  { ScopedTrace scoped(nullptr, "nothing"); }
+  Registry unarmed;
+  { ScopedTrace scoped(&unarmed, "nothing"); }
+}
+
+// --- Chrome trace export ----------------------------------------------
+
+TEST(ChromeTrace, ExportIsValidJsonWithMetadataAndEvents) {
+  TraceBuffer trace(16);
+  trace.emit(TracePhase::kBegin, "stage/export", 5);
+  trace.emit(TracePhase::kInstant, "marker");
+  trace.emit(TracePhase::kEnd, "stage/export");
+  std::thread worker([&trace] { trace.emit(TracePhase::kInstant, "worker-side"); });
+  worker.join();
+
+  const std::string text = to_chrome_trace(trace);
+  EXPECT_TRUE(testing::JsonChecker::valid(text)) << text;
+  EXPECT_NE(text.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  // One thread_name metadata record per ring.
+  EXPECT_NE(text.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"main\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"E\""), std::string::npos);
+  // Instants carry the mandatory scope field.
+  EXPECT_NE(text.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(text.find("\"stage/export\""), std::string::npos);
+  EXPECT_NE(text.find("\"worker-side\""), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyBufferStillValidDocument) {
+  TraceBuffer trace(4);
+  const std::string text = to_chrome_trace(trace);
+  EXPECT_TRUE(testing::JsonChecker::valid(text)) << text;
+  EXPECT_NE(text.find("\"droppedEvents\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cbwt::obs

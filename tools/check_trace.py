@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""check_trace: validate a cbwt flight-recorder Chrome trace JSON file.
+
+Usage:
+  check_trace.py TRACE.json [--min-threads N] [--min-events N]
+
+Checks that the exported document is something Perfetto / chrome://tracing
+will actually load, and that the recorder really captured the run:
+
+  * top level is an object with a traceEvents array
+  * every event has ph/pid/tid/name; B/E/i phases only (plus M metadata)
+  * instant events carry the mandatory scope field ("s")
+  * per-thread timestamps are present and non-negative
+  * at least --min-threads distinct threads emitted real (non-metadata)
+    events — the CI gate proving worker-side instrumentation fired
+  * no thread ends an E without a matching B (enforced only when
+    droppedEvents == 0, since ring wraparound can chop the B half of a
+    pair); trailing open B events are fine — a live snapshot taken
+    mid-run legitimately contains spans that have not finished yet
+
+Exit status: 0 OK, 1 validation failure, 2 usage/parse error.
+Stdlib-only on purpose.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def fail(message: str) -> int:
+    print(f"check_trace: {message}", file=sys.stderr)
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Validate a cbwt Chrome trace JSON.")
+    parser.add_argument("trace")
+    parser.add_argument("--min-threads", type=int, default=1, metavar="N",
+                        help="distinct threads that must have emitted events")
+    parser.add_argument("--min-events", type=int, default=1, metavar="N",
+                        help="total non-metadata events required")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_trace: cannot read {args.trace}: {err}", file=sys.stderr)
+        return 2
+
+    if not isinstance(document, dict) or not isinstance(document.get("traceEvents"), list):
+        return fail("top level must be an object with a traceEvents array")
+
+    events = document["traceEvents"]
+    dropped = document.get("droppedEvents", 0)
+    threads_with_events: set[int] = set()
+    labels: dict[int, str] = {}
+    open_begins: dict[int, int] = {}
+    total = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            return fail(f"traceEvents[{i}] is not an object")
+        phase = event.get("ph")
+        if phase == "M":
+            if event.get("name") == "thread_name":
+                labels[event.get("tid", -1)] = event.get("args", {}).get("name", "")
+            continue
+        if phase not in ("B", "E", "i"):
+            return fail(f"traceEvents[{i}]: unexpected phase {phase!r}")
+        for key in ("pid", "tid", "ts", "name"):
+            if key not in event:
+                return fail(f"traceEvents[{i}]: missing {key!r}")
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            return fail(f"traceEvents[{i}]: bad ts {event['ts']!r}")
+        if phase == "i" and event.get("s") not in ("t", "p", "g"):
+            return fail(f"traceEvents[{i}]: instant event without scope field")
+        tid = event["tid"]
+        threads_with_events.add(tid)
+        total += 1
+        if phase == "B":
+            open_begins[tid] = open_begins.get(tid, 0) + 1
+        elif phase == "E":
+            open_begins[tid] = open_begins.get(tid, 0) - 1
+            if open_begins[tid] < 0 and dropped == 0:
+                return fail(f"traceEvents[{i}]: E without matching B on tid {tid}")
+
+    for tid in threads_with_events:
+        if tid not in labels:
+            return fail(f"tid {tid} has events but no thread_name metadata")
+    if total < args.min_events:
+        return fail(f"only {total} events recorded (need >= {args.min_events})")
+    if len(threads_with_events) < args.min_threads:
+        return fail(f"events from only {len(threads_with_events)} thread(s) "
+                    f"(need >= {args.min_threads}): "
+                    f"{sorted(labels[t] for t in threads_with_events)}")
+
+    named = ", ".join(sorted(labels[t] for t in threads_with_events))
+    print(f"check_trace: {args.trace} OK — {total} events across "
+          f"{len(threads_with_events)} threads ({named}); dropped={dropped}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# inspector_smoke.sh BINARY_DIR [WORK_DIR]
+#
+# End-to-end smoke of the embedded live inspector: launches a
+# store-backed run with --inspect-port 0, discovers the ephemeral port
+# from the "inspector listening on 127.0.0.1:PORT" line, then fetches
+# all four endpoints (/healthz, /metrics, /report, /trace) from the
+# live process and sanity-checks each payload. Fails loudly if the
+# server never comes up, any endpoint errors, or the run itself fails.
+set -euo pipefail
+
+binary_dir=${1:?usage: inspector_smoke.sh BINARY_DIR [WORK_DIR]}
+work_dir=${2:-inspector-smoke}
+
+runner="$binary_dir/examples/store_scale_run"
+[[ -x "$runner" ]] || { echo "inspector_smoke: $runner not built" >&2; exit 1; }
+
+mkdir -p "$work_dir"
+log="$work_dir/run.log"
+
+# Modest scale: the linger window, not the run length, is what keeps
+# the server alive for the probes.
+"$runner" \
+  --store-dir "$work_dir/store" \
+  --netflow-scale 1e-3 --world-scale 0.01 --threads 2 \
+  --inspect-port 0 --linger-s 45 \
+  --report "$work_dir/report.json" --trace "$work_dir/trace.json" \
+  >"$log" 2>&1 &
+run_pid=$!
+trap 'kill "$run_pid" 2>/dev/null || true' EXIT
+
+# The port line is printed (and flushed) right after the Study starts.
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/^inspector listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$log")
+  [[ -n "$port" ]] && break
+  if ! kill -0 "$run_pid" 2>/dev/null; then
+    echo "inspector_smoke: run exited before announcing a port" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+[[ -n "$port" ]] || { echo "inspector_smoke: no port line in $log" >&2; cat "$log" >&2; exit 1; }
+echo "inspector_smoke: probing live inspector on port $port"
+
+fetch() {
+  local path=$1 out=$2
+  curl --silent --show-error --fail --max-time 30 \
+    "http://127.0.0.1:$port$path" -o "$out"
+}
+
+fetch /healthz "$work_dir/healthz.txt"
+grep -q '^ok$' "$work_dir/healthz.txt"
+
+fetch /metrics "$work_dir/metrics.prom"
+grep -q '^# TYPE cbwt_' "$work_dir/metrics.prom"
+grep -q '^cbwt_obs_proc_rss_bytes ' "$work_dir/metrics.prom"
+
+fetch /report "$work_dir/report_live.json"
+python3 -m json.tool "$work_dir/report_live.json" >/dev/null
+grep -q '"cbwt_core_run_report"' "$work_dir/report_live.json"
+
+fetch /trace "$work_dir/trace_live.json"
+python3 tools/check_trace.py "$work_dir/trace_live.json" --min-threads 1
+
+echo "inspector_smoke: all four endpoints served; waiting for the run"
+wait "$run_pid"
+trap - EXIT
+
+# The run's own exports must also be intact (and, run to completion
+# with threads=2, the trace must show real worker-side events).
+python3 -m json.tool "$work_dir/report.json" >/dev/null
+python3 tools/check_trace.py "$work_dir/trace.json" --min-threads 2
+echo "inspector_smoke: OK"

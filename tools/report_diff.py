@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""report_diff: structural diff of two cbwt run_report JSON documents.
+
+Usage:
+  report_diff.py A.json B.json [--timing-rtol R] [--ignore REGEX]...
+
+The determinism contract says two runs with the same (seed, scale) must
+agree on every *deterministic* quantity — counters, span structure, span
+item counts, fault degradation — at any thread count, with or without
+the flight recorder armed. Timings and process telemetry are explicitly
+environment-dependent. This tool encodes exactly that split:
+
+  * exact   -- top-level seed/scale/name, the fault object, deterministic
+               counters/gauges/histograms (same key set, same values),
+               span sequence (name, parent, depth, items)
+  * timing  -- span wall/cpu seconds, *_seconds metrics, /proc telemetry,
+               pool/channel runtime metrics: checked for presence and
+               sanity (finite, >= 0); values compared only when
+               --timing-rtol is given
+  * ignored -- keys matching any --ignore regex (and the built-in
+               environment list below): allowed to differ or be missing
+
+Exit status: 0 when the reports agree, 1 on any mismatch (each printed
+as `path: A-value != B-value`), 2 on usage/parse errors.
+
+Stdlib-only on purpose: CI and the determinism sweep run this wherever
+python3 runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import re
+import sys
+
+# Environment-dependent metric keys: these legitimately differ between
+# two bit-identical runs (different machines, thread counts, or whether
+# the telemetry sampler fired between exports), so they are exempt from
+# the exact-match rule. Kept deliberately narrow: a new cbwt_* counter
+# is deterministic unless listed here.
+ENV_PATTERNS = [
+    r"^threads$",                     # sweep compares across thread counts
+    r"^cbwt_runtime_pool_",           # pool size/queue snapshot
+    r"^cbwt_runtime_channel_",        # pushed/stalls depend on scheduling
+    r"^cbwt_obs_proc_",               # /proc telemetry (RSS, CPU, io)
+    r"_seconds$",                     # any timing metric by naming rule
+]
+
+TIMING_SPAN_FIELDS = ("wall_seconds", "process_cpu_seconds", "thread_cpu_seconds")
+
+
+def is_env(path: str, extra: list[re.Pattern[str]]) -> bool:
+    leaf = path.rsplit("/", 1)[-1]
+    for pattern in ENV_PATTERNS:
+        if re.search(pattern, leaf):
+            return True
+    return any(p.search(path) for p in extra)
+
+
+class Diff:
+    def __init__(self) -> None:
+        self.failures: list[str] = []
+
+    def fail(self, path: str, a: object, b: object) -> None:
+        self.failures.append(f"{path}: {a!r} != {b!r}")
+
+    def check_timing(self, path: str, a: object, b: object, rtol: float | None) -> None:
+        """Timing values: sane in both reports; close only if rtol given."""
+        for side, value in (("A", a), ("B", b)):
+            if not isinstance(value, (int, float)) or not math.isfinite(value) or value < 0:
+                self.failures.append(f"{path} ({side}): bad timing value {value!r}")
+                return
+        if rtol is not None:
+            scale = max(abs(float(a)), abs(float(b)), 1e-9)
+            if abs(float(a) - float(b)) / scale > rtol:
+                self.fail(path, a, b)
+
+    def check_exact(self, path: str, a: object, b: object) -> None:
+        if a != b:
+            self.fail(path, a, b)
+
+
+def diff_metric_map(diff: Diff, path: str, a: dict, b: dict,
+                    rtol: float | None, extra: list[re.Pattern[str]]) -> None:
+    """Counters/gauges: deterministic keys must match exactly (both the
+    key set and the values); environment keys may differ or be absent."""
+    for key in sorted(set(a) | set(b)):
+        key_path = f"{path}/{key}"
+        if is_env(key_path, extra):
+            if key in a and key in b:
+                diff.check_timing(key_path, a[key], b[key], rtol)
+            continue
+        if key not in a or key not in b:
+            diff.fail(key_path, a.get(key, "<missing>"), b.get(key, "<missing>"))
+            continue
+        diff.check_exact(key_path, a[key], b[key])
+
+
+def diff_histograms(diff: Diff, a: dict, b: dict,
+                    rtol: float | None, extra: list[re.Pattern[str]]) -> None:
+    for key in sorted(set(a) | set(b)):
+        key_path = f"obs/histograms/{key}"
+        env = is_env(key_path, extra)
+        if key not in a or key not in b:
+            if not env:
+                diff.fail(key_path, "<present>" if key in a else "<missing>",
+                          "<present>" if key in b else "<missing>")
+            continue
+        if env:
+            # Timing histogram: the observation *count* is deterministic
+            # (one sample per measured operation); the distribution isn't.
+            diff.check_exact(f"{key_path}/count", a[key].get("count"), b[key].get("count"))
+            diff.check_timing(f"{key_path}/sum", a[key].get("sum", 0), b[key].get("sum", 0), rtol)
+        else:
+            diff.check_exact(key_path, a[key], b[key])
+
+
+def diff_spans(diff: Diff, a: list, b: list, rtol: float | None) -> None:
+    if len(a) != len(b):
+        diff.fail("obs/spans/length", len(a), len(b))
+        return
+    for i, (sa, sb) in enumerate(zip(a, b)):
+        for field in ("name", "parent", "depth", "items"):
+            diff.check_exact(f"obs/spans[{i}]/{field}", sa.get(field), sb.get(field))
+        for field in TIMING_SPAN_FIELDS:
+            diff.check_timing(f"obs/spans[{i}]/{field}", sa.get(field, 0), sb.get(field, 0), rtol)
+
+
+def diff_reports(report_a: dict, report_b: dict, rtol: float | None,
+                 extra: list[re.Pattern[str]]) -> list[str]:
+    diff = Diff()
+    for key in ("name", "seed", "scale", "fault"):
+        if not is_env(key, extra):
+            diff.check_exact(key, report_a.get(key), report_b.get(key))
+    if "threads" not in (report_a.keys() & report_b.keys()):
+        diff.fail("threads", report_a.get("threads", "<missing>"),
+                  report_b.get("threads", "<missing>"))
+
+    obs_a = report_a.get("obs", {})
+    obs_b = report_b.get("obs", {})
+    diff_metric_map(diff, "obs/counters", obs_a.get("counters", {}),
+                    obs_b.get("counters", {}), rtol, extra)
+    diff_metric_map(diff, "obs/gauges", obs_a.get("gauges", {}),
+                    obs_b.get("gauges", {}), rtol, extra)
+    diff_histograms(diff, obs_a.get("histograms", {}), obs_b.get("histograms", {}),
+                    rtol, extra)
+    diff_spans(diff, obs_a.get("spans", []), obs_b.get("spans", []), rtol)
+    return diff.failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Structural diff of two cbwt run_report JSON files.")
+    parser.add_argument("report_a")
+    parser.add_argument("report_b")
+    parser.add_argument("--timing-rtol", type=float, default=None, metavar="R",
+                        help="also require timings to agree within relative "
+                             "tolerance R (default: structure/sanity only)")
+    parser.add_argument("--ignore", action="append", default=[], metavar="REGEX",
+                        help="treat paths matching REGEX as environment-"
+                             "dependent (repeatable)")
+    args = parser.parse_args(argv)
+
+    try:
+        extra = [re.compile(p) for p in args.ignore]
+    except re.error as err:
+        print(f"report_diff: bad --ignore regex: {err}", file=sys.stderr)
+        return 2
+    reports = []
+    for path in (args.report_a, args.report_b):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                reports.append(json.load(handle))
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"report_diff: cannot read {path}: {err}", file=sys.stderr)
+            return 2
+
+    failures = diff_reports(reports[0], reports[1], args.timing_rtol, extra)
+    if failures:
+        print(f"report_diff: {len(failures)} mismatch(es) between "
+              f"{args.report_a} and {args.report_b}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"report_diff: {args.report_a} and {args.report_b} agree "
+          f"on all deterministic quantities")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
