@@ -159,6 +159,12 @@ int main(int argc, char** argv) {
               static_cast<std::uint64_t>(run.collection.matched_records));
   std::printf("  tracking flows     %zu\n", run.flows.size());
   std::printf("  store dir bytes    %" PRIu64 "\n", directory_bytes(store_dir));
+  // The out-of-core join's spill volume and fan-out (also in the JSON
+  // report as cbwt_netflow_join_* counters).
+  std::printf("  join partitions    %" PRIu64 "\n",
+              registry.counter_value("cbwt_netflow_join_partitions_total"));
+  std::printf("  join spill bytes   %" PRIu64 "\n",
+              registry.counter_value("cbwt_netflow_join_spill_bytes_total"));
   std::fflush(stdout);
 
   if (linger_s > 0) {

@@ -6,7 +6,9 @@
 #include <unordered_set>
 
 #include "browser/dataset_store.h"
+#include "netflow/join.h"
 #include "netflow/snapshot_store.h"
+#include "store/dataset.h"
 #include "obs/export.h"
 #include "obs/runtime_metrics.h"
 #include "obs/trace.h"
@@ -317,10 +319,20 @@ Study::IspRun Study::run_isp_snapshot(const netflow::IspProfile& isp,
         built_world, dns, isp, snapshot, config_.netflow, seed, workers, path,
         config_.registry, fault_plan());
     run.exported_records = counts.records;
-    const netflow::SnapshotReader reader(path, config_.registry);
-    run.collection =
-        netflow::collect_store(reader, index, isp, config_.storage.chunk_records,
-                               workers, config_.registry, fault_plan());
+    // The collect leg is the out-of-core radix join: partition the
+    // snapshot into compressed flow pages beside the record file, probe
+    // against per-partition tracker tables. Bit-identical to the
+    // in-memory collect_sharded branch below (the executable spec).
+    netflow::JoinConfig join_config;
+    join_config.spill_directory =
+        config_.storage.directory + "/join_" + stem + "_day" +
+        std::to_string(snapshot.day);
+    join_config.partitions = config_.storage.join_partitions;
+    join_config.chunk_records = config_.storage.chunk_records;
+    run.collection = netflow::join_flows(
+        store::RecordSource<netflow::WireCodec>(
+            netflow::SnapshotReader(path, config_.registry)),
+        index, isp, join_config, workers, config_.registry, fault_plan());
   } else {
     const auto exported = netflow::generate_snapshot_sharded(
         built_world, dns, isp, snapshot, config_.netflow, seed, workers,

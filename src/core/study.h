@@ -56,6 +56,10 @@ struct StorageConfig {
   std::string resume_from;
   /// Records per streamed chunk on store-backed paths.
   std::size_t chunk_records = store::kDefaultChunkRecords;
+  /// Radix fan-out of the out-of-core NetFlow join (netflow/join.h)
+  /// that StoreBacked run_isp_snapshot uses in place of the in-memory
+  /// collect walk. Never affects results, only spill-file shape.
+  std::size_t join_partitions = 16;
 };
 
 struct StudyConfig {

@@ -38,6 +38,12 @@ class TrackerIpIndex {
   [[nodiscard]] bool contains(const net::IpAddress& ip) const noexcept;
   [[nodiscard]] std::size_t size() const noexcept { return ips_.size(); }
 
+  /// The raw IP set, for consumers that build their own lookup
+  /// structure over it (the out-of-core join's dense partition tables).
+  [[nodiscard]] const std::unordered_set<net::IpAddress>& ips() const noexcept {
+    return ips_;
+  }
+
  private:
   std::unordered_set<net::IpAddress> ips_;
 };

@@ -1,0 +1,346 @@
+#include "netflow/join.h"
+
+#include <bit>
+#include <filesystem>
+#include <vector>
+
+#include "netflow/flow_page.h"
+#include "obs/runtime_metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_buffer.h"
+#include "runtime/parallel.h"
+#include "store/checkpoint.h"
+#include "store/record_file.h"
+#include "store/superblock.h"
+#include "util/contract.h"
+#include "util/prng.h"
+
+namespace cbwt::netflow {
+
+// The duck-typed page codec promises to mirror the store's kind
+// registry; this is the translation unit where the two headers meet,
+// so it pins the contract (same discipline as snapshot_store.cpp).
+static_assert(FlowPageCodec::kKind ==
+                  static_cast<std::uint16_t>(store::RecordKind::NetflowPage),
+              "FlowPageCodec::kKind must track store::RecordKind::NetflowPage");
+static_assert(FlowPageCodec::kRecordSize == kFlowPageBytes);
+
+namespace {
+
+/// Stage label of the probe pass's per-shard RNG streams (unused by the
+/// probe itself, but part of the sharded_reduce contract).
+constexpr std::uint64_t kJoinStageLabel = 0x101AD;
+
+/// Manifest schema of the pass-1 spill set.
+constexpr std::string_view kManifestKind = "netflow-join-spill";
+
+/// Dense open-addressing membership set over one partition's tracker
+/// IPs: power-of-two capacity at most half full, linear probing, empty
+/// slots tagged by hash 0 (real hash 0 is remapped). contains() is
+/// allocation-free and branch-cheap — the probe loop's only lookup.
+class DenseIpSet {
+ public:
+  explicit DenseIpSet(const std::vector<net::IpAddress>& ips) {
+    if (ips.empty()) return;
+    std::size_t capacity = 2;
+    while (capacity < ips.size() * 2) capacity *= 2;
+    slots_.resize(capacity);
+    mask_ = capacity - 1;
+    for (const auto& ip : ips) insert(ip);
+  }
+
+  [[nodiscard]] bool contains(const net::IpAddress& ip) const noexcept {
+    if (slots_.empty()) return false;
+    const std::uint64_t hash = slot_hash(ip);
+    for (std::size_t index = hash & mask_;; index = (index + 1) & mask_) {
+      const Slot& slot = slots_[index];
+      if (slot.hash == 0) return false;
+      if (slot.hash == hash && slot.ip == ip) return true;
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;  ///< 0 = empty
+    net::IpAddress ip;
+  };
+
+  [[nodiscard]] static std::uint64_t slot_hash(const net::IpAddress& ip) noexcept {
+    const std::uint64_t hash = ip.hash();
+    return hash == 0 ? 1 : hash;
+  }
+
+  void insert(const net::IpAddress& ip) {
+    const std::uint64_t hash = slot_hash(ip);
+    for (std::size_t index = hash & mask_;; index = (index + 1) & mask_) {
+      Slot& slot = slots_[index];
+      if (slot.hash == 0) {
+        slot.hash = hash;
+        slot.ip = ip;
+        return;
+      }
+      if (slot.hash == hash && slot.ip == ip) return;  // duplicate input
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+};
+
+/// Per-partition spill file path. Plain indices, not zero-padded: the
+/// manifest, not a directory sort, is the source of truth.
+[[nodiscard]] std::string partition_path(const JoinConfig& config, std::size_t p) {
+  return config.spill_directory + "/part_" + std::to_string(p) + ".rec";
+}
+
+/// Folds everything the drop set depends on — plan seed, site hash, all
+/// four rates — into one value. Two runs whose signatures match drop
+/// exactly the same absolute record indices, so a spill set written
+/// under one plan is reusable under the other.
+[[nodiscard]] std::uint64_t fault_signature(const fault::FaultPlan* plan) {
+  if (plan == nullptr) return 0;
+  const fault::Site site = plan->site(fault::sites::kNetflowExport);
+  if (!site.rates.any()) return 0;
+  std::uint64_t sig = util::mix64(plan->seed ^ 0xFA017901AULL);
+  sig = util::mix64(sig ^ site.hash);
+  sig = util::mix64(sig ^ std::bit_cast<std::uint64_t>(site.rates.timeout));
+  sig = util::mix64(sig ^ std::bit_cast<std::uint64_t>(site.rates.error));
+  sig = util::mix64(sig ^ std::bit_cast<std::uint64_t>(site.rates.slow));
+  sig = util::mix64(sig ^ std::bit_cast<std::uint64_t>(site.rates.stale));
+  return sig;
+}
+
+/// Tries to adopt an existing spill set: the manifest must match this
+/// input's record count and superblock checksum, the partition fan-out,
+/// the page format version and the fault signature, and every partition
+/// file must open clean (superblock + checksum validation). Any
+/// mismatch, missing file or corruption falls back to re-partitioning —
+/// resume is an optimization, never a correctness risk.
+[[nodiscard]] bool try_resume(const std::string& manifest_path, const JoinConfig& config,
+                              std::uint64_t input_records, std::uint64_t input_checksum,
+                              std::uint64_t fault_sig, std::uint64_t& dropped,
+                              JoinStats& stats) {
+  try {
+    const auto manifest = store::read_manifest(manifest_path);
+    if (manifest.get("kind") != kManifestKind) return false;
+    if (manifest.get_u64("page_version") != std::uint64_t{kFlowPageVersion}) return false;
+    if (manifest.get_u64("partitions") != std::uint64_t{config.partitions}) return false;
+    if (manifest.get_u64("input_records") != input_records) return false;
+    if (manifest.get_u64("input_checksum") != input_checksum) return false;
+    if (manifest.get_u64("fault_signature") != fault_sig) return false;
+    const auto manifest_dropped = manifest.get_u64("dropped_records");
+    const auto spill_records = manifest.get_u64("spill_records");
+    const auto spill_pages = manifest.get_u64("spill_pages");
+    const auto spill_bytes = manifest.get_u64("spill_bytes");
+    if (!manifest_dropped || !spill_records || !spill_pages || !spill_bytes) {
+      return false;
+    }
+    std::uint64_t pages = 0;
+    for (std::size_t p = 0; p < config.partitions; ++p) {
+      pages += store::RecordFileReader<FlowPageCodec>(partition_path(config, p)).size();
+    }
+    if (pages != *spill_pages) return false;
+    dropped = *manifest_dropped;
+    stats.spill_records = *spill_records;
+    stats.spill_pages = *spill_pages;
+    stats.spill_bytes = *spill_bytes;
+    stats.resumed = true;
+    return true;
+  } catch (const store::StoreError&) {
+    return false;
+  }
+}
+
+/// Pass 1: streams the input in bounded chunks, applies the export-drop
+/// decisions at the absolute record index (so the drop set equals the
+/// in-memory collector's, whatever happens downstream), and routes
+/// every surviving record by destination-IP hash into its partition's
+/// open flow page. Runs on the calling thread: page packing and spill
+/// bytes are then a pure function of the record sequence, which keeps
+/// the spill set — and the resume manifest — identical at any pool
+/// size.
+void partition_spill(const store::RecordSource<WireCodec>& source,
+                     const JoinConfig& config, const fault::FaultPlan* fault_plan,
+                     obs::Registry* registry, std::uint64_t& dropped,
+                     JoinStats& stats) {
+  obs::ScopedSpan span(registry, "netflow/join/partition");
+  const fault::Site export_site =
+      fault_plan != nullptr ? fault_plan->site(fault::sites::kNetflowExport)
+                            : fault::Site{};
+  const bool inject = fault_plan != nullptr && export_site.rates.any();
+
+  std::vector<store::RecordFileWriter<FlowPageCodec>> writers;
+  writers.reserve(config.partitions);
+  for (std::size_t p = 0; p < config.partitions; ++p) {
+    writers.emplace_back(partition_path(config, p), registry);
+  }
+  std::vector<FlowPageBuilder> builders(config.partitions);
+
+  source.for_each_chunk(config.chunk_records, [&](std::span<const RawRecord> chunk,
+                                                  std::uint64_t base) {
+    obs::ScopedTrace trace(registry, "netflow/join/partition_chunk", base);
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      if (inject) {
+        const fault::FaultKind kind =
+            fault::decide(fault_plan->seed, export_site, base + i, /*attempt=*/0);
+        if (kind == fault::FaultKind::Timeout || kind == fault::FaultKind::Error) {
+          ++dropped;
+          continue;  // lost between router and collector; never spilled
+        }
+      }
+      const RawRecord& record = chunk[i];
+      const std::size_t p = join_partition_of(record.dst, config.partitions);
+      if (!builders[p].try_add(record)) {
+        writers[p].append(builders[p].take());
+        const bool added = builders[p].try_add(record);
+        CBWT_ASSERT(added);  // one record always fits an empty page
+      }
+      ++stats.spill_records;
+    }
+  });
+  for (std::size_t p = 0; p < config.partitions; ++p) {
+    if (!builders[p].empty()) writers[p].append(builders[p].take());
+    writers[p].finalize();
+    stats.spill_pages += writers[p].size();
+    stats.spill_bytes += store::kSuperblockSize + writers[p].size() * kFlowPageBytes;
+  }
+  span.set_items(stats.spill_records);
+
+  store::Manifest manifest;
+  manifest.set("kind", std::string(kManifestKind));
+  manifest.set_u64("page_version", kFlowPageVersion);
+  manifest.set_u64("partitions", config.partitions);
+  manifest.set_u64("input_records", source.size());
+  manifest.set_u64("input_checksum",
+                   source.store_backed() ? source.reader()->checksum() : 0);
+  manifest.set_u64("fault_signature", fault_signature(fault_plan));
+  manifest.set_u64("dropped_records", dropped);
+  manifest.set_u64("spill_records", stats.spill_records);
+  manifest.set_u64("spill_pages", stats.spill_pages);
+  manifest.set_u64("spill_bytes", stats.spill_bytes);
+  store::write_manifest(config.spill_directory + "/join_manifest.txt", manifest);
+}
+
+}  // namespace
+
+std::size_t join_partition_of(const net::IpAddress& ip, std::size_t partitions) noexcept {
+  return static_cast<std::size_t>(util::mix64(ip.hash()) %
+                                  static_cast<std::uint64_t>(partitions));
+}
+
+CollectionResult join_flows(const store::RecordSource<WireCodec>& source,
+                            const TrackerIpIndex& trackers, const IspProfile& /*isp*/,
+                            const JoinConfig& config, runtime::ThreadPool* pool,
+                            obs::Registry* registry, const fault::FaultPlan* fault_plan,
+                            JoinStats* stats) {
+  CBWT_EXPECTS(config.partitions > 0);
+  CBWT_EXPECTS(!config.spill_directory.empty());
+  CBWT_EXPECTS(config.chunk_records > 0);
+  CBWT_EXPECTS(config.probe_chunk_pages > 0);
+  obs::ScopedSpan span(registry, "netflow/join");
+  std::filesystem::create_directories(config.spill_directory);
+
+  std::uint64_t dropped = 0;
+  JoinStats run_stats;
+  const bool resumed =
+      config.resume && source.store_backed() &&
+      try_resume(config.spill_directory + "/join_manifest.txt", config, source.size(),
+                 source.reader()->checksum(), fault_signature(fault_plan), dropped,
+                 run_stats);
+  if (!resumed) {
+    partition_spill(source, config, fault_plan, registry, dropped, run_stats);
+  }
+
+  // Build side: one dense table per partition over the tracker IPs. The
+  // whole set stays resident — it is the small side of the join — so a
+  // source-address probe can reach across partitions.
+  std::vector<DenseIpSet> tables;
+  {
+    obs::ScopedSpan build_span(registry, "netflow/join/build");
+    std::vector<std::vector<net::IpAddress>> split(config.partitions);
+    for (const auto& ip : trackers.ips()) {
+      split[join_partition_of(ip, config.partitions)].push_back(ip);
+    }
+    tables.reserve(config.partitions);
+    for (const auto& part : split) tables.emplace_back(part);
+    build_span.set_items(trackers.size());
+  }
+
+  // Probe: partitions fan out across shards (min_shard_items = 1 so a
+  // 16-partition join still parallelizes); per-shard partial results
+  // merge in shard order. Every per-record update below is order-free —
+  // counter sums and per-IP increments — so the partition-sliced order
+  // equals the sequential collect() order bit for bit.
+  obs::ScopedSpan probe_span(registry, "netflow/join/probe");
+  runtime::ChannelStats channel_stats;
+  auto result = runtime::sharded_reduce<CollectionResult>(
+      pool, config.partitions, {.min_shard_items = 1, .channel_stats = &channel_stats},
+      /*seed=*/0, kJoinStageLabel,
+      [&](runtime::ShardRange range, std::size_t shard, util::Rng& /*rng*/) {
+        obs::ScopedTrace trace(registry, "netflow/join/probe_shard", shard);
+        CollectionResult part;
+        for (std::size_t p = range.begin; p < range.end; ++p) {
+          const store::RecordFileReader<FlowPageCodec> reader(partition_path(config, p),
+                                                             registry);
+          reader.for_each_chunk(
+              config.probe_chunk_pages,
+              [&](std::span<const FlowPage> pages, std::uint64_t /*page_base*/) {
+                for (const FlowPage& page : pages) {
+                  for (const RawRecord& record : page.records) {
+                    ++part.records_seen;
+                    if (!record.internal_interface) continue;
+                    ++part.internal_records;
+                    // dst routed this record here, so its lookup stays in
+                    // this partition's table; src may hash anywhere.
+                    const bool dst_is_tracker = tables[p].contains(record.dst);
+                    if (!dst_is_tracker &&
+                        !tables[join_partition_of(record.src, config.partitions)]
+                             .contains(record.src)) {
+                      continue;
+                    }
+                    const bool subscriber_is_src = dst_is_tracker;
+                    const net::IpAddress& remote =
+                        subscriber_is_src ? record.dst : record.src;
+                    const std::uint16_t remote_port =
+                        subscriber_is_src ? record.dst_port : record.src_port;
+                    ++part.matched_records;
+                    if (remote_port == 443) ++part.https_records;
+                    if (record.protocol == 17) ++part.udp_records;
+                    ++part.per_ip[remote];
+                  }
+                }
+              });
+        }
+        return part;
+      },
+      merge_collection);
+  result.dropped_records += dropped;
+  CBWT_ENSURES(result.matched_records <= result.internal_records);
+  CBWT_ENSURES(result.internal_records <= result.records_seen);
+  CBWT_ENSURES(result.records_seen + result.dropped_records == source.size());
+
+  probe_span.set_items(result.records_seen);
+  span.set_items(result.records_seen);
+  if (registry != nullptr) {
+    registry->counter("cbwt_netflow_records_collected_total").add(result.records_seen);
+    registry->counter("cbwt_netflow_internal_total").add(result.internal_records);
+    registry->counter("cbwt_netflow_matched_total").add(result.matched_records);
+    registry->counter("cbwt_netflow_join_partitions_total").add(config.partitions);
+    registry->counter("cbwt_netflow_join_spill_bytes_total").add(run_stats.spill_bytes);
+    registry->counter("cbwt_netflow_join_probe_records_total").add(result.records_seen);
+    obs::record_channel_stats(registry, channel_stats);
+  }
+  if (fault_plan != nullptr &&
+      fault_plan->site(fault::sites::kNetflowExport).rates.any()) {
+    const auto metrics =
+        fault::SiteMetrics::resolve(registry, fault::sites::kNetflowExport);
+    if (metrics.injected != nullptr && result.dropped_records > 0) {
+      metrics.injected->add(result.dropped_records);
+    }
+    metrics.count_degraded(result.dropped_records);
+  }
+  if (stats != nullptr) *stats = run_stats;
+  return result;
+}
+
+}  // namespace cbwt::netflow

@@ -1,0 +1,102 @@
+// Out-of-core radix-partitioned hash join of NetFlow records against
+// the tracker-IP set — the paper's headline scale-up (>60M users, four
+// daily snapshots, Tables 7/8) run at snapshot sizes that no longer
+// fit in RAM.
+//
+// Two passes over the mmap substrate:
+//
+//   Pass 1 (partition): flow records stream from a RecordSource in
+//   bounded chunks; each surviving record is routed by destination-IP
+//   hash to one of `partitions` spill files of fixed 4 KiB compressed
+//   flow pages (netflow/flow_page.h) written through
+//   store::RecordFileWriter — resident memory is one input chunk plus
+//   one open page per partition. Fault-injected export drops are
+//   decided here, while the record's *absolute* input index is known,
+//   so the drop set is identical to the in-memory collector's; dropped
+//   records are never spilled.
+//
+//   Pass 2 (build + probe): the tracker side — small by construction —
+//   is split into one dense open-addressing table per partition
+//   (arena-free, power-of-two capacity, allocation-free probe loop);
+//   partitions are then probed in parallel through
+//   runtime::sharded_reduce, each shard streaming its spill files page
+//   by page and folding per-partition CollectionResults that merge in
+//   shard order. Because every per-record decision is order-free once
+//   drops are fixed, the result is bit-identical to the in-memory
+//   collect_sharded at any thread count, partition count or chunk size
+//   — the equivalence corpus in tests/test_join_equivalence.cpp pins
+//   exactly that.
+//
+// A pass-1 manifest (store::Manifest, join_manifest.txt in the spill
+// directory) binds the spill files to the input file's superblock
+// checksum; re-running the join over the same store-backed input reuses
+// the spill set and goes straight to pass 2 (resume-mid-join).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "fault/retry.h"
+#include "netflow/collector.h"
+#include "netflow/profile.h"
+#include "netflow/wire.h"
+#include "obs/metrics.h"
+#include "runtime/thread_pool.h"
+#include "store/dataset.h"
+
+namespace cbwt::netflow {
+
+/// Tuning knobs of one join run. The defaults are the production shape;
+/// every knob is swept by the equivalence corpus because none of them
+/// may change the result.
+struct JoinConfig {
+  /// Directory for per-partition spill files and the pass-1 manifest.
+  /// Created if absent; files are overwritten per run (no cleanup).
+  std::string spill_directory;
+  /// Radix fan-out of pass 1. More partitions = smaller per-partition
+  /// probe working sets; 16 at the default chunk size keeps each
+  /// partition's build table inside L2 at paper scale.
+  std::size_t partitions = 16;
+  /// Input records per streamed chunk in pass 1.
+  std::size_t chunk_records = store::kDefaultChunkRecords;
+  /// Spill pages per streamed chunk in pass 2 (2048 pages = 8 MiB of
+  /// page file per probe step, the store's residency unit).
+  std::size_t probe_chunk_pages = 2048;
+  /// Reuse an existing spill set whose manifest matches this input
+  /// (store-backed sources only — in-memory inputs have no superblock
+  /// checksum to bind to, so they always re-partition).
+  bool resume = true;
+};
+
+/// What one join run did, beyond the CollectionResult.
+struct JoinStats {
+  std::uint64_t spill_bytes = 0;    ///< finalized spill file bytes, all partitions
+  std::uint64_t spill_records = 0;  ///< records written to spill pages
+  std::uint64_t spill_pages = 0;    ///< 4 KiB pages across all partitions
+  bool resumed = false;             ///< pass 1 skipped via a matching manifest
+};
+
+/// The radix route: which partition `ip` hashes to. Exposed so tests
+/// can build adversarial inputs (duplicate destination IPs across
+/// partitions, single-partition pile-ups) without guessing the mix.
+[[nodiscard]] std::size_t join_partition_of(const net::IpAddress& ip,
+                                            std::size_t partitions) noexcept;
+
+/// Runs the streaming join. Returns exactly what collect_sharded over
+/// the same records returns — counters, per-IP map, drop set — for any
+/// thread count and any JoinConfig. `registry` (optional) records the
+/// "netflow/join" span, the collect-parity counters, the
+/// cbwt_netflow_join_{partitions,spill_bytes,probe_records}_total
+/// counters and per-shard ScopedTrace events; `fault_plan` (optional)
+/// applies netflow_export drops by absolute record index; `stats`
+/// (optional) receives the spill volume breakdown.
+[[nodiscard]] CollectionResult join_flows(const store::RecordSource<WireCodec>& source,
+                                          const TrackerIpIndex& trackers,
+                                          const IspProfile& isp, const JoinConfig& config,
+                                          runtime::ThreadPool* pool,
+                                          obs::Registry* registry = nullptr,
+                                          const fault::FaultPlan* fault_plan = nullptr,
+                                          JoinStats* stats = nullptr);
+
+}  // namespace cbwt::netflow

@@ -38,6 +38,13 @@ class RecordSource {
 
   [[nodiscard]] bool store_backed() const noexcept { return reader_ != nullptr; }
 
+  /// The underlying store reader, or nullptr for in-memory sources.
+  /// Exposes file-level identity (path, superblock checksum) that spans
+  /// don't carry — the join's resume manifest binds spills to it.
+  [[nodiscard]] const RecordFileReader<Codec>* reader() const noexcept {
+    return reader_.get();
+  }
+
   [[nodiscard]] std::uint64_t size() const noexcept {
     return store_backed() ? reader_->size() : memory_.size();
   }

@@ -212,6 +212,7 @@ class RecordFileReader {
       throw StoreError("store: checksum mismatch in '" + path + "'");
     }
     count_ = block->record_count;
+    checksum_ = block->checksum;
     if (registry != nullptr) {
       bytes_read_ = &registry->counter("cbwt_store_bytes_read_total");
       records_read_ = &registry->counter("cbwt_store_records_read_total");
@@ -228,6 +229,11 @@ class RecordFileReader {
   RecordFileReader& operator=(RecordFileReader&&) noexcept = default;
 
   [[nodiscard]] std::uint64_t size() const noexcept { return count_; }
+
+  /// The superblock's payload checksum, verified at open. A cheap
+  /// content identity for the whole file (resume manifests compare it
+  /// to detect a regenerated input without rehashing the payload).
+  [[nodiscard]] std::uint64_t checksum() const noexcept { return checksum_; }
 
   /// Decodes record `index`. Throws StoreError if the bytes do not
   /// decode (a checksum-valid file written with a foreign layout).
@@ -277,6 +283,7 @@ class RecordFileReader {
  private:
   MappedFile file_;
   std::uint64_t count_ = 0;
+  std::uint64_t checksum_ = 0;
   // Metric handles; all null (and the streaming path skips them) with
   // no registry attached.
   obs::Counter* bytes_read_ = nullptr;

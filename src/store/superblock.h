@@ -34,11 +34,12 @@ enum class RecordKind : std::uint16_t {
   PdnsRecord = 2,    ///< fixed pDNS records with blob-ref strings
   BrowseRecord = 3,  ///< fixed extension-dataset records with blob-ref strings
   Blob = 4,          ///< raw byte arena addressed by BlobRef
+  NetflowPage = 5,   ///< 4 KiB compressed flow pages (netflow::FlowPageCodec)
 };
 
 /// True for the kinds parse_superblock accepts.
 [[nodiscard]] constexpr bool is_known_kind(std::uint16_t kind) noexcept {
-  return kind >= 1 && kind <= 4;
+  return kind >= 1 && kind <= 5;
 }
 
 /// Decoded header of one store file.

@@ -490,6 +490,44 @@ INSTANTIATE_TEST_SUITE_P(ThreadSweep, StoreBackedDeterminism,
                            return "threads_" + std::to_string(info.param);
                          });
 
+/// The out-of-core join's counters must account for its spill files
+/// exactly: cbwt_netflow_join_spill_bytes_total equals the finalized
+/// partition files on disk byte for byte, every collected record was
+/// probed from a spill page, and run_report() surfaces the counters.
+TEST(StoreJoinCounters, SpillBytesMatchDiskExactly) {
+  auto config = small_config(2);
+  config.storage.mode = store::Mode::StoreBacked;
+  config.storage.directory = temp_dir("join_counters");
+  obs::Registry registry;
+  config.registry = &registry;
+  core::Study study(config);
+  const auto isp = netflow::default_isps()[0];
+  const auto snapshot = netflow::default_snapshots()[0];
+  const auto run = study.run_isp_snapshot(isp, snapshot);
+
+  EXPECT_EQ(registry.counter_value("cbwt_netflow_join_partitions_total"),
+            config.storage.join_partitions);
+  EXPECT_EQ(registry.counter_value("cbwt_netflow_join_probe_records_total"),
+            run.collection.records_seen);
+  EXPECT_EQ(registry.counter_value("cbwt_netflow_records_collected_total"),
+            run.collection.records_seen);
+
+  std::uint64_t disk_bytes = 0;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(
+           config.storage.directory)) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_regular_file() && name.starts_with("part_") &&
+        name.ends_with(".rec")) {
+      disk_bytes += entry.file_size();
+    }
+  }
+  EXPECT_GT(disk_bytes, 0u);
+  EXPECT_EQ(registry.counter_value("cbwt_netflow_join_spill_bytes_total"),
+            disk_bytes);
+  EXPECT_NE(study.run_report().find("cbwt_netflow_join_spill_bytes_total"),
+            std::string::npos);
+}
+
 /// Checkpoint/resume: a process that saves after the dataset stage and
 /// a second process that resumes from the directory must reproduce the
 /// straight-through run exactly — including when the resumed study runs

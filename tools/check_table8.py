@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Asserts a store-backed Table 8 run_report matches the committed
+expectation exactly.
+
+Usage: check_table8.py <run_report.json> <expectation.json>
+
+The report is a Study::run_report() document (store_scale_run --report);
+the expectation pins the deterministic NetFlow-join counters under its
+"counters" key — generated/collected/internal/matched volumes plus the
+join fan-out, spill bytes, and probe count. Runtime telemetry (channel
+stats, /proc gauges, store I/O byte counts) is ignored. Exact integer
+equality is required: the out-of-core join is bit-identical to the
+in-memory collector at every thread count, so any drift here is a real
+behavior change in Table 8's substrate, not noise.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        report = json.load(f)
+    with open(sys.argv[2]) as f:
+        expectation = json.load(f)
+
+    got = report.get("obs", {}).get("counters", {})
+    want = expectation["counters"]
+    failures = []
+    for key, value in sorted(want.items()):
+        if key not in got:
+            failures.append(f"missing counter {key} (expected {value})")
+        elif got[key] != value:
+            failures.append(f"{key}: got {got[key]}, expected {value}")
+
+    if failures:
+        print("Table 8 join drift detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"Table 8 join OK: {len(want)} counters match exactly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
