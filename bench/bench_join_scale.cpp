@@ -72,7 +72,8 @@ int main(int argc, char** argv) {
   const auto& isp = netflow::default_isps().front();
   const netflow::Snapshot snapshot{267, "day", 1.0};
   util::TextTable table({"netflow scale", "exported records", "matched flows",
-                         "spill bytes", "partitions", "wall ms"});
+                         "spill bytes", "partitions", "wall ms", "gen ms", "spill ms",
+                         "probe ms"});
   for (std::size_t i = 0; i < std::size(kNetflowScales); ++i) {
     const double netflow_scale = kNetflowScales[i];
     obs::Registry registry;
@@ -92,6 +93,18 @@ int main(int argc, char** argv) {
         registry.counter_value("cbwt_netflow_join_spill_bytes_total");
     const std::uint64_t partitions =
         registry.counter_value("cbwt_netflow_join_partitions_total");
+    // Phase split of the wall column, from the stage spans this scale
+    // point's private registry recorded: generation (the snapshot
+    // write), pass 1 (parallel spill) and pass 2 (probe). Summed in
+    // case a stage ran more than once.
+    double generate_ms = 0.0;
+    double spill_ms = 0.0;
+    double probe_ms = 0.0;
+    for (const auto& span : registry.spans()) {
+      if (span.name == "netflow/generate") generate_ms += span.wall_seconds * 1e3;
+      if (span.name == "netflow/join/partition") spill_ms += span.wall_seconds * 1e3;
+      if (span.name == "netflow/join/probe") probe_ms += span.wall_seconds * 1e3;
+    }
     char label[32];
     std::snprintf(label, sizeof label, "%g", netflow_scale);
     const std::string prefix = std::string("netflow_scale_") + label;
@@ -100,14 +113,23 @@ int main(int argc, char** argv) {
     report.metric(prefix + "/matched_records",
                   static_cast<double>(run.collection.matched_records));
     report.metric(prefix + "/spill_bytes", static_cast<double>(spill_bytes));
+    report.metric(prefix + "/spill_shards",
+                  static_cast<double>(registry.counter_value(
+                      "cbwt_netflow_join_spill_shards_total")));
     report.metric(prefix + "/probe_records",
                   static_cast<double>(registry.counter_value(
                       "cbwt_netflow_join_probe_records_total")));
     report.metric(prefix + "/wall_ms", wall_ms);
+    report.metric(prefix + "/generate_ms", generate_ms);
+    report.metric(prefix + "/spill_ms", spill_ms);
+    report.metric(prefix + "/probe_ms", probe_ms);
     table.add_row({label, util::fmt_count(run.exported_records),
                    util::fmt_count(run.collection.matched_records),
                    util::fmt_count(spill_bytes), util::fmt_count(partitions),
-                   std::to_string(static_cast<std::uint64_t>(wall_ms))});
+                   std::to_string(static_cast<std::uint64_t>(wall_ms)),
+                   std::to_string(static_cast<std::uint64_t>(generate_ms)),
+                   std::to_string(static_cast<std::uint64_t>(spill_ms)),
+                   std::to_string(static_cast<std::uint64_t>(probe_ms))});
     // The largest point (the CI join-smoke scale) is the one whose full
     // run report — spans plus every counter — is worth keeping.
     if (i + 1 == std::size(kNetflowScales)) {

@@ -63,7 +63,12 @@ int main(int argc, char** argv) {
   double netflow_scale = 1e-2;
   double world_scale = 0.01;
   std::int32_t day = 267;
-  unsigned threads = 0;  // one per hardware core
+  // Thread count: --threads wins, else CBWT_THREADS (the same override
+  // the bench harness honors), else 0 = one per hardware core.
+  unsigned threads = 0;
+  if (const char* env = std::getenv("CBWT_THREADS"); env != nullptr && *env != '\0') {
+    threads = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
   std::uint64_t max_rss_mb = 0;
   int inspect_port = -1;  // -1 = inspector off
   unsigned linger_s = 0;
@@ -165,6 +170,22 @@ int main(int argc, char** argv) {
               registry.counter_value("cbwt_netflow_join_partitions_total"));
   std::printf("  join spill bytes   %" PRIu64 "\n",
               registry.counter_value("cbwt_netflow_join_spill_bytes_total"));
+  std::printf("  join spill shards  %" PRIu64 "\n",
+              registry.counter_value("cbwt_netflow_join_spill_shards_total"));
+  // Per-phase wall time from the stage spans: generation (snapshot
+  // write), pass 1 (parallel spill; 0 on a resumed run) and pass 2
+  // (probe). These are the three legs the --threads override speeds up.
+  double generate_ms = 0.0;
+  double spill_ms = 0.0;
+  double probe_ms = 0.0;
+  for (const auto& span : registry.spans()) {
+    if (span.name == "netflow/generate") generate_ms += span.wall_seconds * 1e3;
+    if (span.name == "netflow/join/partition") spill_ms += span.wall_seconds * 1e3;
+    if (span.name == "netflow/join/probe") probe_ms += span.wall_seconds * 1e3;
+  }
+  std::printf("  generate wall      %.1f ms\n", generate_ms);
+  std::printf("  join spill wall    %.1f ms\n", spill_ms);
+  std::printf("  join probe wall    %.1f ms\n", probe_ms);
   std::fflush(stdout);
 
   if (linger_s > 0) {

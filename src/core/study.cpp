@@ -329,6 +329,8 @@ Study::IspRun Study::run_isp_snapshot(const netflow::IspProfile& isp,
         std::to_string(snapshot.day);
     join_config.partitions = config_.storage.join_partitions;
     join_config.chunk_records = config_.storage.chunk_records;
+    join_config.spill_min_shard_records = config_.storage.join_spill_min_shard_records;
+    join_config.spill_max_shards = config_.storage.join_spill_max_shards;
     run.collection = netflow::join_flows(
         store::RecordSource<netflow::WireCodec>(
             netflow::SnapshotReader(path, config_.registry)),

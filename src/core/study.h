@@ -60,6 +60,12 @@ struct StorageConfig {
   /// that StoreBacked run_isp_snapshot uses in place of the in-memory
   /// collect walk. Never affects results, only spill-file shape.
   std::size_t join_partitions = 16;
+  /// Pass-1 spill shard geometry (JoinConfig::spill_min_shard_records /
+  /// spill_max_shards). Never affects results; changes the spill-file
+  /// page layout, so a geometry change silently re-partitions instead
+  /// of resuming.
+  std::size_t join_spill_min_shard_records = 64 * 1024;
+  std::size_t join_spill_max_shards = 256;
 };
 
 struct StudyConfig {

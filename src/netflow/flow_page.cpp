@@ -111,6 +111,44 @@ void put_address(std::uint8_t*& out, const net::IpAddress& ip) noexcept {
   return static_cast<std::uint32_t>(store::fnv1a({payload, length}));
 }
 
+/// Encodes one record at `cursor` (the caller guarantees fit). The
+/// single source of truth both page encoders lower through — the
+/// canonical encoding lives here once, so the batch encoder
+/// (encode_flow_page) and the in-place builder (FlowPageImageBuilder)
+/// cannot drift apart.
+void encode_record_at(std::uint8_t*& cursor, const RawRecord& record) noexcept {
+  std::uint8_t flags = 0;
+  if (record.internal_interface) flags |= kFlagInternal;
+  if (!record.src.is_v4()) flags |= kFlagSrcV6;
+  if (!record.dst.is_v4()) flags |= kFlagDstV6;
+  *cursor++ = flags;
+  put_varint(cursor, record.timestamp_s);
+  put_varint(cursor, record.router);
+  put_varint(cursor, record.interface);
+  *cursor++ = record.protocol;
+  put_address(cursor, record.src);
+  put_address(cursor, record.dst);
+  put_varint(cursor, record.src_port);
+  put_varint(cursor, record.dst_port);
+  put_varint(cursor, record.packets);
+  put_varint(cursor, record.bytes);
+  *cursor++ = record.tos;
+}
+
+/// Stamps the page header and zero-pads the tail over an already
+/// encoded payload of `payload_bytes` holding `records` records.
+void seal_page(std::uint8_t* out, std::size_t records,
+               std::size_t payload_bytes) noexcept {
+  store::put_u16(out, kFlowPageMagic);
+  out[2] = kFlowPageVersion;
+  out[3] = 0;
+  store::put_u16(out + 4, static_cast<std::uint16_t>(records));
+  store::put_u16(out + 6, static_cast<std::uint16_t>(payload_bytes));
+  store::put_u32(out + 8, payload_checksum(out + kFlowPageHeaderBytes, payload_bytes));
+  std::memset(out + kFlowPageHeaderBytes + payload_bytes, 0,
+              kFlowPageBytes - kFlowPageHeaderBytes - payload_bytes);
+}
+
 }  // namespace
 
 std::size_t compressed_record_size(const RawRecord& record) noexcept {
@@ -132,33 +170,10 @@ std::size_t compressed_record_size(const RawRecord& record) noexcept {
 void encode_flow_page(const FlowPage& page, std::uint8_t* out) {
   CBWT_EXPECTS(page.records.size() <= 0xFFFF);
   std::uint8_t* cursor = out + kFlowPageHeaderBytes;
-  for (const RawRecord& record : page.records) {
-    std::uint8_t flags = 0;
-    if (record.internal_interface) flags |= kFlagInternal;
-    if (!record.src.is_v4()) flags |= kFlagSrcV6;
-    if (!record.dst.is_v4()) flags |= kFlagDstV6;
-    *cursor++ = flags;
-    put_varint(cursor, record.timestamp_s);
-    put_varint(cursor, record.router);
-    put_varint(cursor, record.interface);
-    *cursor++ = record.protocol;
-    put_address(cursor, record.src);
-    put_address(cursor, record.dst);
-    put_varint(cursor, record.src_port);
-    put_varint(cursor, record.dst_port);
-    put_varint(cursor, record.packets);
-    put_varint(cursor, record.bytes);
-    *cursor++ = record.tos;
-  }
+  for (const RawRecord& record : page.records) encode_record_at(cursor, record);
   const auto payload_bytes = static_cast<std::size_t>(cursor - out) - kFlowPageHeaderBytes;
   CBWT_EXPECTS(kFlowPageHeaderBytes + payload_bytes <= kFlowPageBytes);
-  store::put_u16(out, kFlowPageMagic);
-  out[2] = kFlowPageVersion;
-  out[3] = 0;
-  store::put_u16(out + 4, static_cast<std::uint16_t>(page.records.size()));
-  store::put_u16(out + 6, static_cast<std::uint16_t>(payload_bytes));
-  store::put_u32(out + 8, payload_checksum(out + kFlowPageHeaderBytes, payload_bytes));
-  std::memset(cursor, 0, kFlowPageBytes - kFlowPageHeaderBytes - payload_bytes);
+  seal_page(out, page.records.size(), payload_bytes);
 }
 
 std::optional<FlowPage> parse_flow_page(std::span<const std::uint8_t> bytes) {
@@ -229,6 +244,27 @@ FlowPage FlowPageBuilder::take() noexcept {
   page_ = FlowPage{};
   payload_bytes_ = 0;
   return page;
+}
+
+bool FlowPageImageBuilder::try_add(const RawRecord& record) {
+  const std::size_t size = compressed_record_size(record);
+  if (kFlowPageHeaderBytes + payload_bytes_ + size > kFlowPageBytes) return false;
+  if (count_ >= 0xFFFF) return false;
+  std::uint8_t* cursor = image_.bytes.data() + kFlowPageHeaderBytes + payload_bytes_;
+  encode_record_at(cursor, record);
+  CBWT_ASSERT(cursor ==
+              image_.bytes.data() + kFlowPageHeaderBytes + payload_bytes_ + size);
+  payload_bytes_ += size;
+  ++count_;
+  return true;
+}
+
+void FlowPageImageBuilder::seal_into(std::vector<FlowPageImage>& out) {
+  CBWT_EXPECTS(count_ > 0);
+  seal_page(image_.bytes.data(), count_, payload_bytes_);
+  out.push_back(image_);
+  count_ = 0;
+  payload_bytes_ = 0;
 }
 
 }  // namespace cbwt::netflow

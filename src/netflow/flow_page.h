@@ -15,6 +15,7 @@
 // record sequence), which is the fixpoint fuzz_flow_page pins.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -77,6 +78,43 @@ class FlowPageBuilder {
 
  private:
   FlowPage page_;
+  std::size_t payload_bytes_ = 0;
+};
+
+/// One wire-ready page image: exactly kFlowPageBytes of encoded page,
+/// as store::RecordFileWriter::append_encoded wants it. The parallel
+/// spill pass moves vectors of these through the runtime's bounded
+/// channels from producing shards to the ordered writer stage.
+struct FlowPageImage {
+  std::array<std::uint8_t, kFlowPageBytes> bytes;
+};
+
+/// The spill pass's allocation-free fast path: encodes records straight
+/// into an owned page image as they arrive (flags, varints and
+/// addresses are written in place — no RawRecord buffering, no
+/// per-record allocation, no second encoding pass at append time), then
+/// seal_into() stamps the header + zero padding and hands the finished
+/// image off, leaving the builder's buffer immediately reusable for the
+/// next page while the sealed one travels to the writer. For any record
+/// sequence and page boundaries, the sealed bytes are identical to
+/// encode_flow_page over the FlowPageBuilder path — both lower through
+/// the same per-record encoder — which test_join_equivalence pins.
+class FlowPageImageBuilder {
+ public:
+  /// Encodes `record` into the open image if it still fits.
+  [[nodiscard]] bool try_add(const RawRecord& record);
+
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t records() const noexcept { return count_; }
+
+  /// Stamps the header (magic, version, count, payload, checksum),
+  /// zero-pads the tail, appends the sealed image to `out` and resets
+  /// the builder. Requires a non-empty page.
+  void seal_into(std::vector<FlowPageImage>& out);
+
+ private:
+  FlowPageImage image_{};
+  std::size_t count_ = 0;
   std::size_t payload_bytes_ = 0;
 };
 

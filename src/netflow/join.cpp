@@ -1,7 +1,9 @@
 #include "netflow/join.h"
 
+#include <array>
 #include <bit>
 #include <filesystem>
+#include <utility>
 #include <vector>
 
 #include "netflow/flow_page.h"
@@ -31,8 +33,18 @@ namespace {
 /// probe itself, but part of the sharded_reduce contract).
 constexpr std::uint64_t kJoinStageLabel = 0x101AD;
 
+/// Stage label of the pass-1 spill shards' RNG streams (likewise unused
+/// — spill is deterministic — but part of the ordered_stream contract).
+constexpr std::uint64_t kJoinSpillStageLabel = 0x5B111;
+
 /// Manifest schema of the pass-1 spill set.
 constexpr std::string_view kManifestKind = "netflow-join-spill";
+
+/// Bucket edges of the per-phase duration histograms (seconds). Wide
+/// log-ish spacing: the smoke run lands in the sub-second buckets, the
+/// paper-scale sweep in the tens of seconds.
+constexpr std::array<double, 8> kPhaseSecondsBounds = {0.001, 0.01, 0.1,  0.5,
+                                                       1.0,   5.0,  30.0, 120.0};
 
 /// Dense open-addressing membership set over one partition's tracker
 /// IPs: power-of-two capacity at most half full, linear probing, empty
@@ -112,10 +124,14 @@ class DenseIpSet {
 
 /// Tries to adopt an existing spill set: the manifest must match this
 /// input's record count and superblock checksum, the partition fan-out,
-/// the page format version and the fault signature, and every partition
-/// file must open clean (superblock + checksum validation). Any
-/// mismatch, missing file or corruption falls back to re-partitioning —
-/// resume is an optimization, never a correctness risk.
+/// the page format version, the fault signature *and* the shard-plan
+/// geometry (spill_min_shard_records / spill_max_shards — page
+/// boundaries fall at shard boundaries, so different geometry means a
+/// different byte layout), and every partition file must open clean
+/// (superblock + checksum validation). Any mismatch, missing file,
+/// missing key (a manifest written before the geometry keys existed) or
+/// corruption falls back to re-partitioning — resume is an
+/// optimization, never a correctness risk.
 [[nodiscard]] bool try_resume(const std::string& manifest_path, const JoinConfig& config,
                               std::uint64_t input_records, std::uint64_t input_checksum,
                               std::uint64_t fault_sig, std::uint64_t& dropped,
@@ -128,11 +144,20 @@ class DenseIpSet {
     if (manifest.get_u64("input_records") != input_records) return false;
     if (manifest.get_u64("input_checksum") != input_checksum) return false;
     if (manifest.get_u64("fault_signature") != fault_sig) return false;
+    if (manifest.get_u64("spill_min_shard_records") !=
+        std::uint64_t{config.spill_min_shard_records}) {
+      return false;
+    }
+    if (manifest.get_u64("spill_max_shards") != std::uint64_t{config.spill_max_shards}) {
+      return false;
+    }
     const auto manifest_dropped = manifest.get_u64("dropped_records");
     const auto spill_records = manifest.get_u64("spill_records");
     const auto spill_pages = manifest.get_u64("spill_pages");
     const auto spill_bytes = manifest.get_u64("spill_bytes");
-    if (!manifest_dropped || !spill_records || !spill_pages || !spill_bytes) {
+    const auto spill_shards = manifest.get_u64("spill_shards");
+    if (!manifest_dropped || !spill_records || !spill_pages || !spill_bytes ||
+        !spill_shards) {
       return false;
     }
     std::uint64_t pages = 0;
@@ -144,6 +169,7 @@ class DenseIpSet {
     stats.spill_records = *spill_records;
     stats.spill_pages = *spill_pages;
     stats.spill_bytes = *spill_bytes;
+    stats.spill_shards = *spill_shards;
     stats.resumed = true;
     return true;
   } catch (const store::StoreError&) {
@@ -151,55 +177,117 @@ class DenseIpSet {
   }
 }
 
-/// Pass 1: streams the input in bounded chunks, applies the export-drop
-/// decisions at the absolute record index (so the drop set equals the
-/// in-memory collector's, whatever happens downstream), and routes
-/// every surviving record by destination-IP hash into its partition's
-/// open flow page. Runs on the calling thread: page packing and spill
-/// bytes are then a pure function of the record sequence, which keeps
-/// the spill set — and the resume manifest — identical at any pool
-/// size.
+/// One shard's pass-1 output: per-partition runs of sealed page images
+/// plus the shard's record/drop tallies. ~1.6 MiB per 64 Ki-record
+/// shard at the default geometry; ordered_stream's bounded channel
+/// keeps at most O(threads) of these in flight.
+struct SpillRun {
+  std::vector<std::vector<FlowPageImage>> pages;  ///< [partition] -> sealed images
+  std::uint64_t records = 0;                      ///< records encoded into pages
+  std::uint64_t dropped = 0;                      ///< fault-injected export drops
+};
+
+/// The shard-plan geometry pass 1 runs under. Pure in (input size,
+/// config) — computed identically by the spill pass, the manifest
+/// writer and join_flows' stats, and never consulted by the probe.
+[[nodiscard]] runtime::ShardOptions spill_shard_options(const JoinConfig& config,
+                                                        runtime::ChannelStats* stats) {
+  return {.min_shard_items = config.spill_min_shard_records,
+          .max_shards = config.spill_max_shards,
+          .channel_stats = stats};
+}
+
+/// Pass 1, parallel + deterministic: the input index range is sharded
+/// by runtime::plan_shards (pure in (n, spill geometry) — rule 1 of
+/// parallel.h), each shard decodes its ranged chunks on a pool worker
+/// and packs surviving records into per-partition page runs with the
+/// in-place FlowPageImageBuilder, and the calling thread appends the
+/// sealed runs to the partition writers strictly in shard order through
+/// runtime::ordered_stream — writer I/O overlaps producer compute.
+/// Page boundaries fall at shard boundaries (each shard seals its open
+/// pages at range end), so the spill byte stream is a pure function of
+/// the record sequence and the shard plan: byte-identical at any thread
+/// count, which is what lets the resume manifest bind to the geometry
+/// rather than the execution. Export drops are decided at the absolute
+/// record index (ranged chunks keep bases absolute), so the drop set
+/// equals the in-memory collector's.
 void partition_spill(const store::RecordSource<WireCodec>& source,
-                     const JoinConfig& config, const fault::FaultPlan* fault_plan,
-                     obs::Registry* registry, std::uint64_t& dropped,
+                     const JoinConfig& config, runtime::ThreadPool* pool,
+                     const fault::FaultPlan* fault_plan, obs::Registry* registry,
+                     runtime::ChannelStats* channel_stats, std::uint64_t& dropped,
                      JoinStats& stats) {
   obs::ScopedSpan span(registry, "netflow/join/partition");
+  obs::ScopedHistogramTimer timer(registry, "cbwt_netflow_join_spill_seconds",
+                                  kPhaseSecondsBounds);
   const fault::Site export_site =
       fault_plan != nullptr ? fault_plan->site(fault::sites::kNetflowExport)
                             : fault::Site{};
   const bool inject = fault_plan != nullptr && export_site.rates.any();
 
+  // Incremental checksums: the writer folds each page into the running
+  // FNV-1a while it is cache-hot, so finalize() below stamps the
+  // superblock without re-reading the whole spill file on the ordered
+  // (serial) writer thread.
   std::vector<store::RecordFileWriter<FlowPageCodec>> writers;
   writers.reserve(config.partitions);
   for (std::size_t p = 0; p < config.partitions; ++p) {
-    writers.emplace_back(partition_path(config, p), registry);
+    writers.emplace_back(partition_path(config, p), registry,
+                         /*incremental_checksum=*/true);
   }
-  std::vector<FlowPageBuilder> builders(config.partitions);
 
-  source.for_each_chunk(config.chunk_records, [&](std::span<const RawRecord> chunk,
-                                                  std::uint64_t base) {
-    obs::ScopedTrace trace(registry, "netflow/join/partition_chunk", base);
-    for (std::size_t i = 0; i < chunk.size(); ++i) {
-      if (inject) {
-        const fault::FaultKind kind =
-            fault::decide(fault_plan->seed, export_site, base + i, /*attempt=*/0);
-        if (kind == fault::FaultKind::Timeout || kind == fault::FaultKind::Error) {
-          ++dropped;
-          continue;  // lost between router and collector; never spilled
+  const auto options = spill_shard_options(config, channel_stats);
+  stats.spill_shards = runtime::plan_shards(source.size(), options).size();
+  runtime::ordered_stream<SpillRun>(
+      pool, source.size(), options, /*seed=*/0, kJoinSpillStageLabel,
+      [&](runtime::ShardRange range, std::size_t shard, util::Rng& /*rng*/) {
+        obs::ScopedTrace trace(registry, "netflow/join/spill_shard", shard);
+        SpillRun run;
+        run.pages.resize(config.partitions);
+        std::vector<FlowPageImageBuilder> builders(config.partitions);
+        source.for_each_chunk_range(
+            range.begin, range.end, config.chunk_records,
+            [&](std::span<const RawRecord> chunk, std::uint64_t base) {
+              for (std::size_t i = 0; i < chunk.size(); ++i) {
+                if (inject) {
+                  const fault::FaultKind kind = fault::decide(
+                      fault_plan->seed, export_site, base + i, /*attempt=*/0);
+                  if (kind == fault::FaultKind::Timeout ||
+                      kind == fault::FaultKind::Error) {
+                    ++run.dropped;
+                    continue;  // lost between router and collector; never spilled
+                  }
+                }
+                const RawRecord& record = chunk[i];
+                const std::size_t p = join_partition_of(record.dst, config.partitions);
+                if (!builders[p].try_add(record)) {
+                  builders[p].seal_into(run.pages[p]);
+                  const bool added = builders[p].try_add(record);
+                  CBWT_ASSERT(added);  // one record always fits an empty page
+                }
+                ++run.records;
+              }
+            });
+        // Seal open pages at the shard boundary: the page layout then
+        // depends on the shard plan, not on which thread ran the shard.
+        for (std::size_t p = 0; p < config.partitions; ++p) {
+          if (!builders[p].empty()) builders[p].seal_into(run.pages[p]);
         }
-      }
-      const RawRecord& record = chunk[i];
-      const std::size_t p = join_partition_of(record.dst, config.partitions);
-      if (!builders[p].try_add(record)) {
-        writers[p].append(builders[p].take());
-        const bool added = builders[p].try_add(record);
-        CBWT_ASSERT(added);  // one record always fits an empty page
-      }
-      ++stats.spill_records;
-    }
-  });
+        return run;
+      },
+      [&](std::size_t /*shard*/, SpillRun&& run) {
+        // Ordered writer stage, calling thread only: appends are raw
+        // memcpys of sealed images, so the file contents concatenate
+        // the shards' runs in plan order.
+        for (std::size_t p = 0; p < config.partitions; ++p) {
+          for (const FlowPageImage& image : run.pages[p]) {
+            writers[p].append_encoded(image.bytes);
+          }
+        }
+        stats.spill_records += run.records;
+        dropped += run.dropped;
+      });
+
   for (std::size_t p = 0; p < config.partitions; ++p) {
-    if (!builders[p].empty()) writers[p].append(builders[p].take());
     writers[p].finalize();
     stats.spill_pages += writers[p].size();
     stats.spill_bytes += store::kSuperblockSize + writers[p].size() * kFlowPageBytes;
@@ -214,10 +302,13 @@ void partition_spill(const store::RecordSource<WireCodec>& source,
   manifest.set_u64("input_checksum",
                    source.store_backed() ? source.reader()->checksum() : 0);
   manifest.set_u64("fault_signature", fault_signature(fault_plan));
+  manifest.set_u64("spill_min_shard_records", config.spill_min_shard_records);
+  manifest.set_u64("spill_max_shards", config.spill_max_shards);
   manifest.set_u64("dropped_records", dropped);
   manifest.set_u64("spill_records", stats.spill_records);
   manifest.set_u64("spill_pages", stats.spill_pages);
   manifest.set_u64("spill_bytes", stats.spill_bytes);
+  manifest.set_u64("spill_shards", stats.spill_shards);
   store::write_manifest(config.spill_directory + "/join_manifest.txt", manifest);
 }
 
@@ -237,18 +328,22 @@ CollectionResult join_flows(const store::RecordSource<WireCodec>& source,
   CBWT_EXPECTS(!config.spill_directory.empty());
   CBWT_EXPECTS(config.chunk_records > 0);
   CBWT_EXPECTS(config.probe_chunk_pages > 0);
+  CBWT_EXPECTS(config.spill_min_shard_records > 0);
+  CBWT_EXPECTS(config.spill_max_shards > 0);
   obs::ScopedSpan span(registry, "netflow/join");
   std::filesystem::create_directories(config.spill_directory);
 
   std::uint64_t dropped = 0;
   JoinStats run_stats;
+  runtime::ChannelStats channel_stats;  // shared by spill + probe streams
   const bool resumed =
       config.resume && source.store_backed() &&
       try_resume(config.spill_directory + "/join_manifest.txt", config, source.size(),
                  source.reader()->checksum(), fault_signature(fault_plan), dropped,
                  run_stats);
   if (!resumed) {
-    partition_spill(source, config, fault_plan, registry, dropped, run_stats);
+    partition_spill(source, config, pool, fault_plan, registry, &channel_stats, dropped,
+                    run_stats);
   }
 
   // Build side: one dense table per partition over the tracker IPs. The
@@ -272,7 +367,8 @@ CollectionResult join_flows(const store::RecordSource<WireCodec>& source,
   // counter sums and per-IP increments — so the partition-sliced order
   // equals the sequential collect() order bit for bit.
   obs::ScopedSpan probe_span(registry, "netflow/join/probe");
-  runtime::ChannelStats channel_stats;
+  obs::ScopedHistogramTimer probe_timer(registry, "cbwt_netflow_join_probe_seconds",
+                                        kPhaseSecondsBounds);
   auto result = runtime::sharded_reduce<CollectionResult>(
       pool, config.partitions, {.min_shard_items = 1, .channel_stats = &channel_stats},
       /*seed=*/0, kJoinStageLabel,
@@ -327,6 +423,14 @@ CollectionResult join_flows(const store::RecordSource<WireCodec>& source,
     registry->counter("cbwt_netflow_matched_total").add(result.matched_records);
     registry->counter("cbwt_netflow_join_partitions_total").add(config.partitions);
     registry->counter("cbwt_netflow_join_spill_bytes_total").add(run_stats.spill_bytes);
+    registry->counter("cbwt_netflow_join_spill_records_total")
+        .add(run_stats.spill_records);
+    registry->counter("cbwt_netflow_join_spill_pages_total").add(run_stats.spill_pages);
+    registry->counter("cbwt_netflow_join_spill_shards_total")
+        .add(run_stats.spill_shards);
+    // Registered even when 0 so fresh and resumed runs export the same
+    // counter key set (report diffs compare keys, not just values).
+    registry->counter("cbwt_netflow_join_resumed_total").add(resumed ? 1 : 0);
     registry->counter("cbwt_netflow_join_probe_records_total").add(result.records_seen);
     obs::record_channel_stats(registry, channel_stats);
   }

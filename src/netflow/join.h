@@ -5,15 +5,25 @@
 //
 // Two passes over the mmap substrate:
 //
-//   Pass 1 (partition): flow records stream from a RecordSource in
-//   bounded chunks; each surviving record is routed by destination-IP
-//   hash to one of `partitions` spill files of fixed 4 KiB compressed
-//   flow pages (netflow/flow_page.h) written through
-//   store::RecordFileWriter — resident memory is one input chunk plus
-//   one open page per partition. Fault-injected export drops are
-//   decided here, while the record's *absolute* input index is known,
-//   so the drop set is identical to the in-memory collector's; dropped
-//   records are never spilled.
+//   Pass 1 (partition): the input index range is split into shards by
+//   runtime::plan_shards — a pure function of (record count, spill
+//   geometry), never of the thread count — and each shard streams its
+//   records from the RecordSource in bounded chunks on a pool worker,
+//   routing every surviving record by destination-IP hash into
+//   per-(shard, partition) runs of sealed 4 KiB compressed flow pages
+//   (netflow/flow_page.h, FlowPageImageBuilder's in-place encoder).
+//   Sealed runs travel through runtime::ordered_stream's bounded
+//   channel to the calling thread, which appends them to the
+//   per-partition store::RecordFileWriters strictly in shard order
+//   *while later shards are still encoding* — the writer thread's I/O
+//   overlaps the workers' decode+pack compute. Page boundaries fall
+//   exactly at shard boundaries, so the spill byte stream is a pure
+//   function of the record sequence and the shard plan — byte-identical
+//   at any thread count. Fault-injected export drops are decided here,
+//   while the record's *absolute* input index is known (ranged chunk
+//   iteration keeps indices absolute per shard), so the drop set is
+//   identical to the in-memory collector's; dropped records are never
+//   spilled.
 //
 //   Pass 2 (build + probe): the tracker side — small by construction —
 //   is split into one dense open-addressing table per partition
@@ -29,8 +39,11 @@
 //
 // A pass-1 manifest (store::Manifest, join_manifest.txt in the spill
 // directory) binds the spill files to the input file's superblock
-// checksum; re-running the join over the same store-backed input reuses
-// the spill set and goes straight to pass 2 (resume-mid-join).
+// checksum *and* the shard-plan geometry that shaped the page layout;
+// re-running the join over the same store-backed input reuses the
+// spill set and goes straight to pass 2 (resume-mid-join). A manifest
+// written under different geometry — or by a pre-geometry build —
+// silently falls back to re-partitioning.
 #pragma once
 
 #include <cstddef>
@@ -63,6 +76,17 @@ struct JoinConfig {
   /// Spill pages per streamed chunk in pass 2 (2048 pages = 8 MiB of
   /// page file per probe step, the store's residency unit).
   std::size_t probe_chunk_pages = 2048;
+  /// Floor on input records per pass-1 spill shard. Together with
+  /// spill_max_shards this fixes the shard plan — and therefore the
+  /// page layout — as a pure function of the input size: page
+  /// boundaries fall at shard boundaries, so changing either knob
+  /// changes the spill bytes (and invalidates resume), while changing
+  /// the thread count never does. 64 Ki records ≈ 3.6 MiB of wire
+  /// input per shard, enough to amortize scheduling.
+  std::size_t spill_min_shard_records = 64 * 1024;
+  /// Cap on pass-1 spill shards; bounds the in-flight sealed-run
+  /// memory (ordered_stream's channel holds O(threads) runs).
+  std::size_t spill_max_shards = 256;
   /// Reuse an existing spill set whose manifest matches this input
   /// (store-backed sources only — in-memory inputs have no superblock
   /// checksum to bind to, so they always re-partition).
@@ -74,6 +98,7 @@ struct JoinStats {
   std::uint64_t spill_bytes = 0;    ///< finalized spill file bytes, all partitions
   std::uint64_t spill_records = 0;  ///< records written to spill pages
   std::uint64_t spill_pages = 0;    ///< 4 KiB pages across all partitions
+  std::uint64_t spill_shards = 0;   ///< pass-1 shard-plan size (thread-independent)
   bool resumed = false;             ///< pass 1 skipped via a matching manifest
 };
 
@@ -87,10 +112,12 @@ struct JoinStats {
 /// the same records returns — counters, per-IP map, drop set — for any
 /// thread count and any JoinConfig. `registry` (optional) records the
 /// "netflow/join" span, the collect-parity counters, the
-/// cbwt_netflow_join_{partitions,spill_bytes,probe_records}_total
-/// counters and per-shard ScopedTrace events; `fault_plan` (optional)
-/// applies netflow_export drops by absolute record index; `stats`
-/// (optional) receives the spill volume breakdown.
+/// cbwt_netflow_join_{partitions,spill_bytes,spill_records,spill_pages,
+/// spill_shards,resumed,probe_records}_total counters, the
+/// cbwt_netflow_join_{spill,probe}_seconds phase histograms and
+/// per-shard ScopedTrace events; `fault_plan` (optional) applies
+/// netflow_export drops by absolute record index; `stats` (optional)
+/// receives the spill volume breakdown.
 [[nodiscard]] CollectionResult join_flows(const store::RecordSource<WireCodec>& source,
                                           const TrackerIpIndex& trackers,
                                           const IspProfile& isp, const JoinConfig& config,

@@ -9,8 +9,9 @@
 //   2. Randomized stages draw from one util::Rng *per shard*, derived
 //      statelessly from (seed, stage label, shard index) — never from a
 //      generator shared across shards (shard_rng).
-//   3. Shard outputs merge in shard-index order, re-sequenced through a
-//      reorder buffer when they arrive out of order (sharded_reduce).
+//   3. Shard outputs are delivered in shard-index order, re-sequenced
+//      through a reorder buffer when they arrive out of order
+//      (ordered_stream, and sharded_reduce built on it).
 //
 // With those rules, `threads == 1` (run the shards inline, in order, on
 // the calling thread) is the *definition* of the result, and the pool
@@ -154,37 +155,43 @@ std::vector<T> parallel_map(ThreadPool* pool, std::size_t n, const ShardOptions&
   return out;
 }
 
-/// Sharded map-reduce with an order-preserving merge.
+/// Sharded producer / ordered-consumer pipeline: the compute/I-O
+/// overlap primitive behind sharded_reduce and the NetFlow join's
+/// parallel spill pass.
 ///
-/// `shard_fn(range, shard_index, rng)` produces one Acc per shard with a
-/// shard-local RNG (rule 2); `merge(acc, part)` folds parts together
-/// strictly in shard-index order (rule 3). Parallel shards stream their
-/// parts through a bounded Channel sized to the worker count — the
-/// backpressure keeps at most O(threads) parts in flight — and the
-/// caller re-sequences early arrivals in a reorder buffer.
-template <typename Acc, typename ShardFn, typename Merge>
-Acc sharded_reduce(ThreadPool* pool, std::size_t n, const ShardOptions& options,
-                   std::uint64_t seed, std::uint64_t stage_label, ShardFn&& shard_fn,
-                   Merge&& merge, Acc acc = {}) {
+/// `shard_fn(range, shard_index, rng)` produces one Part per shard on
+/// pool workers with a shard-local RNG (rule 2); `consume(shard_index,
+/// part)` runs on the calling thread strictly in shard-index order
+/// (rule 3) *while later shards are still producing* — a consumer that
+/// writes to disk therefore overlaps its I/O with the producers'
+/// compute. Parallel shards stream their parts through a bounded
+/// Channel sized to the worker count — the backpressure keeps at most
+/// O(threads) parts in flight — and the caller re-sequences early
+/// arrivals in a reorder buffer, so a consumer with side effects (file
+/// appends, stateful folds) observes the serial order bit for bit.
+template <typename Part, typename ShardFn, typename Consume>
+void ordered_stream(ThreadPool* pool, std::size_t n, const ShardOptions& options,
+                    std::uint64_t seed, std::uint64_t stage_label, ShardFn&& shard_fn,
+                    Consume&& consume) {
   const auto plan = plan_shards(n, options);
-  if (plan.empty()) return acc;
+  if (plan.empty()) return;
 
   if (pool == nullptr || pool->size() <= 1 || plan.size() == 1) {
     for (std::size_t shard = 0; shard < plan.size(); ++shard) {
       auto rng = shard_rng(seed, stage_label, shard);
-      merge(acc, shard_fn(plan[shard], shard, rng));
+      consume(shard, shard_fn(plan[shard], shard, rng));
     }
-    return acc;
+    return;
   }
 
-  using Part = std::pair<std::size_t, Acc>;
+  using Keyed = std::pair<std::size_t, Part>;
   // Producer tasks can straggle past the caller's return by a loop-top
   // re-check and the tail of their final push, so the state they touch
   // there is shared-owned rather than on the caller's stack.
   struct Stream {
     explicit Stream(std::size_t channel_capacity, std::size_t shard_count)
         : parts(channel_capacity), count(shard_count) {}
-    Channel<Part> parts;
+    Channel<Keyed> parts;
     std::size_t count;  ///< immutable once the stream is shared
     util::Mutex mutex;
     std::size_t next CBWT_GUARDED_BY(mutex) = 0;  ///< next unclaimed shard
@@ -201,7 +208,7 @@ Acc sharded_reduce(ThreadPool* pool, std::size_t n, const ShardOptions& options,
         if (stream->next >= stream->count) return;
         shard = stream->next++;
       }
-      Acc part{};
+      Part part{};
       try {
         auto rng = shard_rng(seed, stage_label, shard);
         part = shard_fn(plan[shard], shard, rng);
@@ -211,45 +218,46 @@ Acc sharded_reduce(ThreadPool* pool, std::size_t n, const ShardOptions& options,
       }
       // Push even after an error so the consumer's count stays exact;
       // the error is rethrown once the stream drains.
-      stream->parts.push(Part(shard, std::move(part)));
+      stream->parts.push(Keyed(shard, std::move(part)));
     }
   };
 
   const std::size_t workers = std::min<std::size_t>(pool->size(), plan.size());
   for (std::size_t i = 0; i < workers; ++i) pool->submit(produce);
 
-  // Order-preserving merge: fold parts strictly by shard index, parking
-  // early arrivals until their turn comes.
-  std::map<std::size_t, Acc> parked;
-  std::size_t next_to_merge = 0;
+  // Order-preserving delivery: consume parts strictly by shard index,
+  // parking early arrivals until their turn comes.
+  std::map<std::size_t, Part> parked;
+  std::size_t next_to_consume = 0;
   std::size_t received = 0;
   try {
     while (received < plan.size()) {
       auto part = stream->parts.pop();
       CBWT_ASSERT(part.has_value());  // producers push exactly one part per shard
       ++received;
-      if (part->first == next_to_merge) {
-        merge(acc, std::move(part->second));
-        ++next_to_merge;
+      if (part->first == next_to_consume) {
+        consume(next_to_consume, std::move(part->second));
+        ++next_to_consume;
         for (auto it = parked.begin();
-             it != parked.end() && it->first == next_to_merge;) {
-          merge(acc, std::move(it->second));
+             it != parked.end() && it->first == next_to_consume;) {
+          consume(next_to_consume, std::move(it->second));
           it = parked.erase(it);
-          ++next_to_merge;
+          ++next_to_consume;
         }
       } else {
         parked.emplace(part->first, std::move(part->second));
       }
     }
   } catch (...) {
-    // A throwing merge must still drain the stream: a producer blocked
-    // on the full channel would otherwise never finish its pool task.
+    // A throwing consumer must still drain the stream: a producer
+    // blocked on the full channel would otherwise never finish its pool
+    // task.
     while (received < plan.size()) {
       if (stream->parts.pop()) ++received;
     }
     throw;
   }
-  CBWT_ASSERT(parked.empty() && next_to_merge == plan.size());
+  CBWT_ASSERT(parked.empty() && next_to_consume == plan.size());
 
   // Every part has been popped, so no producer touches the channel
   // again (stragglers only re-check the claim cursor and return) — the
@@ -260,6 +268,21 @@ Acc sharded_reduce(ThreadPool* pool, std::size_t n, const ShardOptions& options,
 
   util::MutexLock lock(stream->mutex);
   if (stream->error) std::rethrow_exception(stream->error);
+}
+
+/// Sharded map-reduce with an order-preserving merge: ordered_stream
+/// specialised to a stateful fold. `merge(acc, part)` folds parts
+/// together strictly in shard-index order — the consumer contract above
+/// is exactly rule 3.
+template <typename Acc, typename ShardFn, typename Merge>
+Acc sharded_reduce(ThreadPool* pool, std::size_t n, const ShardOptions& options,
+                   std::uint64_t seed, std::uint64_t stage_label, ShardFn&& shard_fn,
+                   Merge&& merge, Acc acc = {}) {
+  ordered_stream<Acc>(pool, n, options, seed, stage_label,
+                      std::forward<ShardFn>(shard_fn),
+                      [&](std::size_t /*shard*/, Acc&& part) {
+                        merge(acc, std::move(part));
+                      });
   return acc;
 }
 

@@ -6,6 +6,7 @@
 // makes their outputs bit-identical.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -56,14 +57,27 @@ class RecordSource {
   /// residency bounded.
   template <typename Fn>
   void for_each_chunk(std::size_t chunk_records, Fn&& fn) const {
+    for_each_chunk_range(0, size(), chunk_records, std::forward<Fn>(fn));
+  }
+
+  /// Ranged variant: visits records [begin, end) with absolute base
+  /// indices, so a sharded caller can split the source into disjoint
+  /// ranges while every per-record decision (fault drops keyed on the
+  /// absolute index) stays identical to a full scan. Concurrent calls
+  /// over disjoint ranges are safe on both paths.
+  template <typename Fn>
+  void for_each_chunk_range(std::uint64_t begin, std::uint64_t end,
+                            std::size_t chunk_records, Fn&& fn) const {
     CBWT_EXPECTS(chunk_records > 0);
+    CBWT_EXPECTS(begin <= end && end <= size());
     if (store_backed()) {
-      reader_->for_each_chunk(chunk_records, std::forward<Fn>(fn));
+      reader_->for_each_chunk_range(begin, end, chunk_records, std::forward<Fn>(fn));
       return;
     }
-    for (std::size_t base = 0; base < memory_.size(); base += chunk_records) {
-      const std::size_t n = std::min(chunk_records, memory_.size() - base);
-      fn(memory_.subspan(base, n), static_cast<std::uint64_t>(base));
+    for (std::uint64_t base = begin; base < end; base += chunk_records) {
+      const std::size_t n =
+          static_cast<std::size_t>(std::min<std::uint64_t>(chunk_records, end - base));
+      fn(memory_.subspan(static_cast<std::size_t>(base), n), base);
     }
   }
 

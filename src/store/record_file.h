@@ -25,6 +25,7 @@
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <span>
 #include <string>
@@ -88,8 +89,17 @@ class RecordFileWriter {
 
   /// `registry` (optional, not owned) receives the cbwt_store_* I/O
   /// counters at finalize time; metrics never alter what hits the disk.
-  explicit RecordFileWriter(const std::string& path, obs::Registry* registry = nullptr)
-      : file_(MappedFile::create(path, kInitialBytes)) {
+  /// With `incremental_checksum` the payload FNV-1a is folded append by
+  /// append — bytes are hashed while still cache-hot — and finalize
+  /// skips its full re-read of the file. The stamped superblock is
+  /// byte-identical either way (FNV-1a is a sequential fold and records
+  /// are appended strictly in order); the mode only moves when the
+  /// hashing work happens, which is what keeps the join's spill
+  /// finalize off the pass-1 critical path.
+  explicit RecordFileWriter(const std::string& path, obs::Registry* registry = nullptr,
+                            bool incremental_checksum = false)
+      : file_(MappedFile::create(path, kInitialBytes)),
+        incremental_checksum_(incremental_checksum) {
     if (registry != nullptr) {
       bytes_written_ = &registry->counter("cbwt_store_bytes_written_total");
       records_written_ = &registry->counter("cbwt_store_records_written_total");
@@ -114,18 +124,25 @@ class RecordFileWriter {
   }
 
   void append(const value_type& record) {
-    CBWT_EXPECTS(!finalized_);
-    const std::size_t offset = kSuperblockSize + count_ * Codec::kRecordSize;
-    if (offset + Codec::kRecordSize > file_.size()) {
-      file_.grow_to(std::max(offset + Codec::kRecordSize, file_.size() * 2));
-    }
+    const std::size_t offset = reserve_record();
     Codec::encode(record, file_.data() + offset);
-    ++count_;
-    maybe_flush(offset + Codec::kRecordSize);
+    commit_record(offset);
   }
 
   void append(std::span<const value_type> records) {
     for (const auto& record : records) append(record);
+  }
+
+  /// Appends one pre-encoded record image (exactly kRecordSize bytes):
+  /// the zero-re-encode path for producers that already hold wire-ready
+  /// bytes (the join's spill pass builds its flow pages in place and
+  /// hands the sealed images here). Byte-for-byte equivalent to
+  /// append() of the decoded record.
+  void append_encoded(std::span<const std::uint8_t> bytes) {
+    CBWT_EXPECTS(bytes.size() == Codec::kRecordSize);
+    const std::size_t offset = reserve_record();
+    std::memcpy(file_.data() + offset, bytes.data(), Codec::kRecordSize);
+    commit_record(offset);
   }
 
   /// Records appended so far.
@@ -142,7 +159,9 @@ class RecordFileWriter {
     block.record_count = count_;
     block.payload_bytes = payload;
     ChecksumStats checksum_stats;
-    block.checksum = checksum_payload(file_, payload, &checksum_stats);
+    block.checksum = incremental_checksum_
+                         ? running_checksum_
+                         : checksum_payload(file_, payload, &checksum_stats);
     encode_superblock(block, {file_.data(), kSuperblockSize});
     file_.sync();
     file_.truncate_to(kSuperblockSize + payload);
@@ -166,6 +185,27 @@ class RecordFileWriter {
   /// Payload bytes between RSS-bounding flushes of the written prefix.
   static constexpr std::size_t kFlushBytes = 8 << 20;
 
+  /// Grows the mapping if needed and returns the next record's offset.
+  [[nodiscard]] std::size_t reserve_record() {
+    CBWT_EXPECTS(!finalized_);
+    const std::size_t offset = kSuperblockSize + count_ * Codec::kRecordSize;
+    if (offset + Codec::kRecordSize > file_.size()) {
+      file_.grow_to(std::max(offset + Codec::kRecordSize, file_.size() * 2));
+    }
+    return offset;
+  }
+
+  /// Folds the just-written record into the running checksum (bytes are
+  /// still cache-hot) and advances the write cursor.
+  void commit_record(std::size_t offset) {
+    if (incremental_checksum_) {
+      running_checksum_ =
+          fnv1a({file_.data() + offset, Codec::kRecordSize}, running_checksum_);
+    }
+    ++count_;
+    maybe_flush(offset + Codec::kRecordSize);
+  }
+
   void maybe_flush(std::size_t written_end) {
     if (written_end - flushed_ < kFlushBytes) return;
     // Keep the superblock page resident; flush only completed payload.
@@ -177,6 +217,8 @@ class RecordFileWriter {
   std::uint64_t count_ = 0;
   std::size_t flushed_ = kSuperblockSize;
   bool finalized_ = false;
+  bool incremental_checksum_ = false;
+  std::uint64_t running_checksum_ = kFnvOffset;
   // Metric handles; all null (and finalize skips them) with no registry.
   obs::Counter* bytes_written_ = nullptr;
   obs::Counter* records_written_ = nullptr;
@@ -253,11 +295,23 @@ class RecordFileReader {
   /// are dropped from the resident set, so memory stays O(chunk).
   template <typename Fn>
   void for_each_chunk(std::size_t chunk_records, Fn&& fn) const {
+    for_each_chunk_range(0, count_, chunk_records, std::forward<Fn>(fn));
+  }
+
+  /// Ranged variant: streams records [begin, end) with absolute base
+  /// indices. Safe to call concurrently from several threads (the
+  /// sharded spill pass does): the mapping is read-only, the metric
+  /// handles are atomic, and the decode buffer is per-call — a
+  /// drop_range racing another shard's read merely re-faults the page.
+  template <typename Fn>
+  void for_each_chunk_range(std::uint64_t begin, std::uint64_t end,
+                            std::size_t chunk_records, Fn&& fn) const {
     CBWT_EXPECTS(chunk_records > 0);
+    CBWT_EXPECTS(begin <= end && end <= count_);
     std::vector<value_type> buffer;
-    buffer.reserve(std::min<std::uint64_t>(chunk_records, count_));
-    for (std::uint64_t base = 0; base < count_; base += chunk_records) {
-      const std::uint64_t n = std::min<std::uint64_t>(chunk_records, count_ - base);
+    buffer.reserve(std::min<std::uint64_t>(chunk_records, end - begin));
+    for (std::uint64_t base = begin; base < end; base += chunk_records) {
+      const std::uint64_t n = std::min<std::uint64_t>(chunk_records, end - base);
       buffer.clear();
       for (std::uint64_t i = 0; i < n; ++i) {
         const auto record = Codec::decode(file_.data() + kSuperblockSize +

@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <span>
 #include <string>
 #include <utility>
@@ -25,6 +27,7 @@
 #include "netflow/wire.h"
 #include "obs/metrics.h"
 #include "runtime/thread_pool.h"
+#include "store/checkpoint.h"
 #include "store/dataset.h"
 #include "store/record_file.h"
 #include "util/prng.h"
@@ -49,6 +52,12 @@ std::string temp_dir(const std::string& name) {
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
   return dir;
+}
+
+std::vector<char> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
 }
 
 /// Deterministic, distinct tracker IPs (v4 with a v6 tail, like the
@@ -336,6 +345,7 @@ TEST(JoinResume, SecondRunReusesSpillsAndMatches) {
   EXPECT_EQ(second_stats.spill_bytes, first_stats.spill_bytes);
   EXPECT_EQ(second_stats.spill_pages, first_stats.spill_pages);
   EXPECT_EQ(second_stats.spill_records, first_stats.spill_records);
+  EXPECT_EQ(second_stats.spill_shards, first_stats.spill_shards);
   expect_same_collection(second, first);
 }
 
@@ -382,6 +392,140 @@ TEST(JoinResume, MismatchedManifestRepartitions) {
   expect_same_collection(resumed, first);
 }
 
+TEST(JoinResume, GeometryChangeRepartitions) {
+  runtime::ThreadPool pool(2);
+  const auto pool_ips = make_tracker_pool(32);
+  const auto records = make_records(0x6E0, 5'000, pool_ips);
+  const auto index = make_index(pool_ips);
+  const auto source = store_source(records, temp_path("resume_geom.rec"));
+  netflow::JoinConfig config;
+  config.spill_directory = temp_dir("resume_geom_spill");
+  config.spill_min_shard_records = 1'000;
+  config.spill_max_shards = 4;
+
+  netflow::JoinStats stats;
+  const auto first = netflow::join_flows(source, index, test_isp(), config, &pool,
+                                         nullptr, nullptr, &stats);
+  ASSERT_FALSE(stats.resumed);
+  ASSERT_GT(stats.spill_shards, 1u);
+
+  // Shard geometry shapes the page layout, so a geometry change must
+  // invalidate the manifest and silently re-partition — both knobs.
+  auto finer = config;
+  finer.spill_min_shard_records = 500;
+  const auto repartitioned = netflow::join_flows(source, index, test_isp(), finer,
+                                                 &pool, nullptr, nullptr, &stats);
+  EXPECT_FALSE(stats.resumed);
+  expect_same_collection(repartitioned, first);
+
+  auto capped = finer;
+  capped.spill_max_shards = 2;
+  const auto recapped = netflow::join_flows(source, index, test_isp(), capped, &pool,
+                                            nullptr, nullptr, &stats);
+  EXPECT_FALSE(stats.resumed);
+  expect_same_collection(recapped, first);
+
+  // Unchanged geometry resumes off the freshly rewritten spill set.
+  const auto resumed = netflow::join_flows(source, index, test_isp(), capped, &pool,
+                                           nullptr, nullptr, &stats);
+  EXPECT_TRUE(stats.resumed);
+  expect_same_collection(resumed, first);
+}
+
+TEST(JoinResume, PreGeometryManifestRepartitions) {
+  runtime::ThreadPool pool(2);
+  const auto pool_ips = make_tracker_pool(32);
+  const auto records = make_records(0x01D, 3'000, pool_ips);
+  const auto index = make_index(pool_ips);
+  const auto source = store_source(records, temp_path("resume_old.rec"));
+  netflow::JoinConfig config;
+  config.spill_directory = temp_dir("resume_old_spill");
+
+  netflow::JoinStats stats;
+  const auto first = netflow::join_flows(source, index, test_isp(), config, &pool,
+                                         nullptr, nullptr, &stats);
+  ASSERT_FALSE(stats.resumed);
+
+  // Strip the shard-geometry keys, reconstructing a manifest written by
+  // a build that predates them. Resume must fall back to
+  // re-partitioning (missing key, not a crash), then heal the manifest.
+  const std::string manifest_path = config.spill_directory + "/join_manifest.txt";
+  const auto manifest = store::read_manifest(manifest_path);
+  store::Manifest stripped;
+  for (const auto& [key, value] : manifest.entries()) {
+    if (key == "spill_min_shard_records" || key == "spill_max_shards" ||
+        key == "spill_shards") {
+      continue;
+    }
+    stripped.set(key, value);
+  }
+  store::write_manifest(manifest_path, stripped);
+
+  const auto repartitioned = netflow::join_flows(source, index, test_isp(), config,
+                                                 &pool, nullptr, nullptr, &stats);
+  EXPECT_FALSE(stats.resumed);
+  expect_same_collection(repartitioned, first);
+
+  const auto resumed = netflow::join_flows(source, index, test_isp(), config, &pool,
+                                           nullptr, nullptr, &stats);
+  EXPECT_TRUE(stats.resumed);
+  expect_same_collection(resumed, first);
+}
+
+// --- spill-set byte identity (threads 1/2/8) --------------------------
+
+/// The tentpole invariant of the parallel spill pass: the on-disk spill
+/// set — every partition file byte for byte, superblock checksum
+/// included, plus the resume manifest — is identical at any thread
+/// count, because page boundaries fall at shard-plan boundaries and the
+/// plan is a pure function of (input size, spill geometry).
+TEST(JoinSpillDeterminism, SpillSetByteIdenticalAcrossThreadCounts) {
+  const auto pool_ips = make_tracker_pool(128);
+  const auto records = make_records(0x5B111, 20'000, pool_ips);
+  const auto index = make_index(pool_ips);
+  const auto source = store_source(records, temp_path("spill_ident.rec"));
+  netflow::JoinConfig base;
+  base.partitions = 8;
+  base.spill_min_shard_records = 1'000;  // many shards even at test scale
+  base.spill_max_shards = 16;
+
+  std::vector<std::vector<char>> reference_files;
+  std::vector<char> reference_manifest;
+  netflow::CollectionResult reference;
+  bool have_reference = false;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    runtime::ThreadPool pool(threads);
+    auto config = base;
+    config.spill_directory = temp_dir("spill_ident_t" + std::to_string(threads));
+    netflow::JoinStats stats;
+    const auto result = netflow::join_flows(source, index, test_isp(), config, &pool,
+                                            nullptr, nullptr, &stats);
+    EXPECT_FALSE(stats.resumed);
+    EXPECT_GT(stats.spill_shards, 1u);  // the sweep must exercise merging
+
+    std::vector<std::vector<char>> files;
+    for (std::size_t p = 0; p < config.partitions; ++p) {
+      files.push_back(read_file_bytes(config.spill_directory + "/part_" +
+                                      std::to_string(p) + ".rec"));
+    }
+    auto manifest = read_file_bytes(config.spill_directory + "/join_manifest.txt");
+    if (!have_reference) {
+      reference_files = std::move(files);
+      reference_manifest = std::move(manifest);
+      reference = result;
+      have_reference = true;
+      continue;
+    }
+    expect_same_collection(result, reference);
+    EXPECT_EQ(manifest, reference_manifest);
+    ASSERT_EQ(files.size(), reference_files.size());
+    for (std::size_t p = 0; p < files.size(); ++p) {
+      EXPECT_EQ(files[p], reference_files[p]) << "partition " << p;
+    }
+  }
+}
+
 // --- determinism sweep (threads 1/2/8) --------------------------------
 
 /// The join's thread-count invariance, StudyDeterminism-style: results
@@ -422,6 +566,10 @@ TEST_P(JoinDeterminism, BitIdenticalAcrossThreadCounts) {
          {"cbwt_netflow_records_collected_total", "cbwt_netflow_internal_total",
           "cbwt_netflow_matched_total", "cbwt_netflow_join_partitions_total",
           "cbwt_netflow_join_spill_bytes_total",
+          "cbwt_netflow_join_spill_records_total",
+          "cbwt_netflow_join_spill_pages_total",
+          "cbwt_netflow_join_spill_shards_total",
+          "cbwt_netflow_join_resumed_total",
           "cbwt_netflow_join_probe_records_total"}) {
       EXPECT_EQ(registry.counter_value(name), ref_registry.counter_value(name))
           << name;
@@ -465,6 +613,87 @@ TEST(FlowPage, EncodeParseFixpoint) {
     total += page.records.size();
   }
   EXPECT_EQ(total, records.size());
+}
+
+/// The in-place image builder must make the exact page-split decisions
+/// and produce the exact sealed bytes of the buffer-then-encode path —
+/// they share one per-record encoder, and this pins that they stay
+/// shared.
+TEST(FlowPage, ImageBuilderMatchesBatchEncoder) {
+  const auto pool_ips = make_tracker_pool(16);
+  const auto records = make_records(0x1A6E, 2'000, pool_ips);
+  netflow::FlowPageBuilder batch;
+  netflow::FlowPageImageBuilder inplace;
+  std::vector<netflow::FlowPage> pages;
+  std::vector<netflow::FlowPageImage> images;
+  for (const auto& record : records) {
+    const bool batch_fit = batch.try_add(record);
+    const bool inplace_fit = inplace.try_add(record);
+    ASSERT_EQ(batch_fit, inplace_fit);  // identical split decisions
+    ASSERT_EQ(batch.records(), inplace.records());
+    if (!batch_fit) {
+      pages.push_back(batch.take());
+      inplace.seal_into(images);
+      ASSERT_TRUE(batch.try_add(record));
+      ASSERT_TRUE(inplace.try_add(record));
+    }
+  }
+  if (!batch.empty()) {
+    pages.push_back(batch.take());
+    inplace.seal_into(images);
+  }
+  ASSERT_GT(pages.size(), 1u);
+  ASSERT_EQ(pages.size(), images.size());
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    std::uint8_t buffer[netflow::kFlowPageBytes];
+    netflow::encode_flow_page(pages[i], buffer);
+    EXPECT_EQ(0, std::memcmp(buffer, images[i].bytes.data(), sizeof buffer))
+        << "page " << i;
+    // And the sealed image parses back to the buffered page.
+    const auto parsed = netflow::parse_flow_page(
+        {images[i].bytes.data(), netflow::kFlowPageBytes});
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, pages[i]);
+  }
+}
+
+/// append_encoded + incremental checksums must leave a file that is
+/// byte-for-byte the one append() with the finalize-time checksum
+/// leaves — the spill pass swaps both in, and resume compares the
+/// superblock checksum across runs.
+TEST(FlowPage, EncodedAppendWithIncrementalChecksumMatchesAppend) {
+  const auto pool_ips = make_tracker_pool(16);
+  const auto records = make_records(0xE9C, 2'000, pool_ips);
+  netflow::FlowPageBuilder batch;
+  netflow::FlowPageImageBuilder inplace;
+  const std::string decoded_path = temp_path("writer_parity_decoded.rec");
+  const std::string encoded_path = temp_path("writer_parity_encoded.rec");
+  {
+    store::RecordFileWriter<netflow::FlowPageCodec> decoded_writer(decoded_path);
+    store::RecordFileWriter<netflow::FlowPageCodec> encoded_writer(
+        encoded_path, /*registry=*/nullptr, /*incremental_checksum=*/true);
+    std::vector<netflow::FlowPageImage> images;
+    for (const auto& record : records) {
+      if (!batch.try_add(record)) {
+        decoded_writer.append(batch.take());
+        ASSERT_TRUE(batch.try_add(record));
+      }
+      if (!inplace.try_add(record)) {
+        inplace.seal_into(images);
+        ASSERT_TRUE(inplace.try_add(record));
+      }
+    }
+    if (!batch.empty()) decoded_writer.append(batch.take());
+    if (!inplace.empty()) inplace.seal_into(images);
+    for (const auto& image : images) encoded_writer.append_encoded(image.bytes);
+    ASSERT_GT(decoded_writer.size(), 1u);
+    decoded_writer.finalize();
+    encoded_writer.finalize();
+  }
+  EXPECT_EQ(read_file_bytes(encoded_path), read_file_bytes(decoded_path));
+  // Both open clean (superblock checksum validates either way).
+  EXPECT_EQ(store::RecordFileReader<netflow::FlowPageCodec>(encoded_path).checksum(),
+            store::RecordFileReader<netflow::FlowPageCodec>(decoded_path).checksum());
 }
 
 TEST(FlowPage, RejectsCorruption) {

@@ -2,16 +2,23 @@
 """Asserts a store-backed Table 8 run_report matches the committed
 expectation exactly.
 
-Usage: check_table8.py <run_report.json> <expectation.json>
+Usage: check_table8.py <run_report.json> <expectation.json> [--max-rss-mb N]
 
 The report is a Study::run_report() document (store_scale_run --report);
 the expectation pins the deterministic NetFlow-join counters under its
 "counters" key — generated/collected/internal/matched volumes plus the
-join fan-out, spill bytes, and probe count. Runtime telemetry (channel
-stats, /proc gauges, store I/O byte counts) is ignored. Exact integer
-equality is required: the out-of-core join is bit-identical to the
-in-memory collector at every thread count, so any drift here is a real
-behavior change in Table 8's substrate, not noise.
+join fan-out, spill volume/shard counters, and probe count. Runtime
+telemetry (channel stats, /proc gauges, store I/O byte counts) is
+ignored. Exact integer equality is required: the out-of-core join is
+bit-identical to the in-memory collector at every thread count, so any
+drift here is a real behavior change in Table 8's substrate, not noise.
+
+--max-rss-mb additionally gates the run's peak resident set: the
+cbwt_obs_proc_vm_hwm_bytes gauge (VmHWM sampled by obs::ProcSampler)
+must stay under the cap. This is how CI holds the parallel spill pass
+to the same 256 MB bound at threads 8 as at threads 1 — more workers
+may buffer more in-flight page runs, but the bounded channel keeps the
+envelope flat.
 """
 
 import json
@@ -19,12 +26,22 @@ import sys
 
 
 def main() -> int:
-    if len(sys.argv) != 3:
+    args = list(sys.argv[1:])
+    max_rss_mb = 0
+    if "--max-rss-mb" in args:
+        at = args.index("--max-rss-mb")
+        try:
+            max_rss_mb = int(args[at + 1])
+        except (IndexError, ValueError):
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        del args[at : at + 2]
+    if len(args) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(sys.argv[1]) as f:
+    with open(args[0]) as f:
         report = json.load(f)
-    with open(sys.argv[2]) as f:
+    with open(args[1]) as f:
         expectation = json.load(f)
 
     got = report.get("obs", {}).get("counters", {})
@@ -36,12 +53,32 @@ def main() -> int:
         elif got[key] != value:
             failures.append(f"{key}: got {got[key]}, expected {value}")
 
+    rss_note = ""
+    if max_rss_mb > 0:
+        gauges = report.get("obs", {}).get("gauges", {})
+        hwm_bytes = gauges.get("cbwt_obs_proc_vm_hwm_bytes", 0)
+        if hwm_bytes <= 0:
+            failures.append(
+                "no cbwt_obs_proc_vm_hwm_bytes gauge in report "
+                "(--max-rss-mb needs a ProcSampler-instrumented run)"
+            )
+        elif hwm_bytes > max_rss_mb * 1024 * 1024:
+            failures.append(
+                f"peak RSS {hwm_bytes / (1024 * 1024):.1f} MB exceeds "
+                f"cap {max_rss_mb} MB"
+            )
+        else:
+            rss_note = (
+                f", peak RSS {hwm_bytes / (1024 * 1024):.1f} MB "
+                f"<= {max_rss_mb} MB"
+            )
+
     if failures:
         print("Table 8 join drift detected:", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print(f"Table 8 join OK: {len(want)} counters match exactly")
+    print(f"Table 8 join OK: {len(want)} counters match exactly{rss_note}")
     return 0
 
 
